@@ -1,0 +1,72 @@
+package roadskyline
+
+import (
+	"roadskyline/internal/core"
+	"roadskyline/internal/graph"
+)
+
+// Aggregate selects how AggregateNN folds the per-query-point network
+// distances.
+type Aggregate int
+
+const (
+	// SumDistance minimizes total travel for the whole group.
+	SumDistance Aggregate = iota
+	// MaxDistance minimizes the worst single leg (the fairest choice).
+	MaxDistance
+)
+
+// AggregateNeighbor is one aggregate nearest neighbor: the object, its
+// network distances to the query points and the aggregated value.
+type AggregateNeighbor struct {
+	Object    Object
+	Distances []float64
+	Value     float64
+}
+
+// AggregateNNResult is the answer to an aggregate nearest neighbor query.
+type AggregateNNResult struct {
+	Neighbors []AggregateNeighbor // ascending aggregate value
+	Stats     Stats
+}
+
+// AggregateNN returns the k objects with the smallest aggregate network
+// distance to the query points — the aggregate nearest neighbor query
+// (Yiu et al., the paper's reference [26]) implemented with the same
+// path-distance-lower-bound machinery as LBC, demonstrating the paper's
+// closing remark that the plb approach benefits other road-network
+// queries.
+func (e *Engine) AggregateNN(points []Location, k int, agg Aggregate) (*AggregateNNResult, error) {
+	pts := make([]graph.Location, len(points))
+	for i, p := range points {
+		pts[i] = graph.Location{Edge: graph.EdgeID(p.Edge), Offset: p.Offset}
+	}
+	coreAgg := core.AggSum
+	if agg == MaxDistance {
+		coreAgg = core.AggMax
+	}
+	res, err := core.AggregateNN(e.env, pts, k, coreAgg, core.Options{ColdCache: !e.cfg.WarmCache})
+	if err != nil {
+		return nil, err
+	}
+	out := &AggregateNNResult{
+		Neighbors: make([]AggregateNeighbor, len(res.Neighbors)),
+		Stats: Stats{
+			Candidates:           res.Metrics.Candidates,
+			NetworkPages:         res.Metrics.NetworkPages,
+			RTreeNodes:           res.Metrics.RTreeNodes,
+			NodesExpanded:        res.Metrics.NodesExpanded,
+			DistanceComputations: res.Metrics.DistanceComputations,
+			Total:                res.Metrics.Total,
+			Initial:              res.Metrics.Initial,
+		},
+	}
+	for i, nb := range res.Neighbors {
+		out.Neighbors[i] = AggregateNeighbor{
+			Object:    e.objs[nb.Object.ID],
+			Distances: nb.Dists,
+			Value:     nb.Agg,
+		}
+	}
+	return out, nil
+}

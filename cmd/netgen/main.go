@@ -1,0 +1,81 @@
+// Command netgen generates synthetic road networks in the roadnet text
+// format, including the paper's three evaluation networks (CA, AU, NA).
+//
+// Usage:
+//
+//	netgen -preset NA -out na.roadnet
+//	netgen -nodes 5000 -edges 6200 -obstacles 4 -seed 7 -out custom.roadnet
+//	netgen -preset CA -stats          # print size and delta, write nothing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"roadskyline"
+)
+
+func main() {
+	var (
+		preset    = flag.String("preset", "", "paper network preset: CA, AU or NA")
+		nodes     = flag.Int("nodes", 1000, "node count (custom networks)")
+		edges     = flag.Int("edges", 1250, "edge count (custom networks)")
+		obstacles = flag.Int("obstacles", 4, "number of carved obstacles")
+		obsSize   = flag.Float64("obstacle-size", 0.12, "obstacle side length (unit square)")
+		jitter    = flag.Float64("jitter", 0.3, "node position jitter (fraction of cell)")
+		stretch   = flag.Float64("stretch", 0.15, "max travel-length stretch over Euclidean")
+		ratio     = flag.Float64("ratio", 0, "intersection-graph edge/node ratio (0 = default 1.9)")
+		diagonals = flag.Bool("diagonals", false, "allow diagonal lattice edges")
+		seed      = flag.Int64("seed", 1, "random seed")
+		out       = flag.String("out", "", "output file (default stdout)")
+		stats     = flag.Bool("stats", false, "print network statistics instead of the network")
+	)
+	flag.Parse()
+
+	spec := roadskyline.NetworkSpec{
+		Name: "custom", Nodes: *nodes, Edges: *edges,
+		NumObstacles: *obstacles, ObstacleSize: *obsSize,
+		Jitter: *jitter, MaxStretch: *stretch,
+		IntersectionRatio: *ratio, Diagonals: *diagonals, Seed: *seed,
+	}
+	switch *preset {
+	case "":
+	case "CA":
+		spec = roadskyline.CA
+	case "AU":
+		spec = roadskyline.AU
+	case "NA":
+		spec = roadskyline.NA
+	default:
+		fmt.Fprintf(os.Stderr, "netgen: unknown preset %q (want CA, AU or NA)\n", *preset)
+		os.Exit(2)
+	}
+
+	n, err := roadskyline.Generate(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "netgen: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *stats {
+		fmt.Printf("network %s: %d nodes, %d edges, connected=%v, delta=%.3f\n",
+			spec.Name, n.NumNodes(), n.NumEdges(), n.Connected(), n.EstimateDelta(300, 1))
+		return
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "netgen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := n.Write(w); err != nil {
+		fmt.Fprintf(os.Stderr, "netgen: %v\n", err)
+		os.Exit(1)
+	}
+}

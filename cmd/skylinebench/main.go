@@ -1,0 +1,124 @@
+// Command skylinebench regenerates the paper's evaluation figures
+// (Section 6) at full paper scale, printing one table per figure in the
+// same layout as the published plots.
+//
+// Usage:
+//
+//	skylinebench                  # everything (takes a while at scale 1)
+//	skylinebench -fig 4a          # just Figure 4(a)
+//	skylinebench -fig 5 -trials 3 # Figures 5(a)-(c) with 3 query sets
+//	skylinebench -scale 0.2       # all figures on 20%-size networks
+//	skylinebench -fig ablations   # the design-choice ablations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"roadskyline/internal/experiments"
+)
+
+func main() {
+	var (
+		fig    = flag.String("fig", "all", "figure to run: 4a 4b 4c 5 6q 6w ablations all")
+		scale  = flag.Float64("scale", 1.0, "network size scale (1 = paper scale)")
+		trials = flag.Int("trials", 10, "query sets averaged per setting (paper: 10)")
+		seed   = flag.Int64("seed", 2007, "random seed")
+		quickQ = flag.Bool("quick", false, "use the reduced Quick configuration")
+		csv    = flag.Bool("csv", false, "emit tables as CSV")
+	)
+	flag.Parse()
+
+	cfg := experiments.Default()
+	if *quickQ {
+		cfg = experiments.Quick()
+	}
+	cfg.Scale = *scale
+	cfg.Trials = *trials
+	cfg.Seed = *seed
+	if *quickQ && !flagSet("scale") {
+		cfg.Scale = experiments.Quick().Scale
+	}
+	if *quickQ && !flagSet("trials") {
+		cfg.Trials = experiments.Quick().Trials
+	}
+	lab := experiments.NewLab(cfg)
+
+	fmt.Printf("reproducing ICDE'07 multi-source road-network skyline figures "+
+		"(scale=%.2f, trials=%d, seed=%d)\n\n", cfg.Scale, cfg.Trials, cfg.Seed)
+
+	start := time.Now()
+	want := strings.ToLower(*fig)
+	ran := false
+	show := func(t experiments.Table) {
+		if *csv {
+			fmt.Printf("# %s — %s\n%s\n", t.Figure, t.Title, t.CSV())
+			return
+		}
+		fmt.Println(t)
+	}
+	run1 := func(name string, f func() (experiments.Table, error)) {
+		if want != "all" && want != name {
+			return
+		}
+		ran = true
+		tab, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skylinebench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		show(tab)
+	}
+	run3 := func(name string, f func() ([3]experiments.Table, error)) {
+		if want != "all" && want != name {
+			return
+		}
+		ran = true
+		tabs, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skylinebench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		for _, t := range tabs {
+			show(t)
+		}
+	}
+
+	run1("4a", lab.Fig4a)
+	run1("4b", lab.Fig4b)
+	run1("4c", lab.Fig4c)
+	run3("5", lab.Fig5)
+	run3("6q", lab.Fig6Q)
+	run3("6w", lab.Fig6W)
+	if want == "all" || want == "ablations" {
+		ran = true
+		for _, f := range []func() (experiments.Table, error){
+			lab.AblationPLB, lab.AblationAStar, lab.AblationClustering, lab.AblationBuffer,
+		} {
+			tab, err := f()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "skylinebench: ablation: %v\n", err)
+				os.Exit(1)
+			}
+			show(tab)
+		}
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "skylinebench: unknown figure %q (want 4a 4b 4c 5 6q 6w ablations all)\n", *fig)
+		os.Exit(2)
+	}
+	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func flagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}

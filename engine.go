@@ -1,0 +1,293 @@
+package roadskyline
+
+import (
+	"fmt"
+	"time"
+
+	"roadskyline/internal/core"
+	"roadskyline/internal/diskgraph"
+	"roadskyline/internal/geom"
+	"roadskyline/internal/graph"
+	"roadskyline/internal/rtree"
+	"roadskyline/internal/sp"
+)
+
+// Algorithm selects the query processing strategy.
+type Algorithm int
+
+const (
+	// CEAlg is Collaborative Expansion (paper Section 4.1): Dijkstra
+	// wavefronts around every query point, expanded round-robin. The
+	// straightforward baseline.
+	CEAlg Algorithm = iota
+	// EDCAlg is Euclidean Distance Constraint (Section 4.2): Euclidean
+	// skyline seeds direct A* network expansion.
+	EDCAlg
+	// LBCAlg is Lower-Bound Constraint (Section 4.3): incremental network
+	// nearest neighbors with path-distance-lower-bound dominance checks.
+	// Instance-optimal in network accesses and the recommended default.
+	LBCAlg
+)
+
+// String returns the paper's name for the algorithm.
+func (a Algorithm) String() string { return a.core().String() }
+
+func (a Algorithm) core() core.Algorithm {
+	switch a {
+	case CEAlg:
+		return core.AlgCE
+	case EDCAlg:
+		return core.AlgEDC
+	default:
+		return core.AlgLBC
+	}
+}
+
+// EngineConfig tunes the storage simulation underneath an Engine.
+type EngineConfig struct {
+	// BufferBytes sizes each LRU buffer pool. Default 1 MB (the paper's
+	// setting).
+	BufferBytes int
+	// NoHilbertClustering stores adjacency lists in node-id order instead
+	// of Hilbert order; used by the clustering ablation.
+	NoHilbertClustering bool
+	// WarmCache keeps buffer pools warm across queries instead of starting
+	// each query cold.
+	WarmCache bool
+	// DiskDir, when non-empty, stores the simulated disk pages as real
+	// files in that directory instead of in memory.
+	DiskDir string
+}
+
+// Engine answers skyline queries over one network and one object set. It
+// owns the simulated storage stack: Hilbert-clustered adjacency pages, the
+// B+-tree middle layer mapping edges to objects, and the object R-tree.
+// An Engine is not safe for concurrent queries.
+type Engine struct {
+	net  *Network
+	env  *core.Env
+	objs []Object
+	cfg  EngineConfig
+}
+
+// NewEngine indexes objects over the network. Object IDs are assigned
+// densely in input order (any caller-set IDs are overwritten); the objects
+// returned in results carry the assigned IDs.
+func NewEngine(n *Network, objects []Object, cfg EngineConfig) (*Engine, error) {
+	objs := make([]graph.Object, len(objects))
+	kept := make([]Object, len(objects))
+	for i, o := range objects {
+		o.ID = int32(i)
+		kept[i] = o
+		objs[i] = graph.Object{
+			ID:    graph.ObjectID(i),
+			Loc:   graph.Location{Edge: graph.EdgeID(o.Loc.Edge), Offset: o.Loc.Offset},
+			Attrs: o.Attrs,
+		}
+	}
+	order := diskgraph.OrderHilbert
+	if cfg.NoHilbertClustering {
+		order = diskgraph.OrderNodeID
+	}
+	env, err := core.NewEnv(n.g, objs, core.EnvConfig{
+		BufferBytes: cfg.BufferBytes,
+		Order:       order,
+		Dir:         cfg.DiskDir,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{net: n, env: env, objs: kept, cfg: cfg}, nil
+}
+
+// Clone returns an independent engine over the same network and objects:
+// indexes and page files are shared, buffer pools are fresh. Use one clone
+// per goroutine to serve queries concurrently.
+func (e *Engine) Clone() *Engine {
+	c := *e
+	c.env = e.env.Clone()
+	return &c
+}
+
+// Network returns the engine's network.
+func (e *Engine) Network() *Network { return e.net }
+
+// NumObjects returns the number of indexed objects.
+func (e *Engine) NumObjects() int { return len(e.objs) }
+
+// Query is a multi-source skyline request.
+type Query struct {
+	// Points are the query locations (at least one).
+	Points []Location
+	// UseAttrs extends skyline vectors with the objects' static attributes.
+	UseAttrs bool
+	// Algorithm selects the strategy; the zero value is CEAlg, so set
+	// LBCAlg explicitly (or use SkylineLBC) for the fast path.
+	Algorithm Algorithm
+	// Alternate makes LBC retrieve network nearest neighbors from every
+	// query point round-robin instead of a single source, so early results
+	// spread across all query points (paper Section 4.3's multi-source
+	// extension). Ignored by CE and EDC.
+	Alternate bool
+}
+
+// SkylinePoint is one skyline object with its network distances to the
+// query points and its full skyline vector (distances then attributes).
+type SkylinePoint struct {
+	Object    Object
+	Distances []float64
+	Vector    []float64
+}
+
+// Stats reports the work a query performed, matching the measurements in
+// the paper's evaluation.
+type Stats struct {
+	// Candidates is |C|, the number of objects retrieved as candidates.
+	Candidates int
+	// NetworkPages counts network-side disk pages faulted in (adjacency
+	// pages plus middle-layer pages).
+	NetworkPages int64
+	// RTreeNodes counts object R-tree node visits.
+	RTreeNodes int64
+	// NodesExpanded counts network node settlements.
+	NodesExpanded int
+	// DistanceComputations counts completed (query point, object) network
+	// distance evaluations.
+	DistanceComputations int
+	// Total is the response time; Initial the time to the first skyline
+	// point.
+	Total, Initial time.Duration
+}
+
+// Result is a query answer. Points appear in the order the algorithm
+// determined them (LBC reports the source's nearest neighbor first).
+type Result struct {
+	Points []SkylinePoint
+	Stats  Stats
+}
+
+// Skyline answers the query.
+func (e *Engine) Skyline(q Query) (*Result, error) {
+	if len(q.Points) == 0 {
+		return nil, fmt.Errorf("roadskyline: query needs at least one point")
+	}
+	pts := make([]graph.Location, len(q.Points))
+	for i, p := range q.Points {
+		pts[i] = graph.Location{Edge: graph.EdgeID(p.Edge), Offset: p.Offset}
+	}
+	res, err := core.Run(e.env, core.Query{Points: pts, UseAttrs: q.UseAttrs}, q.Algorithm.core(), core.Options{
+		ColdCache:    !e.cfg.WarmCache,
+		LBCAlternate: q.Alternate,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		Points: make([]SkylinePoint, len(res.Skyline)),
+		Stats: Stats{
+			Candidates:           res.Metrics.Candidates,
+			NetworkPages:         res.Metrics.NetworkPages,
+			RTreeNodes:           res.Metrics.RTreeNodes,
+			NodesExpanded:        res.Metrics.NodesExpanded,
+			DistanceComputations: res.Metrics.DistanceComputations,
+			Total:                res.Metrics.Total,
+			Initial:              res.Metrics.Initial,
+		},
+	}
+	for i, p := range res.Skyline {
+		out.Points[i] = SkylinePoint{
+			Object:    e.objs[p.Object.ID],
+			Distances: p.Dists,
+			Vector:    p.Vec,
+		}
+	}
+	return out, nil
+}
+
+// SkylineLBC answers the query with the recommended LBC algorithm.
+func (e *Engine) SkylineLBC(points ...Location) (*Result, error) {
+	return e.Skyline(Query{Points: points, Algorithm: LBCAlg})
+}
+
+// PathResult is a shortest network path between two locations.
+type PathResult struct {
+	// Nodes is the junction sequence from source to destination; empty
+	// when both locations share an edge and the direct segment is optimal.
+	Nodes []int32
+	// Distance is the network (shortest-path) distance.
+	Distance float64
+}
+
+// ShortestPath computes a shortest network path between two locations,
+// using the same disk-backed A* engine as the skyline algorithms.
+func (e *Engine) ShortestPath(from, to Location) (*PathResult, error) {
+	gFrom := graph.Location{Edge: graph.EdgeID(from.Edge), Offset: from.Offset}
+	gTo := graph.Location{Edge: graph.EdgeID(to.Edge), Offset: to.Offset}
+	if err := e.net.g.ValidateLocation(gFrom); err != nil {
+		return nil, err
+	}
+	if err := e.net.g.ValidateLocation(gTo); err != nil {
+		return nil, err
+	}
+	a, err := sp.NewAStar(e.env, gFrom, e.net.g.Point(gFrom))
+	if err != nil {
+		return nil, err
+	}
+	s := a.NewSession(gTo, e.net.g.Point(gTo))
+	dist, err := s.Run()
+	if err != nil {
+		return nil, err
+	}
+	nodes, err := s.Path()
+	if err != nil {
+		return nil, fmt.Errorf("roadskyline: no path between the locations: %w", err)
+	}
+	out := &PathResult{Distance: dist, Nodes: make([]int32, len(nodes))}
+	for i, id := range nodes {
+		out.Nodes[i] = int32(id)
+	}
+	return out, nil
+}
+
+// EuclideanSkyline returns the multi-source skyline under straight-line
+// distances (the paper's Euclidean-space building block, computed with the
+// multi-source BBS algorithm over the object R-tree). It is cheaper than a
+// network skyline but only an approximation of it: Euclidean skyline
+// points need not be network skyline points and vice versa. UseAttrs
+// extends the vectors with the objects' static attributes.
+func (e *Engine) EuclideanSkyline(points []Location, useAttrs bool) ([]SkylinePoint, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("roadskyline: query needs at least one point")
+	}
+	qPts := make([]geom.Point, len(points))
+	for i, p := range points {
+		loc := graph.Location{Edge: graph.EdgeID(p.Edge), Offset: p.Offset}
+		if err := e.net.g.ValidateLocation(loc); err != nil {
+			return nil, err
+		}
+		qPts[i] = e.net.g.Point(loc)
+	}
+	var opts *rtree.SkylineOptions
+	if useAttrs {
+		if e.env.NumAttrs() == 0 {
+			return nil, fmt.Errorf("roadskyline: useAttrs set but objects carry no attributes")
+		}
+		opts = &rtree.SkylineOptions{
+			ExtraDims: e.env.NumAttrs(),
+			LeafExtra: func(id int32) []float64 { return e.env.Objects[id].Attrs },
+		}
+	}
+	it := e.env.ObjTree.NewSkylineIterator(qPts, opts)
+	var out []SkylinePoint
+	for {
+		entry, vec, ok := it.Next()
+		if !ok {
+			return out, nil
+		}
+		out = append(out, SkylinePoint{
+			Object:    e.objs[entry.ID],
+			Distances: vec[:len(points):len(points)],
+			Vector:    vec,
+		})
+	}
+}

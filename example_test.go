@@ -1,0 +1,107 @@
+package roadskyline_test
+
+import (
+	"fmt"
+	"log"
+
+	"roadskyline"
+)
+
+// buildDemo returns the package's demo network: a 3x2 street grid whose
+// bottom-right street detours.
+func buildDemo() *roadskyline.Network {
+	nb := roadskyline.NewNetworkBuilder(6, 7)
+	for _, p := range []roadskyline.Point{
+		{X: 0, Y: 1}, {X: 1, Y: 1}, {X: 2, Y: 1},
+		{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 0},
+	} {
+		nb.AddNode(p)
+	}
+	type e struct {
+		u, v int32
+		l    float64
+	}
+	for _, ed := range []e{
+		{0, 1, 1}, {1, 2, 1}, {0, 3, 1}, {1, 4, 1}, {2, 5, 1}, {3, 4, 1}, {4, 5, 2},
+	} {
+		nb.AddEdge(ed.u, ed.v, ed.l)
+	}
+	n, err := nb.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return n
+}
+
+// The basic flow: network, objects, engine, multi-source skyline query.
+func ExampleEngine_Skyline() {
+	network := buildDemo()
+	objects := []roadskyline.Object{
+		{Loc: roadskyline.Location{Edge: 0, Offset: 0.2}},
+		{Loc: roadskyline.Location{Edge: 1, Offset: 0.8}},
+		{Loc: roadskyline.Location{Edge: 6, Offset: 1.0}},
+	}
+	engine, err := roadskyline.NewEngine(network, objects, roadskyline.EngineConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	result, err := engine.Skyline(roadskyline.Query{
+		Points: []roadskyline.Location{
+			{Edge: 0, Offset: 0}, // node 0
+			{Edge: 1, Offset: 1}, // node 2
+		},
+		Algorithm: roadskyline.LBCAlg,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range result.Points {
+		fmt.Printf("object %d: %.1f / %.1f\n", p.Object.ID, p.Distances[0], p.Distances[1])
+	}
+	// Output:
+	// object 0: 0.2 / 1.8
+	// object 1: 1.8 / 0.2
+}
+
+// Aggregate nearest neighbors reuse the same plb machinery as LBC.
+func ExampleEngine_AggregateNN() {
+	network := buildDemo()
+	objects := []roadskyline.Object{
+		{Loc: roadskyline.Location{Edge: 0, Offset: 0.2}},
+		{Loc: roadskyline.Location{Edge: 3, Offset: 0.5}},
+	}
+	engine, err := roadskyline.NewEngine(network, objects, roadskyline.EngineConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := engine.AggregateNN([]roadskyline.Location{
+		{Edge: 0, Offset: 0},
+		{Edge: 1, Offset: 1},
+	}, 1, roadskyline.MaxDistance)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nb := res.Neighbors[0]
+	fmt.Printf("fairest object %d with worst leg %.1f\n", nb.Object.ID, nb.Value)
+	// Output:
+	// fairest object 1 with worst leg 1.5
+}
+
+// Shortest paths come from the same disk-backed A* engine.
+func ExampleEngine_ShortestPath() {
+	network := buildDemo()
+	engine, err := roadskyline.NewEngine(network, nil, roadskyline.EngineConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	path, err := engine.ShortestPath(
+		roadskyline.Location{Edge: 0, Offset: 0.5},
+		roadskyline.Location{Edge: 4, Offset: 0.5},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("distance %.1f via junctions %v\n", path.Distance, path.Nodes)
+	// Output:
+	// distance 2.0 via junctions [1 2]
+}

@@ -1,0 +1,104 @@
+// Carpool: aggregate nearest neighbor queries and route extraction.
+//
+// Four friends want to meet for dinner. Two fair questions, two different
+// aggregates over network distances:
+//
+//   - which restaurants minimize the TOTAL driving (SumDistance)?
+//   - which minimize the WORST single drive (MaxDistance)?
+//
+// Both are aggregate nearest neighbor queries (the paper's reference
+// [26]), answered here with the same path-distance-lower-bound machinery
+// that powers LBC — the paper's closing remark in action. The example then
+// extracts the actual turn-by-turn route for the unluckiest friend with
+// Engine.ShortestPath.
+//
+//	go run ./examples/carpool
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"roadskyline"
+)
+
+func main() {
+	town, err := roadskyline.Generate(roadskyline.NetworkSpec{
+		Name: "town", Nodes: 3000, Edges: 3900,
+		NumObstacles: 2, ObstacleSize: 0.12,
+		Jitter: 0.3, MaxStretch: 0.2, Diagonals: true, Seed: 99,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	restaurants := town.GenerateObjects(float64(120)/float64(town.NumEdges()), 0, 3)
+	engine, err := roadskyline.NewEngine(town, restaurants, roadskyline.EngineConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The four friends' homes, snapped to the road network.
+	homes := make([]roadskyline.Location, 0, 4)
+	for _, p := range []roadskyline.Point{
+		{X: 0.15, Y: 0.20}, {X: 0.80, Y: 0.25}, {X: 0.30, Y: 0.85}, {X: 0.70, Y: 0.70},
+	} {
+		loc, err := town.NearestLocation(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		homes = append(homes, loc)
+	}
+	names := []string{"Ana", "Ben", "Cho", "Dev"}
+
+	for _, agg := range []struct {
+		kind  roadskyline.Aggregate
+		label string
+	}{
+		{roadskyline.SumDistance, "least total driving"},
+		{roadskyline.MaxDistance, "fairest (smallest worst drive)"},
+	} {
+		res, err := engine.AggregateNN(homes, 3, agg.kind)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("top 3 restaurants by %s:\n", agg.label)
+		for rank, nb := range res.Neighbors {
+			pt := town.PointOf(nb.Object.Loc)
+			fmt.Printf("  %d. restaurant %3d at (%.3f, %.3f), aggregate %.3f, legs:",
+				rank+1, nb.Object.ID, pt.X, pt.Y, nb.Value)
+			for i, d := range nb.Distances {
+				fmt.Printf(" %s %.3f", names[i], d)
+			}
+			fmt.Println()
+		}
+		fmt.Printf("  (%d candidates confirmed, %d network pages)\n\n",
+			res.Stats.Candidates, res.Stats.NetworkPages)
+	}
+
+	// Route for the longest leg of the fairest choice.
+	fair, err := engine.AggregateNN(homes, 1, roadskyline.MaxDistance)
+	if err != nil {
+		log.Fatal(err)
+	}
+	winner := fair.Neighbors[0]
+	worstFriend, worst := 0, 0.0
+	for i, d := range winner.Distances {
+		if d > worst {
+			worstFriend, worst = i, d
+		}
+	}
+	route, err := engine.ShortestPath(homes[worstFriend], winner.Object.Loc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s has the longest drive (%.3f) to restaurant %d; route via %d junctions:\n",
+		names[worstFriend], route.Distance, winner.Object.ID, len(route.Nodes))
+	for i, nid := range route.Nodes {
+		if i == 10 {
+			fmt.Printf("  ... %d more junctions\n", len(route.Nodes)-10)
+			break
+		}
+		p := town.NodePoint(nid)
+		fmt.Printf("  junction %5d at (%.3f, %.3f)\n", nid, p.X, p.Y)
+	}
+}

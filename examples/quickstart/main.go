@@ -1,0 +1,81 @@
+// Quickstart: build a small road network by hand, place a few objects on
+// it, and answer a two-source skyline query.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"roadskyline"
+)
+
+func main() {
+	// A 3x2 street grid (distances in km):
+	//
+	//	(0)───1.0───(1)───1.0───(2)
+	//	 │           │           │
+	//	1.0         1.0         1.0
+	//	 │           │           │
+	//	(3)───1.0───(4)───2.0───(5)   <- the 4-5 street detours
+	nb := roadskyline.NewNetworkBuilder(6, 7)
+	for _, p := range []roadskyline.Point{
+		{X: 0, Y: 1}, {X: 1, Y: 1}, {X: 2, Y: 1},
+		{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 0},
+	} {
+		nb.AddNode(p)
+	}
+	type e struct {
+		u, v int32
+		l    float64
+	}
+	for _, ed := range []e{
+		{0, 1, 1}, {1, 2, 1}, {0, 3, 1}, {1, 4, 1}, {2, 5, 1}, {3, 4, 1}, {4, 5, 2},
+	} {
+		nb.AddEdge(ed.u, ed.v, ed.l)
+	}
+	network, err := nb.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Three cafes, anchored to the nearest street.
+	cafes := []roadskyline.Point{
+		{X: 0.2, Y: 1.0}, // near the top-left corner
+		{X: 1.8, Y: 1.0}, // near the top-right corner
+		{X: 1.5, Y: 0.0}, // on the slow bottom street
+	}
+	objects := make([]roadskyline.Object, len(cafes))
+	for i, p := range cafes {
+		loc, err := network.NearestLocation(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		objects[i] = roadskyline.Object{Loc: loc}
+	}
+
+	engine, err := roadskyline.NewEngine(network, objects, roadskyline.EngineConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Alice is at the top-left corner, Bob at the top-right. Which cafes
+	// are not beaten on both travel distances at once?
+	alice, _ := network.NearestLocation(roadskyline.Point{X: 0, Y: 1})
+	bob, _ := network.NearestLocation(roadskyline.Point{X: 2, Y: 1})
+
+	result, err := engine.SkylineLBC(alice, bob)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("skyline cafes for Alice and Bob (%d of %d):\n", len(result.Points), len(objects))
+	for _, p := range result.Points {
+		pt := network.PointOf(p.Object.Loc)
+		fmt.Printf("  cafe %d at (%.1f, %.1f): %.1f km from Alice, %.1f km from Bob\n",
+			p.Object.ID, pt.X, pt.Y, p.Distances[0], p.Distances[1])
+	}
+	fmt.Printf("stats: %d candidates, %d network pages, first result after %v\n",
+		result.Stats.Candidates, result.Stats.NetworkPages, result.Stats.Initial.Round(1000))
+}

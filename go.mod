@@ -1,0 +1,3 @@
+module roadskyline
+
+go 1.22

@@ -1,0 +1,77 @@
+package bptree
+
+import (
+	"math/rand"
+	"testing"
+
+	"roadskyline/internal/storage"
+)
+
+func benchTree(b *testing.B, n int) *Tree {
+	b.Helper()
+	keys := make([]int64, n)
+	vals := make([][]byte, n)
+	for i := range keys {
+		keys[i] = int64(i)
+		vals[i] = val(uint64(i))
+	}
+	tr, err := Build(storage.NewMemFile(), storage.DefaultBufferBytes, testValSize, keys, vals)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := benchTree(b, 1_000_000)
+	rng := rand.New(rand.NewSource(1))
+	dst := make([]byte, testValSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Get(int64(rng.Intn(1_000_000)), dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	tr, err := New(storage.NewMemFile(), storage.DefaultBufferBytes, testValSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Insert(rng.Int63(), val(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScan(b *testing.B) {
+	tr := benchTree(b, 100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		tr.Scan(0, 100_000, func(int64, []byte) bool { count++; return true })
+		if count != 100_000 {
+			b.Fatal("short scan")
+		}
+	}
+}
+
+func BenchmarkBulkBuild(b *testing.B) {
+	const n = 200_000
+	keys := make([]int64, n)
+	vals := make([][]byte, n)
+	for i := range keys {
+		keys[i] = int64(i)
+		vals[i] = val(uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(storage.NewMemFile(), storage.DefaultBufferBytes, testValSize, keys, vals); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,346 @@
+package bptree
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"roadskyline/internal/storage"
+)
+
+const testValSize = 12
+
+func val(n uint64) []byte {
+	v := make([]byte, testValSize)
+	binary.LittleEndian.PutUint64(v, n)
+	return v
+}
+
+func valOf(b []byte) uint64 { return binary.LittleEndian.Uint64(b) }
+
+func newTestTree(t *testing.T) *Tree {
+	t.Helper()
+	tr, err := New(storage.NewMemFile(), storage.DefaultBufferBytes, testValSize)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return tr
+}
+
+func TestNewRejectsBadValSize(t *testing.T) {
+	if _, err := New(storage.NewMemFile(), 1024, 0); err == nil {
+		t.Error("valSize 0 accepted")
+	}
+	if _, err := New(storage.NewMemFile(), 1024, 10000); err == nil {
+		t.Error("huge valSize accepted")
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := newTestTree(t)
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Fatalf("empty tree: len=%d height=%d", tr.Len(), tr.Height())
+	}
+	dst := make([]byte, testValSize)
+	if err := tr.Get(7, dst); err != ErrNotFound {
+		t.Errorf("Get on empty = %v, want ErrNotFound", err)
+	}
+	called := false
+	if err := tr.Scan(0, 100, func(int64, []byte) bool { called = true; return true }); err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if called {
+		t.Error("Scan on empty tree visited something")
+	}
+}
+
+func TestInsertGetSmall(t *testing.T) {
+	tr := newTestTree(t)
+	keys := []int64{5, 1, 9, 3, 7}
+	for _, k := range keys {
+		if err := tr.Insert(k, val(uint64(k*10))); err != nil {
+			t.Fatalf("Insert(%d): %v", k, err)
+		}
+	}
+	if tr.Len() != 5 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	dst := make([]byte, testValSize)
+	for _, k := range keys {
+		if err := tr.Get(k, dst); err != nil {
+			t.Fatalf("Get(%d): %v", k, err)
+		}
+		if valOf(dst) != uint64(k*10) {
+			t.Errorf("Get(%d) = %d, want %d", k, valOf(dst), k*10)
+		}
+	}
+	if err := tr.Get(4, dst); err != ErrNotFound {
+		t.Errorf("Get(4) = %v, want ErrNotFound", err)
+	}
+}
+
+func TestInsertOverwrite(t *testing.T) {
+	tr := newTestTree(t)
+	tr.Insert(1, val(10))
+	tr.Insert(1, val(20))
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d after overwrite", tr.Len())
+	}
+	dst := make([]byte, testValSize)
+	tr.Get(1, dst)
+	if valOf(dst) != 20 {
+		t.Errorf("overwrite lost: got %d", valOf(dst))
+	}
+}
+
+func TestInsertWrongValSize(t *testing.T) {
+	tr := newTestTree(t)
+	if err := tr.Insert(1, []byte{1, 2}); err == nil {
+		t.Error("short value accepted")
+	}
+}
+
+// Enough inserts to force leaf and internal splits (multi-level tree),
+// verified against a map model.
+func TestInsertSplits(t *testing.T) {
+	tr := newTestTree(t)
+	rng := rand.New(rand.NewSource(11))
+	model := map[int64]uint64{}
+	for i := 0; i < 20000; i++ {
+		k := int64(rng.Intn(30000))
+		v := rng.Uint64()
+		model[k] = v
+		if err := tr.Insert(k, val(v)); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	if tr.Height() < 2 {
+		t.Fatalf("expected multi-level tree, height = %d", tr.Height())
+	}
+	if tr.Len() != len(model) {
+		t.Fatalf("Len = %d, model = %d", tr.Len(), len(model))
+	}
+	dst := make([]byte, testValSize)
+	for k, v := range model {
+		if err := tr.Get(k, dst); err != nil {
+			t.Fatalf("Get(%d): %v", k, err)
+		}
+		if valOf(dst) != v {
+			t.Fatalf("Get(%d) = %d, want %d", k, valOf(dst), v)
+		}
+	}
+}
+
+func TestScanOrderAndRange(t *testing.T) {
+	tr := newTestTree(t)
+	rng := rand.New(rand.NewSource(5))
+	model := map[int64]uint64{}
+	for i := 0; i < 5000; i++ {
+		k := int64(rng.Intn(10000))
+		model[k] = uint64(k)
+		tr.Insert(k, val(uint64(k)))
+	}
+	var want []int64
+	for k := range model {
+		if k >= 2000 && k <= 7000 {
+			want = append(want, k)
+		}
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	var got []int64
+	err := tr.Scan(2000, 7000, func(k int64, v []byte) bool {
+		got = append(got, k)
+		if valOf(v) != uint64(k) {
+			t.Fatalf("scan value mismatch at %d", k)
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("scan returned %d keys, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("scan order mismatch at %d: %d != %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	tr := newTestTree(t)
+	for k := int64(0); k < 100; k++ {
+		tr.Insert(k, val(uint64(k)))
+	}
+	count := 0
+	tr.Scan(0, 99, func(int64, []byte) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Fatalf("early stop visited %d, want 10", count)
+	}
+}
+
+func TestBuildBulk(t *testing.T) {
+	const n = 50000
+	keys := make([]int64, n)
+	vals := make([][]byte, n)
+	for i := range keys {
+		keys[i] = int64(i * 3) // gaps between keys
+		vals[i] = val(uint64(i))
+	}
+	tr, err := Build(storage.NewMemFile(), storage.DefaultBufferBytes, testValSize, keys, vals)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	if tr.Height() < 2 {
+		t.Fatalf("bulk tree too shallow: height = %d", tr.Height())
+	}
+	dst := make([]byte, testValSize)
+	for i := 0; i < n; i += 97 {
+		if err := tr.Get(keys[i], dst); err != nil {
+			t.Fatalf("Get(%d): %v", keys[i], err)
+		}
+		if valOf(dst) != uint64(i) {
+			t.Fatalf("Get(%d) = %d, want %d", keys[i], valOf(dst), i)
+		}
+	}
+	// Keys in the gaps are absent.
+	if err := tr.Get(1, dst); err != ErrNotFound {
+		t.Errorf("Get(gap) = %v, want ErrNotFound", err)
+	}
+	if err := tr.Get(int64(n*3), dst); err != ErrNotFound {
+		t.Errorf("Get(beyond) = %v, want ErrNotFound", err)
+	}
+	// Full scan must enumerate all keys in order.
+	i := 0
+	tr.Scan(0, int64(n*3), func(k int64, v []byte) bool {
+		if k != keys[i] || valOf(v) != uint64(i) {
+			t.Fatalf("scan mismatch at %d: key %d", i, k)
+		}
+		i++
+		return true
+	})
+	if i != n {
+		t.Fatalf("full scan visited %d, want %d", i, n)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(storage.NewMemFile(), 1024, testValSize, []int64{1, 2}, [][]byte{val(1)}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := Build(storage.NewMemFile(), 1024, testValSize, []int64{2, 1}, [][]byte{val(1), val(2)}); err == nil {
+		t.Error("unsorted keys accepted")
+	}
+	if _, err := Build(storage.NewMemFile(), 1024, testValSize, []int64{1, 1}, [][]byte{val(1), val(2)}); err == nil {
+		t.Error("duplicate keys accepted")
+	}
+	// Empty build is valid.
+	tr, err := Build(storage.NewMemFile(), 1024, testValSize, nil, nil)
+	if err != nil {
+		t.Fatalf("empty Build: %v", err)
+	}
+	if tr.Len() != 0 {
+		t.Error("empty Build non-empty")
+	}
+}
+
+// Inserting into a bulk-built tree must keep it consistent.
+func TestBuildThenInsert(t *testing.T) {
+	keys := make([]int64, 1000)
+	vals := make([][]byte, 1000)
+	for i := range keys {
+		keys[i] = int64(i * 2)
+		vals[i] = val(uint64(i))
+	}
+	tr, err := Build(storage.NewMemFile(), storage.DefaultBufferBytes, testValSize, keys, vals)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	for i := 0; i < 1000; i++ {
+		if err := tr.Insert(int64(i*2+1), val(uint64(i+100000))); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	if tr.Len() != 2000 {
+		t.Fatalf("Len = %d, want 2000", tr.Len())
+	}
+	dst := make([]byte, testValSize)
+	for i := 0; i < 2000; i++ {
+		if err := tr.Get(int64(i), dst); err != nil {
+			t.Fatalf("Get(%d): %v", i, err)
+		}
+	}
+}
+
+func TestGetCountsBufferIO(t *testing.T) {
+	keys := make([]int64, 100000)
+	vals := make([][]byte, 100000)
+	for i := range keys {
+		keys[i] = int64(i)
+		vals[i] = val(uint64(i))
+	}
+	// Tiny buffer: two frames force real faults.
+	tr, err := Build(storage.NewMemFile(), 2*storage.PageSize, testValSize, keys, vals)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	tr.Pool().ResetStats()
+	dst := make([]byte, testValSize)
+	tr.Get(0, dst)
+	tr.Get(99999, dst)
+	st := tr.Pool().Stats()
+	if st.Misses == 0 {
+		t.Error("expected buffer misses with a tiny pool")
+	}
+	if st.Gets < int64(2*tr.Height()) {
+		t.Errorf("gets = %d, want >= %d (two root-to-leaf walks)", st.Gets, 2*tr.Height())
+	}
+}
+
+// Property: for any set of keys, bulk Build followed by Get finds exactly
+// the inserted keys (and Scan enumerates them in order).
+func TestBuildGetProperty(t *testing.T) {
+	f := func(rawKeys []int64) bool {
+		seen := map[int64]bool{}
+		var keys []int64
+		for _, k := range rawKeys {
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		vals := make([][]byte, len(keys))
+		for i := range vals {
+			vals[i] = val(uint64(i))
+		}
+		tr, err := Build(storage.NewMemFile(), storage.DefaultBufferBytes, testValSize, keys, vals)
+		if err != nil {
+			return false
+		}
+		dst := make([]byte, testValSize)
+		for i, k := range keys {
+			if err := tr.Get(k, dst); err != nil || valOf(dst) != uint64(i) {
+				return false
+			}
+		}
+		// A key absent from the set must not be found.
+		probe := int64(1)
+		for seen[probe] {
+			probe++
+		}
+		return tr.Get(probe, dst) == ErrNotFound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

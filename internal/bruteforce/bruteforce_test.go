@@ -1,0 +1,136 @@
+package bruteforce
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"roadskyline/internal/graph"
+	"roadskyline/internal/skyline"
+	"roadskyline/internal/testnet"
+)
+
+// floydNodeDistances is an independent all-pairs reference (O(V^3)).
+func floydNodeDistances(g *graph.Graph) [][]float64 {
+	n := g.NumNodes()
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			if i != j {
+				d[i][j] = math.Inf(1)
+			}
+		}
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.Edge(graph.EdgeID(i))
+		if e.Length < d[e.U][e.V] {
+			d[e.U][e.V] = e.Length
+			d[e.V][e.U] = e.Length
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if math.IsInf(d[i][k], 1) {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if nd := d[i][k] + d[k][j]; nd < d[i][j] {
+					d[i][j] = nd
+				}
+			}
+		}
+	}
+	return d
+}
+
+// The oracle's Dijkstra must agree with Floyd-Warshall on node distances
+// derived from edge-located sources.
+func TestNodeDistancesMatchFloyd(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 25; trial++ {
+		g := testnet.RandomGraph(rng, 8+rng.Intn(30))
+		apsp := floydNodeDistances(g)
+		src := testnet.RandomLocations(rng, g, 1)[0]
+		got := NodeDistances(g, src)
+		e := g.Edge(src.Edge)
+		for v := 0; v < g.NumNodes(); v++ {
+			// Distance from a point on edge (U,V) to node v.
+			want := math.Min(src.Offset+apsp[e.U][v], e.Length-src.Offset+apsp[e.V][v])
+			if math.IsInf(want, 1) != math.IsInf(got[v], 1) ||
+				(!math.IsInf(want, 1) && math.Abs(got[v]-want) > 1e-9) {
+				t.Fatalf("trial %d node %d: got %v, floyd %v", trial, v, got[v], want)
+			}
+		}
+	}
+}
+
+func TestObjectDistancesSameEdge(t *testing.T) {
+	b := graph.NewBuilder(2, 1)
+	b.AddNode(pt(0, 0))
+	b.AddNode(pt(1, 0))
+	b.AddEdge(0, 1, 1)
+	g := b.MustBuild()
+	objs := []graph.Object{{ID: 0, Loc: graph.Location{Edge: 0, Offset: 0.8}}}
+	got := ObjectDistances(g, objs, graph.Location{Edge: 0, Offset: 0.3})
+	if math.Abs(got[0]-0.5) > 1e-12 {
+		t.Fatalf("same-edge distance = %v, want 0.5", got[0])
+	}
+}
+
+func pt(x, y float64) (p struct{ X, Y float64 }) {
+	p.X, p.Y = x, y
+	return p
+}
+
+func TestDistanceMatrixShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := testnet.RandomGraph(rng, 30)
+	objs := testnet.RandomObjects(rng, g, 7, 0)
+	qs := testnet.RandomLocations(rng, g, 3)
+	m := DistanceMatrix(g, objs, qs)
+	if len(m) != 7 {
+		t.Fatalf("rows = %d", len(m))
+	}
+	for i, row := range m {
+		if len(row) != 3 {
+			t.Fatalf("row %d cols = %d", i, len(row))
+		}
+		for j, v := range row {
+			if v < 0 {
+				t.Fatalf("negative distance m[%d][%d] = %v", i, j, v)
+			}
+		}
+	}
+}
+
+// NetworkSkyline must satisfy the skyline definition on its own output.
+func TestNetworkSkylineDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		g := testnet.RandomGraph(rng, 40)
+		objs := testnet.RandomObjects(rng, g, 20, 1)
+		qs := testnet.RandomLocations(rng, g, 2)
+		idx, matrix := NetworkSkyline(g, objs, qs, true)
+		vecs := make([][]float64, len(objs))
+		for i := range vecs {
+			vecs[i] = append(append([]float64(nil), matrix[i]...), objs[i].Attrs...)
+		}
+		inSky := map[int]bool{}
+		for _, i := range idx {
+			inSky[i] = true
+		}
+		for i, v := range vecs {
+			dominated := false
+			for j, w := range vecs {
+				if i != j && skyline.Dominates(w, v) {
+					dominated = true
+					break
+				}
+			}
+			if inSky[i] == dominated {
+				t.Fatalf("trial %d object %d: inSkyline=%v dominated=%v", trial, i, inSky[i], dominated)
+			}
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"roadskyline/internal/bruteforce"
+	"roadskyline/internal/graph"
+	"roadskyline/internal/testnet"
+)
+
+// oracleAggNN computes the exact k best aggregate values from the full
+// distance matrix.
+func oracleAggNN(env *Env, pts []graph.Location, k int, agg Agg) []float64 {
+	matrix := bruteforce.DistanceMatrix(env.G, env.Objects, pts)
+	aggs := make([]float64, 0, len(matrix))
+	for _, row := range matrix {
+		if v := agg.fold(row); !math.IsInf(v, 1) {
+			aggs = append(aggs, v)
+		}
+	}
+	sort.Float64s(aggs)
+	if len(aggs) > k {
+		aggs = aggs[:k]
+	}
+	return aggs
+}
+
+func TestAggregateNNMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 40; trial++ {
+		g := testnet.RandomGraph(rng, 15+rng.Intn(80))
+		objs := testnet.RandomObjects(rng, g, 1+rng.Intn(50), 0)
+		env := newTestEnv(t, g, objs)
+		pts := testnet.RandomLocations(rng, g, 1+rng.Intn(4))
+		k := 1 + rng.Intn(5)
+		for _, agg := range []Agg{AggSum, AggMax} {
+			want := oracleAggNN(env, pts, k, agg)
+			res, err := AggregateNN(env, pts, k, agg, Options{ColdCache: true})
+			if err != nil {
+				t.Fatalf("trial %d %v: %v", trial, agg, err)
+			}
+			if len(res.Neighbors) != len(want) {
+				t.Fatalf("trial %d %v: got %d neighbors, want %d",
+					trial, agg, len(res.Neighbors), len(want))
+			}
+			prev := -1.0
+			for i, nb := range res.Neighbors {
+				if math.Abs(nb.Agg-want[i]) > 1e-9 {
+					t.Fatalf("trial %d %v: rank %d agg %v, oracle %v",
+						trial, agg, i, nb.Agg, want[i])
+				}
+				if nb.Agg < prev-1e-12 {
+					t.Fatalf("trial %d %v: results not ascending", trial, agg)
+				}
+				prev = nb.Agg
+				if math.Abs(agg.fold(nb.Dists)-nb.Agg) > 1e-12 {
+					t.Fatalf("trial %d %v: Agg inconsistent with Dists", trial, agg)
+				}
+			}
+		}
+	}
+}
+
+func TestAggregateNNValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	g := testnet.RandomGraph(rng, 20)
+	env := newTestEnv(t, g, testnet.RandomObjects(rng, g, 10, 0))
+	pts := testnet.RandomLocations(rng, g, 2)
+	if _, err := AggregateNN(env, nil, 1, AggSum, Options{}); err == nil {
+		t.Error("no query points accepted")
+	}
+	if _, err := AggregateNN(env, pts, 0, AggSum, Options{}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	bad := []graph.Location{{Edge: 9999}}
+	if _, err := AggregateNN(env, bad, 1, AggSum, Options{}); err == nil {
+		t.Error("invalid location accepted")
+	}
+}
+
+func TestAggregateNNKLargerThanD(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	g := testnet.RandomGraph(rng, 30)
+	objs := testnet.RandomObjects(rng, g, 5, 0)
+	env := newTestEnv(t, g, objs)
+	pts := testnet.RandomLocations(rng, g, 2)
+	res, err := AggregateNN(env, pts, 50, AggSum, Options{ColdCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Neighbors) != len(objs) {
+		t.Fatalf("got %d neighbors, want all %d objects", len(res.Neighbors), len(objs))
+	}
+}
+
+func TestAggregateNNEmptyObjects(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	g := testnet.RandomGraph(rng, 20)
+	env := newTestEnv(t, g, nil)
+	pts := testnet.RandomLocations(rng, g, 2)
+	res, err := AggregateNN(env, pts, 3, AggMax, Options{ColdCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Neighbors) != 0 {
+		t.Fatalf("neighbors on empty dataset: %d", len(res.Neighbors))
+	}
+}
+
+func TestAggStrings(t *testing.T) {
+	if AggSum.String() != "sum" || AggMax.String() != "max" {
+		t.Error("Agg names wrong")
+	}
+}

@@ -1,0 +1,298 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"roadskyline/internal/graph"
+	"roadskyline/internal/skyline"
+	"roadskyline/internal/sp"
+)
+
+// ce implements the Collaborative Expansion algorithm (paper Section 4.1).
+//
+// One Dijkstra wavefront per query point expands in round-robin order,
+// reporting objects in ascending network distance. The filtering phase
+// lasts until the first object has been visited by every query point; every
+// object encountered before that is a candidate. The refinement phase keeps
+// expanding to complete the candidates' distance vectors, discarding
+// objects that are not candidates and pruning candidates whose lower-bound
+// vector (known distances, plus the per-query last-visited distance for
+// unknown ones) is dominated by a reported skyline point.
+func ce(env *Env, q Query) (*Result, error) {
+	start := time.Now()
+	n := len(q.Points)
+	dims := env.vectorDims(n, q.UseAttrs)
+
+	searchers := make([]*sp.Dijkstra, n)
+	for i, p := range q.Points {
+		s, err := sp.NewDijkstra(env, p)
+		if err != nil {
+			return nil, err
+		}
+		searchers[i] = s
+	}
+	exhausted := make([]bool, n)
+	numExhausted := 0
+	lastDist := make([]float64, n) // distance of the last NN each query visited
+
+	type cand struct {
+		vec     []float64 // NaN in spatial dims until visited
+		visited int
+	}
+	cands := make(map[graph.ObjectID]*cand)
+	resolved := make(map[graph.ObjectID]bool) // reported or pruned
+	// needCount[i] tracks how many candidates still lack dimension i; once
+	// admission has stopped, a searcher nobody needs pauses instead of
+	// expanding uselessly.
+	needCount := make([]int, n)
+	dropCand := func(id graph.ObjectID, c *cand) {
+		for i := 0; i < n; i++ {
+			if math.IsNaN(c.vec[i]) {
+				needCount[i]--
+			}
+		}
+		delete(cands, id)
+		resolved[id] = true
+	}
+
+	res := &Result{}
+	var m Metrics
+	var skyVecs [][]float64
+
+	// minAttrs is the component-wise minimum attribute vector over D: the
+	// best attributes any not-yet-encountered object could have.
+	minAttrs := make([]float64, dims-n)
+	if q.UseAttrs {
+		for i := range minAttrs {
+			minAttrs[i] = math.Inf(1)
+		}
+		for _, o := range env.Objects {
+			for i, a := range o.Attrs {
+				minAttrs[i] = math.Min(minAttrs[i], a)
+			}
+		}
+	}
+
+	// stopAdmitting reports that every object not yet encountered is
+	// provably dominated: its network distances are at least each query's
+	// last visited distance and its attributes at least the global minima.
+	// Without attributes this flips exactly when the paper's filtering
+	// phase ends (the first fully visited object dominates the unseen
+	// region); with attributes a far-but-cheap object can still join, so
+	// admission continues until a skyline point also dominates the best
+	// possible attribute vector.
+	newLB := make([]float64, dims)
+	stopAdmitting := func() bool {
+		if len(skyVecs) == 0 {
+			return false
+		}
+		copy(newLB, lastDist)
+		copy(newLB[n:], minAttrs)
+		return skyline.DominatedBy(newLB, skyVecs)
+	}
+
+	lbVec := make([]float64, dims)
+	lowerBound := func(c *cand) []float64 {
+		for i := 0; i < n; i++ {
+			switch {
+			case !math.IsNaN(c.vec[i]):
+				lbVec[i] = c.vec[i]
+			case exhausted[i]:
+				lbVec[i] = math.Inf(1)
+			default:
+				lbVec[i] = lastDist[i]
+			}
+		}
+		copy(lbVec[n:], c.vec[n:])
+		return lbVec
+	}
+
+	finish := func(id graph.ObjectID, c *cand) {
+		dropCand(id, c)
+		if skyline.DominatedBy(c.vec, skyVecs) {
+			return
+		}
+		skyVecs = append(skyVecs, c.vec)
+		res.Skyline = append(res.Skyline, SkylinePoint{
+			Object: env.Objects[id],
+			Dists:  c.vec[:n:n],
+			Vec:    c.vec,
+		})
+		if m.Initial == 0 {
+			m.Initial = time.Since(start)
+			m.InitialPages = env.NetworkIO().Misses
+		}
+		// Prune candidates the new skyline point already dominates.
+		for id2, c2 := range cands {
+			if skyline.Dominates(c.vec, lowerBound(c2)) {
+				dropCand(id2, c2)
+			}
+		}
+	}
+
+	// sweep prunes every candidate whose lower bound has become dominated
+	// as the per-query visited radii grow; without it the wavefronts would
+	// keep expanding toward candidates that are already provably dominated.
+	sweep := func() {
+		for id, c := range cands {
+			if skyline.DominatedBy(lowerBound(c), skyVecs) {
+				dropCand(id, c)
+			}
+		}
+	}
+
+	cursor := 0
+	hits, sweepAt := 0, 256
+	for {
+		if len(cands) == 0 && stopAdmitting() {
+			break
+		}
+		if numExhausted == n {
+			// Every remaining unknown dimension is an unreachable +Inf.
+			for id, c := range cands {
+				for i := 0; i < n; i++ {
+					if math.IsNaN(c.vec[i]) {
+						c.vec[i] = math.Inf(1)
+					}
+				}
+				finish(id, c)
+			}
+			break
+		}
+		// Pick the next searcher that is still useful: not exhausted, and
+		// either admission is open or some candidate lacks its dimension.
+		stopped := stopAdmitting()
+		i := -1
+		for probe := 0; probe < n; probe++ {
+			j := (cursor + probe) % n
+			if exhausted[j] {
+				continue
+			}
+			if !stopped || needCount[j] > 0 {
+				i = j
+				break
+			}
+		}
+		if i == -1 {
+			// Every live searcher is useless: all remaining unknown
+			// dimensions belong to exhausted searchers, handled above, or
+			// there are no candidates left and admission reopened is
+			// impossible. Sweep and re-check.
+			sweep()
+			if len(cands) == 0 {
+				break
+			}
+			// Remaining candidates wait on exhausted dimensions only.
+			for id, c := range cands {
+				for d := 0; d < n; d++ {
+					if math.IsNaN(c.vec[d]) {
+						c.vec[d] = math.Inf(1)
+						needCount[d]--
+						c.visited++
+					}
+				}
+				if c.visited == n {
+					finish(id, c)
+				}
+			}
+			break
+		}
+		cursor = (i + 1) % n
+
+		hit, ok, err := searchers[i].NextObject()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			exhausted[i] = true
+			numExhausted++
+			lastDist[i] = math.Inf(1)
+			// Exhaustion fixes dimension i of every candidate still missing
+			// it to +Inf, which may complete some candidates.
+			for id, c := range cands {
+				if math.IsNaN(c.vec[i]) {
+					c.vec[i] = math.Inf(1)
+					needCount[i]--
+					c.visited++
+					if c.visited == n {
+						finish(id, c)
+					}
+				}
+			}
+			continue
+		}
+		lastDist[i] = hit.Dist
+		m.DistanceComputations++
+		// Sweeps amortize their O(|C| * |S|) cost against the hits since
+		// the previous sweep.
+		if hits++; hits >= sweepAt {
+			sweep()
+			next := len(cands) / 2
+			if next < 256 {
+				next = 256
+			}
+			sweepAt = hits + next
+		}
+
+		c, known := cands[hit.ID]
+		switch {
+		case resolved[hit.ID]:
+			continue
+		case known:
+			// Existing candidate: record the new dimension.
+		case !stopAdmitting():
+			// New object becomes a candidate while the unseen region can
+			// still contain skyline points.
+			c = &cand{vec: make([]float64, dims)}
+			for d := 0; d < n; d++ {
+				c.vec[d] = math.NaN()
+				needCount[d]++
+			}
+			env.fillAttrs(c.vec, n, hit.ID, q.UseAttrs)
+			cands[hit.ID] = c
+			m.Candidates++
+		default:
+			// Refinement phase discards newly encountered objects.
+			continue
+		}
+		c.vec[i] = hit.Dist
+		needCount[i]--
+		c.visited++
+		if c.visited == n {
+			finish(hit.ID, c)
+			continue
+		}
+		if skyline.DominatedBy(lowerBound(c), skyVecs) {
+			dropCand(hit.ID, c)
+		}
+	}
+
+	dropDominatedDuplicates(res)
+	for _, s := range searchers {
+		m.NodesExpanded += s.NodesExpanded()
+	}
+	finishMetrics(env, &m, start)
+	res.Metrics = m
+	return res, nil
+}
+
+// dropDominatedDuplicates removes reported skyline points dominated by
+// later-reported ones. This only ever fires when exact distance ties let an
+// object finish before its dominator (see package documentation on ties).
+func dropDominatedDuplicates(res *Result) {
+	keep := res.Skyline[:0]
+	for i, p := range res.Skyline {
+		dominated := false
+		for j, o := range res.Skyline {
+			if i != j && skyline.Dominates(o.Vec, p.Vec) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			keep = append(keep, p)
+		}
+	}
+	res.Skyline = keep
+}

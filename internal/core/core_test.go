@@ -1,0 +1,716 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"roadskyline/internal/bruteforce"
+	"roadskyline/internal/graph"
+	"roadskyline/internal/testnet"
+)
+
+func newTestEnv(t *testing.T, g *graph.Graph, objs []graph.Object) *Env {
+	t.Helper()
+	env, err := NewEnv(g, objs, EnvConfig{})
+	if err != nil {
+		t.Fatalf("NewEnv: %v", err)
+	}
+	return env
+}
+
+func skylineIDs(res *Result) []int {
+	ids := make([]int, len(res.Skyline))
+	for i, p := range res.Skyline {
+		ids[i] = int(p.Object.ID)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+func sameIDs(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestAlgorithmsMatchOracle is the central cross-validation: on randomized
+// networks, CE, EDC and LBC must all return exactly the brute-force
+// multi-source network skyline, with exact distance vectors.
+func TestAlgorithmsMatchOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		g := testnet.RandomGraph(rng, 15+rng.Intn(80))
+		objs := testnet.RandomObjects(rng, g, 1+rng.Intn(50), 0)
+		env := newTestEnv(t, g, objs)
+		numQ := 1 + rng.Intn(5)
+		q := Query{Points: testnet.RandomLocations(rng, g, numQ)}
+
+		wantIdx, matrix := bruteforce.NetworkSkyline(g, objs, q.Points, false)
+		want := append([]int(nil), wantIdx...)
+
+		for _, alg := range []Algorithm{AlgCE, AlgEDC, AlgLBC} {
+			res, err := RunDefault(env, q, alg)
+			if err != nil {
+				t.Fatalf("trial %d %v: %v", trial, alg, err)
+			}
+			got := skylineIDs(res)
+			if !sameIDs(got, want) {
+				t.Fatalf("trial %d %v: skyline %v, oracle %v (|D|=%d |Q|=%d)",
+					trial, alg, got, want, len(objs), numQ)
+			}
+			for _, p := range res.Skyline {
+				for j := range q.Points {
+					w := matrix[p.Object.ID][j]
+					if math.Abs(p.Dists[j]-w) > 1e-9 {
+						t.Fatalf("trial %d %v: object %d dist[%d] = %v, oracle %v",
+							trial, alg, p.Object.ID, j, p.Dists[j], w)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Same cross-validation with non-spatial attributes enabled.
+func TestAlgorithmsMatchOracleWithAttrs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		g := testnet.RandomGraph(rng, 15+rng.Intn(60))
+		objs := testnet.RandomObjects(rng, g, 1+rng.Intn(40), 1+rng.Intn(2))
+		// Perturb attributes to avoid exact ties.
+		for i := range objs {
+			for a := range objs[i].Attrs {
+				objs[i].Attrs[a] += rng.Float64()
+			}
+		}
+		env := newTestEnv(t, g, objs)
+		numQ := 1 + rng.Intn(3)
+		q := Query{Points: testnet.RandomLocations(rng, g, numQ), UseAttrs: true}
+
+		wantIdx, _ := bruteforce.NetworkSkyline(g, objs, q.Points, true)
+		want := append([]int(nil), wantIdx...)
+
+		for _, alg := range []Algorithm{AlgCE, AlgEDC, AlgLBC} {
+			res, err := RunDefault(env, q, alg)
+			if err != nil {
+				t.Fatalf("trial %d %v: %v", trial, alg, err)
+			}
+			if got := skylineIDs(res); !sameIDs(got, want) {
+				t.Fatalf("trial %d %v (attrs): skyline %v, oracle %v", trial, alg, got, want)
+			}
+		}
+	}
+}
+
+// Metric relationships from the paper's analysis (Section 5), asserted in
+// aggregate over many random instances: C(LBC) <= C(EDC), and LBC's
+// network page accesses do not exceed CE's.
+func TestPaperCostRelationships(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var candLBC, candEDC, pagesLBC, pagesCE, nodesLBC, nodesCE int64
+	for trial := 0; trial < 25; trial++ {
+		g := testnet.RandomGraph(rng, 100+rng.Intn(200))
+		objs := testnet.RandomObjects(rng, g, 30+rng.Intn(70), 0)
+		env := newTestEnv(t, g, objs)
+		q := Query{Points: testnet.RandomLocations(rng, g, 2+rng.Intn(3))}
+
+		ce, err := RunDefault(env, q, AlgCE)
+		if err != nil {
+			t.Fatal(err)
+		}
+		edc, err := RunDefault(env, q, AlgEDC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lbc, err := RunDefault(env, q, AlgLBC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		candLBC += int64(lbc.Metrics.Candidates)
+		candEDC += int64(edc.Metrics.Candidates)
+		pagesLBC += lbc.Metrics.NetworkPages
+		pagesCE += ce.Metrics.NetworkPages
+		nodesLBC += int64(lbc.Metrics.NodesExpanded)
+		nodesCE += int64(ce.Metrics.NodesExpanded)
+	}
+	if candLBC > candEDC {
+		t.Errorf("aggregate candidates: LBC %d > EDC %d", candLBC, candEDC)
+	}
+	if pagesLBC > pagesCE {
+		t.Errorf("aggregate network pages: LBC %d > CE %d", pagesLBC, pagesCE)
+	}
+	if nodesLBC > nodesCE {
+		t.Errorf("aggregate nodes expanded: LBC %d > CE %d", nodesLBC, nodesCE)
+	}
+}
+
+func TestMetricsSanity(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := testnet.RandomGraph(rng, 150)
+	objs := testnet.RandomObjects(rng, g, 60, 0)
+	env := newTestEnv(t, g, objs)
+	q := Query{Points: testnet.RandomLocations(rng, g, 3)}
+	for _, alg := range []Algorithm{AlgCE, AlgEDC, AlgLBC} {
+		res, err := RunDefault(env, q, alg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := res.Metrics
+		if m.Candidates <= 0 || m.Candidates > len(objs) {
+			t.Errorf("%v: candidates = %d (|D|=%d)", alg, m.Candidates, len(objs))
+		}
+		if m.NetworkPages <= 0 || m.NetworkGets < m.NetworkPages {
+			t.Errorf("%v: pages=%d gets=%d", alg, m.NetworkPages, m.NetworkGets)
+		}
+		if m.Initial <= 0 || m.Total < m.Initial {
+			t.Errorf("%v: initial=%v total=%v", alg, m.Initial, m.Total)
+		}
+		if m.NodesExpanded <= 0 {
+			t.Errorf("%v: no nodes expanded", alg)
+		}
+		if len(res.Skyline) == 0 {
+			t.Errorf("%v: empty skyline on connected data", alg)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := testnet.RandomGraph(rng, 80)
+	objs := testnet.RandomObjects(rng, g, 40, 0)
+	env := newTestEnv(t, g, objs)
+	q := Query{Points: testnet.RandomLocations(rng, g, 3)}
+	for _, alg := range []Algorithm{AlgCE, AlgEDC, AlgLBC} {
+		a, err := RunDefault(env, q, alg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RunDefault(env, q, alg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameIDs(skylineIDs(a), skylineIDs(b)) {
+			t.Errorf("%v: non-deterministic skyline", alg)
+		}
+		if a.Metrics.NetworkPages != b.Metrics.NetworkPages {
+			t.Errorf("%v: cold-cache page counts differ: %d vs %d",
+				alg, a.Metrics.NetworkPages, b.Metrics.NetworkPages)
+		}
+	}
+}
+
+func TestLBCSourceChoiceIrrelevantToResult(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	g := testnet.RandomGraph(rng, 80)
+	objs := testnet.RandomObjects(rng, g, 40, 0)
+	env := newTestEnv(t, g, objs)
+	q := Query{Points: testnet.RandomLocations(rng, g, 4)}
+	base, err := Run(env, q, AlgLBC, Options{ColdCache: true, LBCSource: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 1; s < 4; s++ {
+		res, err := Run(env, q, AlgLBC, Options{ColdCache: true, LBCSource: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameIDs(skylineIDs(base), skylineIDs(res)) {
+			t.Errorf("source %d: skyline differs from source 0", s)
+		}
+	}
+}
+
+// The plb ablation must not change the answer, only the cost.
+func TestLBCDisablePLBSameResult(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	var withPLB, withoutPLB int64
+	for trial := 0; trial < 15; trial++ {
+		g := testnet.RandomGraph(rng, 150)
+		objs := testnet.RandomObjects(rng, g, 60, 0)
+		env := newTestEnv(t, g, objs)
+		q := Query{Points: testnet.RandomLocations(rng, g, 3)}
+		a, err := Run(env, q, AlgLBC, Options{ColdCache: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(env, q, AlgLBC, Options{ColdCache: true, LBCDisablePLB: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameIDs(skylineIDs(a), skylineIDs(b)) {
+			t.Fatalf("trial %d: plb ablation changed the skyline", trial)
+		}
+		withPLB += int64(a.Metrics.NodesExpanded)
+		withoutPLB += int64(b.Metrics.NodesExpanded)
+	}
+	if withPLB > withoutPLB {
+		t.Errorf("plb saved nothing: %d nodes with, %d without", withPLB, withoutPLB)
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	g := testnet.RandomGraph(rng, 20)
+	objs := testnet.RandomObjects(rng, g, 10, 0)
+	env := newTestEnv(t, g, objs)
+	if _, err := RunDefault(env, Query{}, AlgLBC); err == nil {
+		t.Error("empty query accepted")
+	}
+	bad := Query{Points: []graph.Location{{Edge: 9999, Offset: 0}}}
+	if _, err := RunDefault(env, bad, AlgCE); err == nil {
+		t.Error("invalid query point accepted")
+	}
+	noAttrs := Query{Points: testnet.RandomLocations(rng, g, 1), UseAttrs: true}
+	if _, err := RunDefault(env, noAttrs, AlgEDC); err == nil {
+		t.Error("UseAttrs accepted without attributes")
+	}
+	if _, err := Run(env, Query{Points: testnet.RandomLocations(rng, g, 1)}, Algorithm(99), Options{}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestEmptyObjectSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g := testnet.RandomGraph(rng, 30)
+	env := newTestEnv(t, g, nil)
+	q := Query{Points: testnet.RandomLocations(rng, g, 2)}
+	for _, alg := range []Algorithm{AlgCE, AlgEDC, AlgLBC} {
+		res, err := RunDefault(env, q, alg)
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if len(res.Skyline) != 0 {
+			t.Errorf("%v: skyline on empty object set", alg)
+		}
+	}
+}
+
+func TestSingleQueryPointIsNearestNeighbor(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 10; trial++ {
+		g := testnet.RandomGraph(rng, 60)
+		objs := testnet.RandomObjects(rng, g, 30, 0)
+		env := newTestEnv(t, g, objs)
+		q := Query{Points: testnet.RandomLocations(rng, g, 1)}
+		dists := bruteforce.ObjectDistances(g, objs, q.Points[0])
+		best, bd := -1, math.Inf(1)
+		for i, d := range dists {
+			if d < bd {
+				best, bd = i, d
+			}
+		}
+		for _, alg := range []Algorithm{AlgCE, AlgEDC, AlgLBC} {
+			res, err := RunDefault(env, q, alg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Skyline) != 1 || int(res.Skyline[0].Object.ID) != best {
+				t.Fatalf("%v: single-source skyline = %v, want nearest neighbor %d",
+					alg, skylineIDs(res), best)
+			}
+		}
+	}
+}
+
+func TestEnvValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	g := testnet.RandomGraph(rng, 10)
+	badLoc := []graph.Object{{ID: 0, Loc: graph.Location{Edge: 9999}}}
+	if _, err := NewEnv(g, badLoc, EnvConfig{}); err == nil {
+		t.Error("object with bad location accepted")
+	}
+	mixed := []graph.Object{
+		{ID: 0, Loc: graph.Location{Edge: 0, Offset: 0}, Attrs: []float64{1}},
+		{ID: 1, Loc: graph.Location{Edge: 0, Offset: 0}},
+	}
+	if _, err := NewEnv(g, mixed, EnvConfig{}); err == nil {
+		t.Error("mixed attribute arity accepted")
+	}
+}
+
+// LBC's initial response work (nodes expanded until first skyline point)
+// involves only the source query point; its first skyline point must be
+// the source's network NN.
+func TestLBCFirstResultIsSourceNN(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 10; trial++ {
+		g := testnet.RandomGraph(rng, 60)
+		objs := testnet.RandomObjects(rng, g, 30, 0)
+		env := newTestEnv(t, g, objs)
+		q := Query{Points: testnet.RandomLocations(rng, g, 3)}
+		res, err := RunDefault(env, q, AlgLBC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dists := bruteforce.ObjectDistances(g, objs, q.Points[0])
+		best, bd := -1, math.Inf(1)
+		for i, d := range dists {
+			if d < bd {
+				best, bd = i, d
+			}
+		}
+		if len(res.Skyline) == 0 || int(res.Skyline[0].Object.ID) != best {
+			t.Fatalf("trial %d: first LBC result %v, want source NN %d",
+				trial, skylineIDs(res), best)
+		}
+	}
+}
+
+// The multi-source alternation extension must return the same skyline as
+// the oracle and the single-source variant.
+func TestLBCAlternateMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 25; trial++ {
+		g := testnet.RandomGraph(rng, 15+rng.Intn(80))
+		objs := testnet.RandomObjects(rng, g, 1+rng.Intn(50), 0)
+		env := newTestEnv(t, g, objs)
+		numQ := 2 + rng.Intn(4)
+		q := Query{Points: testnet.RandomLocations(rng, g, numQ)}
+		wantIdx, _ := bruteforce.NetworkSkyline(g, objs, q.Points, false)
+		res, err := Run(env, q, AlgLBC, Options{ColdCache: true, LBCAlternate: true})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got := skylineIDs(res); !sameIDs(got, wantIdx) {
+			t.Fatalf("trial %d: alternate skyline %v, oracle %v", trial, got, wantIdx)
+		}
+	}
+}
+
+// Zeroing the A* heuristic (Dijkstra ablation) must not change results,
+// only costs.
+func TestDisableAStarHeuristicSameResult(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	var withH, withoutH int64
+	for trial := 0; trial < 10; trial++ {
+		g := testnet.RandomGraph(rng, 120)
+		objs := testnet.RandomObjects(rng, g, 50, 0)
+		env := newTestEnv(t, g, objs)
+		q := Query{Points: testnet.RandomLocations(rng, g, 3)}
+		for _, alg := range []Algorithm{AlgEDC, AlgLBC} {
+			a, err := Run(env, q, alg, Options{ColdCache: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Run(env, q, alg, Options{ColdCache: true, DisableAStarHeuristic: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameIDs(skylineIDs(a), skylineIDs(b)) {
+				t.Fatalf("trial %d %v: heuristic ablation changed the skyline", trial, alg)
+			}
+			withH += int64(a.Metrics.NodesExpanded)
+			withoutH += int64(b.Metrics.NodesExpanded)
+		}
+	}
+	if withH > withoutH {
+		t.Errorf("heuristic saved nothing: %d nodes with, %d without", withH, withoutH)
+	}
+}
+
+// LBC reports skyline points in ascending source network distance; with
+// alternation the first result must be some query point's network NN.
+func TestLBCProgressiveOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	g := testnet.RandomGraph(rng, 100)
+	objs := testnet.RandomObjects(rng, g, 50, 0)
+	env := newTestEnv(t, g, objs)
+	q := Query{Points: testnet.RandomLocations(rng, g, 3)}
+	res, err := Run(env, q, AlgLBC, Options{ColdCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for _, p := range res.Skyline {
+		if p.Dists[0] < prev-1e-9 {
+			t.Fatalf("results not in ascending source distance: %v after %v", p.Dists[0], prev)
+		}
+		prev = p.Dists[0]
+	}
+}
+
+// Warm-cache runs must not change results and should fault fewer pages.
+func TestWarmCache(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	g := testnet.RandomGraph(rng, 150)
+	objs := testnet.RandomObjects(rng, g, 60, 0)
+	env := newTestEnv(t, g, objs)
+	q := Query{Points: testnet.RandomLocations(rng, g, 3)}
+	cold, err := Run(env, q, AlgLBC, Options{ColdCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Run(env, q, AlgLBC, Options{ColdCache: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameIDs(skylineIDs(cold), skylineIDs(warm)) {
+		t.Fatal("cache temperature changed the skyline")
+	}
+	if warm.Metrics.NetworkPages > cold.Metrics.NetworkPages {
+		t.Errorf("warm run faulted more pages (%d) than cold (%d)",
+			warm.Metrics.NetworkPages, cold.Metrics.NetworkPages)
+	}
+}
+
+// Response-time model invariants: IO time proportional to pages, initial
+// <= total in both CPU and modeled terms.
+func TestResponseTimeModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	g := testnet.RandomGraph(rng, 150)
+	objs := testnet.RandomObjects(rng, g, 60, 0)
+	env := newTestEnv(t, g, objs)
+	q := Query{Points: testnet.RandomLocations(rng, g, 3)}
+	for _, alg := range []Algorithm{AlgCE, AlgEDC, AlgLBC} {
+		res, err := RunDefault(env, q, alg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := res.Metrics
+		if m.IOTime != time.Duration(m.NetworkPages)*DefaultDiskLatency {
+			t.Errorf("%v: IOTime %v inconsistent with %d pages", alg, m.IOTime, m.NetworkPages)
+		}
+		if m.InitialPages > m.NetworkPages {
+			t.Errorf("%v: initial pages %d > total pages %d", alg, m.InitialPages, m.NetworkPages)
+		}
+		if m.InitialResponseTime() > m.ResponseTime() {
+			t.Errorf("%v: initial response %v > total response %v",
+				alg, m.InitialResponseTime(), m.ResponseTime())
+		}
+	}
+}
+
+// On-disk page files must behave identically to the in-memory backend.
+func TestEnvOnDisk(t *testing.T) {
+	rng := rand.New(rand.NewSource(89))
+	g := testnet.RandomGraph(rng, 100)
+	objs := testnet.RandomObjects(rng, g, 40, 0)
+	mem := newTestEnv(t, g, objs)
+	disk, err := NewEnv(g, objs, EnvConfig{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("NewEnv(Dir): %v", err)
+	}
+	q := Query{Points: testnet.RandomLocations(rng, g, 3)}
+	for _, alg := range []Algorithm{AlgCE, AlgEDC, AlgLBC} {
+		a, err := RunDefault(mem, q, alg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RunDefault(disk, q, alg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameIDs(skylineIDs(a), skylineIDs(b)) {
+			t.Fatalf("%v: on-disk backend changed the skyline", alg)
+		}
+		if a.Metrics.NetworkPages != b.Metrics.NetworkPages {
+			t.Errorf("%v: page counts differ across backends: %d vs %d",
+				alg, a.Metrics.NetworkPages, b.Metrics.NetworkPages)
+		}
+	}
+}
+
+// The progressive iterator must yield exactly the batch LBC skyline, in
+// the same order, with a first result available before exhaustion.
+func TestLBCIteratorMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 15; trial++ {
+		g := testnet.RandomGraph(rng, 100)
+		objs := testnet.RandomObjects(rng, g, 50, 0)
+		env := newTestEnv(t, g, objs)
+		q := Query{Points: testnet.RandomLocations(rng, g, 3)}
+
+		batch, err := RunDefault(env, q, AlgLBC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		it, err := NewLBCIterator(env, q, Options{ColdCache: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []int
+		for {
+			p, ok, err := it.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			got = append(got, int(p.Object.ID))
+		}
+		var want []int
+		for _, p := range batch.Skyline {
+			want = append(want, int(p.Object.ID))
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: iterator %v, batch %v", trial, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: order differs: %v vs %v", trial, got, want)
+			}
+		}
+		m := it.Metrics()
+		if m.Candidates != batch.Metrics.Candidates {
+			t.Errorf("trial %d: iterator candidates %d, batch %d",
+				trial, m.Candidates, batch.Metrics.Candidates)
+		}
+		if m.NetworkPages != batch.Metrics.NetworkPages {
+			t.Errorf("trial %d: iterator pages %d, batch %d",
+				trial, m.NetworkPages, batch.Metrics.NetworkPages)
+		}
+	}
+}
+
+// Abandoning the iterator after the first result must be cheap and valid.
+func TestLBCIteratorEarlyStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	g := testnet.RandomGraph(rng, 200)
+	objs := testnet.RandomObjects(rng, g, 100, 0)
+	env := newTestEnv(t, g, objs)
+	q := Query{Points: testnet.RandomLocations(rng, g, 3)}
+
+	full, err := RunDefault(env, q, AlgLBC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := NewLBCIterator(env, q, Options{ColdCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, ok, err := it.Next()
+	if err != nil || !ok {
+		t.Fatalf("first: ok=%v err=%v", ok, err)
+	}
+	if first.Object.ID != full.Skyline[0].Object.ID {
+		t.Fatalf("first = %d, batch first = %d", first.Object.ID, full.Skyline[0].Object.ID)
+	}
+	m := it.Metrics()
+	if m.NodesExpanded >= full.Metrics.NodesExpanded {
+		t.Errorf("early stop expanded %d nodes, full run %d",
+			m.NodesExpanded, full.Metrics.NodesExpanded)
+	}
+}
+
+// Clones must serve concurrent queries correctly: identical skylines from
+// every goroutine, no data races (run under -race).
+func TestEnvCloneConcurrentQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	g := testnet.RandomGraph(rng, 150)
+	objs := testnet.RandomObjects(rng, g, 60, 0)
+	base := newTestEnv(t, g, objs)
+	q := Query{Points: testnet.RandomLocations(rng, g, 3)}
+	want, err := RunDefault(base.Clone(), q, AlgLBC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	results := make([][]int, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			env := base.Clone()
+			alg := []Algorithm{AlgCE, AlgEDC, AlgLBC}[w%3]
+			res, err := RunDefault(env, q, alg)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			results[w] = skylineIDs(res)
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			t.Fatalf("worker %d: %v", w, errs[w])
+		}
+		if !sameIDs(results[w], skylineIDs(want)) {
+			t.Fatalf("worker %d skyline %v, want %v", w, results[w], skylineIDs(want))
+		}
+	}
+}
+
+// disconnectedNet builds two random components joined by nothing, with
+// query points and objects spread over both. Every object is reachable
+// from at least one query point; unreachable dimensions are +Inf.
+func TestDisconnectedNetworks(t *testing.T) {
+	rng := rand.New(rand.NewSource(113))
+	for trial := 0; trial < 15; trial++ {
+		// Two components: merge two random graphs by renumbering.
+		g1 := testnet.RandomGraph(rng, 15+rng.Intn(25))
+		g2 := testnet.RandomGraph(rng, 15+rng.Intn(25))
+		b := graph.NewBuilder(g1.NumNodes()+g2.NumNodes(), g1.NumEdges()+g2.NumEdges())
+		for i := 0; i < g1.NumNodes(); i++ {
+			b.AddNode(g1.NodePoint(graph.NodeID(i)))
+		}
+		for i := 0; i < g2.NumNodes(); i++ {
+			p := g2.NodePoint(graph.NodeID(i))
+			p.X += 2 // shift the second component aside
+			b.AddNode(p)
+		}
+		off := graph.NodeID(g1.NumNodes())
+		for i := 0; i < g1.NumEdges(); i++ {
+			e := g1.Edge(graph.EdgeID(i))
+			b.AddEdge(e.U, e.V, e.Length)
+		}
+		for i := 0; i < g2.NumEdges(); i++ {
+			e := g2.Edge(graph.EdgeID(i))
+			b.AddEdge(e.U+off, e.V+off, e.Length)
+		}
+		g := b.MustBuild()
+		if g.Connected() {
+			t.Fatal("merge should be disconnected")
+		}
+
+		// Objects on both components; query points one per component.
+		var objs []graph.Object
+		for i := 0; i < 10; i++ {
+			e := g.Edge(graph.EdgeID(rng.Intn(g.NumEdges())))
+			objs = append(objs, graph.Object{
+				ID:  graph.ObjectID(i),
+				Loc: graph.Location{Edge: e.ID, Offset: rng.Float64() * e.Length},
+			})
+		}
+		q := Query{Points: []graph.Location{
+			{Edge: graph.EdgeID(rng.Intn(g1.NumEdges())), Offset: 0},
+			{Edge: graph.EdgeID(g1.NumEdges() + rng.Intn(g2.NumEdges())), Offset: 0},
+		}}
+		env := newTestEnv(t, g, objs)
+		want, _ := bruteforce.NetworkSkyline(g, objs, q.Points, false)
+		for _, alg := range []Algorithm{AlgCE, AlgEDC, AlgLBC} {
+			res, err := RunDefault(env, q, alg)
+			if err != nil {
+				t.Fatalf("trial %d %v: %v", trial, alg, err)
+			}
+			if got := skylineIDs(res); !sameIDs(got, want) {
+				t.Fatalf("trial %d %v: skyline %v, oracle %v", trial, alg, got, want)
+			}
+			// Vectors carry +Inf for the unreachable dimension.
+			for _, p := range res.Skyline {
+				finite := false
+				for _, d := range p.Dists {
+					if !math.IsInf(d, 1) {
+						finite = true
+					}
+				}
+				if !finite {
+					t.Fatalf("trial %d %v: all-Inf vector reported", trial, alg)
+				}
+			}
+		}
+	}
+}

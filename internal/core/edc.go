@@ -1,0 +1,258 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"roadskyline/internal/geom"
+	"roadskyline/internal/graph"
+	"roadskyline/internal/rtree"
+	"roadskyline/internal/skyline"
+	"roadskyline/internal/sp"
+)
+
+// maxEuclid returns an object's largest Euclidean distance to any query
+// point, the sort key for farthest-first distance computation.
+func maxEuclid(env *Env, qPts []geom.Point, id graph.ObjectID) float64 {
+	p := env.G.Point(env.Objects[id].Loc)
+	worst := 0.0
+	for _, qp := range qPts {
+		if d := p.Dist(qp); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// edc implements the Euclidean Distance Constraint algorithm (paper
+// Section 4.2, incremental variant).
+//
+// Seeds are retrieved best-first by the sum of Euclidean distances to the
+// query points. Each seed is shifted by its network distances (computed
+// with the resumable A* searchers); the shifted vector p-bar defines a
+// candidate region — every object whose Euclidean vector is component-wise
+// at most p-bar is fetched and its network distances computed — and a
+// pruning region — anything whose Euclidean vector is component-wise at
+// least p-bar is network-dominated by the seed and never retrieved. A
+// candidate is determined once its network vector fits under some shifted
+// vector: past that point no unfetched object can dominate it, so it is
+// reported (or discarded) by comparing against the fetched vectors only.
+//
+// This is the candidate space of the paper's Figure 3(b): everything
+// bottom-left of the shifted curve L1 is a candidate, everything beyond it
+// is pruned.
+func edc(env *Env, q Query, opts Options) (*Result, error) {
+	start := time.Now()
+	n := len(q.Points)
+	dims := env.vectorDims(n, q.UseAttrs)
+	qPts := make([]geom.Point, n)
+	for i, p := range q.Points {
+		qPts[i] = env.G.Point(p)
+	}
+
+	astars := make([]*sp.AStar, n)
+	for i, p := range q.Points {
+		a, err := sp.NewAStar(env, p, qPts[i])
+		if err != nil {
+			return nil, err
+		}
+		if opts.DisableAStarHeuristic {
+			a.DisableHeuristic()
+		}
+		astars[i] = a
+	}
+
+	res := &Result{}
+	var m Metrics
+	var shifted [][]float64 // p-bar vectors of processed seeds
+	var skyVecs [][]float64 // vectors of reported skyline points
+	fetched := make(map[graph.ObjectID]bool)
+	candVec := make(map[graph.ObjectID][]float64) // undetermined candidates
+
+	// eVec computes the full Euclidean vector of an object (distances plus
+	// attributes); lbVec the lower-bound vector of a rectangle (attribute
+	// dimensions bounded below by zero).
+	scratch := make([]float64, dims)
+	eVec := func(e rtree.Entry) []float64 {
+		p := e.Point()
+		for i, qp := range qPts {
+			scratch[i] = p.Dist(qp)
+		}
+		env.fillAttrs(scratch, n, graph.ObjectID(e.ID), q.UseAttrs)
+		return scratch
+	}
+	lbVec := func(r geom.Rect) []float64 {
+		for i, qp := range qPts {
+			scratch[i] = r.MinDist(qp)
+		}
+		for i := n; i < dims; i++ {
+			scratch[i] = 0
+		}
+		return scratch
+	}
+	sum := func(v []float64) float64 {
+		s := 0.0
+		for _, x := range v {
+			s += x
+		}
+		return s
+	}
+	beyondShifted := func(v []float64) bool {
+		for _, p := range shifted {
+			if skyline.DominatesOrEqual(p, v) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// netVec computes an object's full network-distance vector.
+	netVec := func(id graph.ObjectID) ([]float64, error) {
+		o := env.Objects[id]
+		pt := env.G.Point(o.Loc)
+		vec := make([]float64, dims)
+		for i := range astars {
+			d, err := astars[i].DistanceTo(o.Loc, pt)
+			if err != nil {
+				return nil, err
+			}
+			vec[i] = d
+			m.DistanceComputations++
+		}
+		env.fillAttrs(vec, n, id, q.UseAttrs)
+		return vec, nil
+	}
+
+	seeds := env.ObjTree.NewBestFirst(
+		func(r geom.Rect) float64 { return sum(lbVec(r)) },
+		func(e rtree.Entry) float64 { return sum(eVec(e)) },
+		func(r geom.Rect) bool { return beyondShifted(lbVec(r)) },
+		func(e rtree.Entry) bool { return fetched[graph.ObjectID(e.ID)] || beyondShifted(eVec(e)) },
+	)
+
+	fetch := func(id graph.ObjectID) error {
+		fetched[id] = true
+		m.Candidates++
+		vec, err := netVec(id)
+		if err != nil {
+			return err
+		}
+		candVec[id] = vec
+		return nil
+	}
+
+	// determine resolves every candidate whose network vector fits under
+	// pbar: report it when nothing fetched dominates it, discard otherwise.
+	determine := func(pbar []float64) {
+		for id, vec := range candVec {
+			if !skyline.DominatesOrEqual(vec, pbar) {
+				continue
+			}
+			dominated := skyline.DominatedBy(vec, skyVecs)
+			if !dominated {
+				for id2, vec2 := range candVec {
+					if id2 != id && skyline.Dominates(vec2, vec) {
+						dominated = true
+						break
+					}
+				}
+			}
+			delete(candVec, id)
+			if dominated {
+				continue
+			}
+			skyVecs = append(skyVecs, vec)
+			res.Skyline = append(res.Skyline, SkylinePoint{
+				Object: env.Objects[id],
+				Dists:  vec[:n:n],
+				Vec:    vec,
+			})
+			if m.Initial == 0 {
+				m.Initial = time.Since(start)
+				m.InitialPages = env.NetworkIO().Misses
+			}
+		}
+	}
+
+	for {
+		seed, _, ok := seeds.Next()
+		if !ok {
+			break
+		}
+		id := graph.ObjectID(seed.ID)
+		if err := fetch(id); err != nil {
+			return nil, err
+		}
+		pbar := candVec[id]
+		shifted = append(shifted, pbar)
+
+		// Window query: every object inside the hypercube [0, pbar] joins
+		// the candidate set (paper step 3). The R-tree descends on the
+		// spatial dimensions; attributes are checked exactly per entry.
+		var batch []graph.ObjectID
+		env.ObjTree.SearchFunc(
+			func(r geom.Rect) bool {
+				for i, qp := range qPts {
+					if r.MinDist(qp) > pbar[i] {
+						return false
+					}
+				}
+				return true
+			},
+			func(e rtree.Entry) bool {
+				oid := graph.ObjectID(e.ID)
+				if !fetched[oid] && skyline.DominatesOrEqual(eVec(e), pbar) {
+					batch = append(batch, oid)
+				}
+				return true
+			},
+		)
+		// Compute network distances farthest-first: once the widest
+		// candidate has expanded the searchers, nearer candidates complete
+		// via the settled-endpoints shortcut without re-keying a frontier.
+		sort.Slice(batch, func(a, b int) bool {
+			return maxEuclid(env, qPts, batch[a]) > maxEuclid(env, qPts, batch[b])
+		})
+		for _, oid := range batch {
+			if err := fetch(oid); err != nil {
+				return nil, err
+			}
+		}
+		determine(pbar)
+	}
+
+	// No more seeds: every unfetched object is beyond some shifted vector,
+	// hence dominated-or-equal by a fetched one. The remaining candidates
+	// resolve by comparison within the fetched set.
+	for id, vec := range candVec {
+		dominated := skyline.DominatedBy(vec, skyVecs)
+		if !dominated {
+			for id2, vec2 := range candVec {
+				if id2 != id && skyline.Dominates(vec2, vec) {
+					dominated = true
+					break
+				}
+			}
+		}
+		if !dominated {
+			skyVecs = append(skyVecs, vec)
+			res.Skyline = append(res.Skyline, SkylinePoint{
+				Object: env.Objects[id],
+				Dists:  vec[:n:n],
+				Vec:    vec,
+			})
+			if m.Initial == 0 {
+				m.Initial = time.Since(start)
+				m.InitialPages = env.NetworkIO().Misses
+			}
+		}
+	}
+
+	dropDominatedDuplicates(res)
+	for _, a := range astars {
+		m.NodesExpanded += a.NodesExpanded()
+	}
+	finishMetrics(env, &m, start)
+	res.Metrics = m
+	return res, nil
+}

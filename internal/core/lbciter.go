@@ -1,0 +1,216 @@
+package core
+
+import (
+	"time"
+
+	"roadskyline/internal/geom"
+	"roadskyline/internal/graph"
+	"roadskyline/internal/skyline"
+	"roadskyline/internal/sp"
+)
+
+// LBCIterator reports network skyline points progressively, nearest (to
+// the source query points) first — the incremental interface the paper
+// motivates at the end of Section 4.3: applications with user preferences
+// consume results as they are determined instead of waiting for the full
+// skyline. The batch LBC algorithm is this iterator drained to exhaustion.
+type LBCIterator struct {
+	env   *Env
+	q     Query
+	opts  Options
+	start time.Time
+
+	n       int
+	dims    int
+	qPts    []geom.Point
+	astars  []*sp.AStar
+	skyVecs [][]float64
+
+	sources   []int
+	streams   []*nnStream
+	done      []bool
+	remaining int
+	cursor    int
+	processed map[graph.ObjectID]bool
+	confirmed map[graph.ObjectID]bool
+	lb        []float64
+
+	metrics  Metrics
+	finished bool
+}
+
+// NewLBCIterator validates the query and prepares the incremental LBC
+// machinery. Like Run, it resets the environment's I/O counters (and drops
+// caches when opts.ColdCache is set): the iterator owns the environment
+// until it is exhausted or abandoned.
+func NewLBCIterator(env *Env, q Query, opts Options) (*LBCIterator, error) {
+	if err := q.Validate(env); err != nil {
+		return nil, err
+	}
+	if opts.ColdCache {
+		env.InvalidateCaches()
+	}
+	env.ResetIO()
+
+	it := &LBCIterator{
+		env:   env,
+		q:     q,
+		opts:  opts,
+		start: time.Now(),
+		n:     len(q.Points),
+	}
+	it.dims = env.vectorDims(it.n, q.UseAttrs)
+	it.qPts = make([]geom.Point, it.n)
+	for i, p := range q.Points {
+		it.qPts[i] = env.G.Point(p)
+	}
+	it.astars = make([]*sp.AStar, it.n)
+	for i, p := range q.Points {
+		a, err := sp.NewAStar(env, p, it.qPts[i])
+		if err != nil {
+			return nil, err
+		}
+		if opts.DisableAStarHeuristic {
+			a.DisableHeuristic()
+		}
+		it.astars[i] = a
+	}
+	if opts.LBCAlternate {
+		it.sources = make([]int, it.n)
+		for i := range it.sources {
+			it.sources[i] = i
+		}
+	} else {
+		src := opts.LBCSource
+		if src < 0 || src >= it.n {
+			src = 0
+		}
+		it.sources = []int{src}
+	}
+	it.streams = make([]*nnStream, len(it.sources))
+	for i, src := range it.sources {
+		it.streams[i] = newNNStream(env, q, it.qPts, src, it.astars[src], &it.skyVecs)
+	}
+	it.done = make([]bool, len(it.sources))
+	it.remaining = len(it.sources)
+	it.processed = make(map[graph.ObjectID]bool)
+	it.confirmed = make(map[graph.ObjectID]bool)
+	it.lb = make([]float64, it.dims)
+	return it, nil
+}
+
+// Next determines and returns the next skyline point. ok is false when the
+// skyline is exhausted.
+func (it *LBCIterator) Next() (SkylinePoint, bool, error) {
+	for it.remaining > 0 {
+		for it.done[it.cursor] {
+			it.cursor = (it.cursor + 1) % len(it.sources)
+		}
+		si := it.cursor
+		it.cursor = (it.cursor + 1) % len(it.sources)
+
+		cand, ok, err := it.streams[si].next()
+		if err != nil {
+			return SkylinePoint{}, false, err
+		}
+		if !ok {
+			it.done[si] = true
+			it.remaining--
+			continue
+		}
+		it.confirmed[cand.id] = true
+		if it.processed[cand.id] {
+			continue
+		}
+		it.processed[cand.id] = true
+
+		point, isSkyline, err := it.check(it.sources[si], cand)
+		if err != nil {
+			return SkylinePoint{}, false, err
+		}
+		if isSkyline {
+			if it.metrics.Initial == 0 {
+				it.metrics.Initial = time.Since(it.start)
+				it.metrics.InitialPages = it.env.NetworkIO().Misses
+			}
+			return point, true, nil
+		}
+	}
+	return SkylinePoint{}, false, nil
+}
+
+// check runs LBC step 2 for one candidate: path-distance-lower-bound
+// driven dominance testing against the known skyline.
+func (it *LBCIterator) check(src int, cand srcCand) (SkylinePoint, bool, error) {
+	o := it.env.Objects[cand.id]
+	oPt := it.env.G.Point(o.Loc)
+	it.lb[src] = cand.dist
+	it.env.fillAttrs(it.lb, it.n, cand.id, it.q.UseAttrs)
+	sessions := make([]*sp.Session, it.n)
+	for i := range sessions {
+		if i == src {
+			continue
+		}
+		sessions[i] = it.astars[i].NewSession(o.Loc, oPt)
+		it.lb[i] = sessions[i].PLB()
+	}
+	for {
+		if skyline.DominatedBy(it.lb, it.skyVecs) {
+			return SkylinePoint{}, false, nil
+		}
+		pick := -1
+		for i, s := range sessions {
+			if s == nil || s.Done() {
+				continue
+			}
+			if pick == -1 || it.lb[i] < it.lb[pick] {
+				pick = i
+			}
+		}
+		if pick == -1 {
+			break
+		}
+		if it.opts.LBCDisablePLB {
+			d, err := sessions[pick].Run()
+			if err != nil {
+				return SkylinePoint{}, false, err
+			}
+			it.lb[pick] = d
+			it.metrics.DistanceComputations++
+			continue
+		}
+		plb, done, err := sessions[pick].Advance()
+		if err != nil {
+			return SkylinePoint{}, false, err
+		}
+		it.lb[pick] = plb
+		if done {
+			it.metrics.DistanceComputations++
+		}
+	}
+	vec := make([]float64, it.dims)
+	copy(vec, it.lb)
+	it.skyVecs = append(it.skyVecs, vec)
+	return SkylinePoint{
+		Object: it.env.Objects[cand.id],
+		Dists:  vec[:it.n:it.n],
+		Vec:    vec,
+	}, true, nil
+}
+
+// Metrics finalizes and returns the iterator's cost counters. Call it once
+// after the final Next; repeated calls return the finalized snapshot.
+func (it *LBCIterator) Metrics() Metrics {
+	if !it.finished {
+		it.finished = true
+		it.metrics.Candidates = len(it.confirmed)
+		for _, s := range it.streams {
+			it.metrics.DistanceComputations += s.confirmed
+		}
+		for _, a := range it.astars {
+			it.metrics.NodesExpanded += a.NodesExpanded()
+		}
+		finishMetrics(it.env, &it.metrics, it.start)
+	}
+	return it.metrics
+}

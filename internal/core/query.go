@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"roadskyline/internal/graph"
+)
+
+// Query is a multi-source relative skyline query: find every object whose
+// vector of network distances to the query points (optionally extended with
+// the object's static attributes) is not dominated by any other object's.
+type Query struct {
+	// Points are the query locations on the network. At least one.
+	Points []graph.Location
+	// UseAttrs extends every skyline vector with the objects' static
+	// non-spatial attributes (paper Section 4.3's closing remark: static
+	// values behave as pre-computed distances).
+	UseAttrs bool
+}
+
+// Validate checks the query against an environment.
+func (q Query) Validate(env *Env) error {
+	if len(q.Points) == 0 {
+		return fmt.Errorf("core: query needs at least one query point")
+	}
+	for i, p := range q.Points {
+		if err := env.G.ValidateLocation(p); err != nil {
+			return fmt.Errorf("core: query point %d: %w", i, err)
+		}
+	}
+	if q.UseAttrs && env.NumAttrs() == 0 {
+		return fmt.Errorf("core: UseAttrs set but objects carry no attributes")
+	}
+	return nil
+}
+
+// SkylinePoint is one result: the object, its network distances to the
+// query points, and the full skyline vector (distances followed by
+// attributes when the query enables them).
+type SkylinePoint struct {
+	Object graph.Object
+	Dists  []float64
+	Vec    []float64
+}
+
+// Metrics quantifies the work a query performed, mirroring the paper's
+// measurements (Section 6).
+type Metrics struct {
+	// Candidates is |C|: the number of objects the algorithm retrieved as
+	// skyline candidates (Figure 4 reports |C|/|D|).
+	Candidates int
+	// NetworkPages is the number of network-side disk pages faulted in
+	// (adjacency pages plus middle-layer pages) — Figures 5(a), 6(a), 6(d).
+	NetworkPages int64
+	// NetworkGets is the number of logical network page requests.
+	NetworkGets int64
+	// RTreeNodes is the number of object R-tree nodes visited.
+	RTreeNodes int64
+	// NodesExpanded is the number of network node settlements.
+	NodesExpanded int
+	// DistanceComputations counts completed network distance evaluations
+	// (query point, object) — partial lower-bound expansions that LBC
+	// abandons are not counted.
+	DistanceComputations int
+	// InitialPages is the number of network pages faulted before the first
+	// skyline point was determined.
+	InitialPages int64
+	// Total is the measured CPU (wall) time of the query.
+	Total time.Duration
+	// Initial is the measured CPU time until the first skyline point.
+	Initial time.Duration
+	// IOTime and InitialIOTime are the simulated disk costs
+	// (pages x EnvConfig.DiskLatency) of the whole query and of the
+	// pre-first-result phase.
+	IOTime        time.Duration
+	InitialIOTime time.Duration
+}
+
+// ResponseTime is the total response time under the simulated disk
+// (Figures 5(b), 6(b), 6(e)): measured CPU time plus modeled I/O time.
+func (m Metrics) ResponseTime() time.Duration { return m.Total + m.IOTime }
+
+// InitialResponseTime is the time to the first skyline point under the
+// simulated disk (Figures 5(c), 6(c), 6(f)).
+func (m Metrics) InitialResponseTime() time.Duration { return m.Initial + m.InitialIOTime }
+
+// Result is a query answer with its cost metrics. Skyline points appear in
+// the order the algorithm determined them.
+type Result struct {
+	Skyline []SkylinePoint
+	Metrics Metrics
+}
+
+// Algorithm identifies one of the paper's query processing strategies.
+type Algorithm int
+
+const (
+	// AlgCE is the Collaborative Expansion algorithm (paper Section 4.1).
+	AlgCE Algorithm = iota
+	// AlgEDC is the Euclidean Distance Constraint algorithm (Section 4.2).
+	AlgEDC
+	// AlgLBC is the Lower-Bound Constraint algorithm (Section 4.3),
+	// instance-optimal in network accesses.
+	AlgLBC
+)
+
+// String returns the paper's name for the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgCE:
+		return "CE"
+	case AlgEDC:
+		return "EDC"
+	case AlgLBC:
+		return "LBC"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Options tunes algorithm execution.
+type Options struct {
+	// ColdCache invalidates every buffer pool before the query so page
+	// counts reflect a cold run. Defaults to true in Run.
+	ColdCache bool
+	// LBCSource selects which query point LBC uses as the source (default
+	// 0).
+	LBCSource int
+	// LBCAlternate retrieves network nearest neighbors from every query
+	// point round-robin instead of a single source (the multi-source
+	// extension sketched at the end of paper Section 4.3); skyline points
+	// near any query point are then reported early.
+	LBCAlternate bool
+	// LBCDisablePLB makes LBC compute full network distances for every
+	// candidate instead of abandoning dominated candidates early; used by
+	// the path-distance-lower-bound ablation.
+	LBCDisablePLB bool
+	// DisableAStarHeuristic zeroes the A* heuristic inside EDC and LBC
+	// (degrading their searchers to resumable Dijkstra); used by the
+	// directional-expansion ablation.
+	DisableAStarHeuristic bool
+}
+
+// Run executes the query with the chosen algorithm. Each call resets the
+// I/O counters; with opts.ColdCache (the default via RunDefault) it also
+// drops the buffer pools first.
+func Run(env *Env, q Query, alg Algorithm, opts Options) (*Result, error) {
+	if err := q.Validate(env); err != nil {
+		return nil, err
+	}
+	if opts.ColdCache {
+		env.InvalidateCaches()
+	}
+	env.ResetIO()
+	switch alg {
+	case AlgCE:
+		return ce(env, q)
+	case AlgEDC:
+		return edc(env, q, opts)
+	case AlgLBC:
+		return lbc(env, q, opts)
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %d", int(alg))
+	}
+}
+
+// RunDefault executes the query cold-cache with default options.
+func RunDefault(env *Env, q Query, alg Algorithm) (*Result, error) {
+	return Run(env, q, alg, Options{ColdCache: true})
+}
+
+// finishMetrics fills the I/O counters shared by all algorithms.
+func finishMetrics(env *Env, m *Metrics, start time.Time) {
+	io := env.NetworkIO()
+	m.NetworkPages = io.Misses
+	m.NetworkGets = io.Gets
+	m.RTreeNodes = env.ObjTree.NodeAccesses()
+	m.Total = time.Since(start)
+	if m.Initial == 0 {
+		m.Initial = m.Total
+		m.InitialPages = m.NetworkPages
+	}
+	m.IOTime = time.Duration(m.NetworkPages) * env.diskLatency
+	m.InitialIOTime = time.Duration(m.InitialPages) * env.diskLatency
+}

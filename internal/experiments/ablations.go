@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+
+	"roadskyline/internal/core"
+	"roadskyline/internal/diskgraph"
+	"roadskyline/internal/gen"
+)
+
+// AblationPLB isolates the path distance lower bound: LBC as published
+// against an LBC variant that computes every candidate's full network
+// distances (no early abandonment). Both return identical skylines; the
+// difference in network pages and nodes expanded is the plb's contribution
+// (|Q|=4, omega=50%).
+func (l *Lab) AblationPLB() (Table, error) {
+	t := Table{
+		Figure: "Ablation A1", Title: "Path distance lower bound (LBC vs LBC without plb)",
+		XLabel: "network", Metric: "pages / nodes expanded",
+		Algs: []string{"pages", "noplb-pages", "nodes", "noplb-nodes"},
+	}
+	for _, spec := range gen.Paper {
+		with, err := l.Measure(spec, l.cfg.DefaultOmega, l.cfg.DefaultQ, core.AlgLBC, core.Options{})
+		if err != nil {
+			return t, err
+		}
+		without, err := l.Measure(spec, l.cfg.DefaultOmega, l.cfg.DefaultQ, core.AlgLBC, core.Options{LBCDisablePLB: true})
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, Row{X: spec.Name, Values: []float64{
+			with.Pages, without.Pages, with.Nodes, without.Nodes,
+		}})
+	}
+	return t, nil
+}
+
+// AblationAStar isolates A*'s directional expansion inside EDC and LBC by
+// zeroing the heuristic (the searcher degrades to a resumable Dijkstra).
+// The paper credits EDC's edge over CE to exactly this (Section 6.3).
+func (l *Lab) AblationAStar() (Table, error) {
+	t := Table{
+		Figure: "Ablation A2", Title: "A* directional expansion (zeroed heuristic ablation, NA)",
+		XLabel: "algorithm", Metric: "network pages", Algs: []string{"A*", "no-heuristic"},
+	}
+	for _, alg := range []core.Algorithm{core.AlgEDC, core.AlgLBC} {
+		with, err := l.Measure(gen.NA, l.cfg.DefaultOmega, l.cfg.DefaultQ, alg, core.Options{})
+		if err != nil {
+			return t, err
+		}
+		without, err := l.Measure(gen.NA, l.cfg.DefaultOmega, l.cfg.DefaultQ, alg, core.Options{DisableAStarHeuristic: true})
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, Row{X: alg.String(), Values: []float64{with.Pages, without.Pages}})
+	}
+	return t, nil
+}
+
+// AblationClustering isolates the Hilbert clustering of adjacency lists
+// (paper Section 6.1) by storing node records in node-id order instead.
+func (l *Lab) AblationClustering() (Table, error) {
+	t := Table{
+		Figure: "Ablation A3", Title: "Hilbert disk clustering of adjacency lists (NA)",
+		XLabel: "algorithm", Metric: "network pages", Algs: []string{"hilbert", "id-order"},
+	}
+	for _, alg := range []core.Algorithm{core.AlgCE, core.AlgLBC} {
+		h, err := l.measureWith(gen.NA, l.cfg.DefaultOmega, l.cfg.DefaultQ, alg, core.Options{}, l.cfg.BufferBytes, diskgraph.OrderHilbert)
+		if err != nil {
+			return t, err
+		}
+		r, err := l.measureWith(gen.NA, l.cfg.DefaultOmega, l.cfg.DefaultQ, alg, core.Options{}, l.cfg.BufferBytes, diskgraph.OrderNodeID)
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, Row{X: alg.String(), Values: []float64{h.Pages, r.Pages}})
+	}
+	return t, nil
+}
+
+// AblationBuffer sweeps the LRU buffer size (paper default 1 MB) for CE and
+// LBC on NA.
+func (l *Lab) AblationBuffer() (Table, error) {
+	t := Table{
+		Figure: "Ablation A4", Title: "LRU buffer size (NA, |Q|=4, omega=50%)",
+		XLabel: "buffer", Metric: "network pages", Algs: []string{"CE", "LBC"},
+	}
+	for _, kb := range []int{64, 256, 1024, 4096} {
+		bytes := kb * 1024
+		ce, err := l.measureWith(gen.NA, l.cfg.DefaultOmega, l.cfg.DefaultQ, core.AlgCE, core.Options{}, bytes, diskgraph.OrderHilbert)
+		if err != nil {
+			return t, err
+		}
+		lbc, err := l.measureWith(gen.NA, l.cfg.DefaultOmega, l.cfg.DefaultQ, core.AlgLBC, core.Options{}, bytes, diskgraph.OrderHilbert)
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, Row{X: fmt.Sprintf("%dKB", kb), Values: []float64{ce.Pages, lbc.Pages}})
+	}
+	return t, nil
+}

@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"roadskyline/internal/gen"
+)
+
+// tinyConfig keeps experiment tests fast: very small networks, one trial.
+func tinyConfig() Config {
+	c := Default()
+	c.Scale = 0.02
+	c.Trials = 1
+	c.QValues = []int{2, 4}
+	c.Omegas = []float64{0.2, 1.0}
+	return c
+}
+
+func TestFig4Tables(t *testing.T) {
+	lab := NewLab(tinyConfig())
+	for name, run := range map[string]func() (Table, error){
+		"4a": lab.Fig4a,
+		"4b": lab.Fig4b,
+		"4c": lab.Fig4c,
+	} {
+		tab, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(tab.Rows) == 0 {
+			t.Fatalf("%s: no rows", name)
+		}
+		for _, r := range tab.Rows {
+			if len(r.Values) != 3 {
+				t.Fatalf("%s: row %q has %d values", name, r.X, len(r.Values))
+			}
+			for i, v := range r.Values {
+				if v < 0 || v > 1 {
+					t.Errorf("%s: row %q alg %s candidate ratio %v outside [0,1]",
+						name, r.X, tab.Algs[i], v)
+				}
+			}
+		}
+		if !strings.Contains(tab.String(), tab.Figure) {
+			t.Errorf("%s: formatted output missing figure label", name)
+		}
+	}
+}
+
+func TestFig5AndFig6Tables(t *testing.T) {
+	lab := NewLab(tinyConfig())
+	f5, err := lab.Fig5()
+	if err != nil {
+		t.Fatalf("Fig5: %v", err)
+	}
+	f6q, err := lab.Fig6Q()
+	if err != nil {
+		t.Fatalf("Fig6Q: %v", err)
+	}
+	f6w, err := lab.Fig6W()
+	if err != nil {
+		t.Fatalf("Fig6W: %v", err)
+	}
+	for _, group := range [][3]Table{f5, f6q, f6w} {
+		for _, tab := range group {
+			if len(tab.Rows) == 0 {
+				t.Fatalf("%s: no rows", tab.Figure)
+			}
+			for _, r := range tab.Rows {
+				for i, v := range r.Values {
+					if v < 0 {
+						t.Errorf("%s row %q alg %s: negative %v", tab.Figure, r.X, tab.Algs[i], v)
+					}
+				}
+				// Pages must be positive for every algorithm.
+				if tab.Metric == "pages" {
+					for _, v := range r.Values {
+						if v <= 0 {
+							t.Errorf("%s row %q: zero pages", tab.Figure, r.X)
+						}
+					}
+				}
+			}
+		}
+	}
+	// The headline result: LBC accesses fewer network pages than CE on the
+	// densest network (shape check at tiny scale).
+	last := f5[0].Rows[len(f5[0].Rows)-1]
+	if last.Values[2] >= last.Values[0] {
+		t.Errorf("Fig5(a) NA: LBC pages %v >= CE pages %v", last.Values[2], last.Values[0])
+	}
+}
+
+func TestAblations(t *testing.T) {
+	lab := NewLab(tinyConfig())
+	plb, err := lab.AblationPLB()
+	if err != nil {
+		t.Fatalf("AblationPLB: %v", err)
+	}
+	for _, r := range plb.Rows {
+		if r.Values[0] > r.Values[1] {
+			t.Errorf("plb ablation on %s: with-plb pages %v > without %v", r.X, r.Values[0], r.Values[1])
+		}
+		if r.Values[2] > r.Values[3] {
+			t.Errorf("plb ablation on %s: with-plb nodes %v > without %v", r.X, r.Values[2], r.Values[3])
+		}
+	}
+	astar, err := lab.AblationAStar()
+	if err != nil {
+		t.Fatalf("AblationAStar: %v", err)
+	}
+	if len(astar.Rows) != 2 {
+		t.Fatalf("astar ablation rows = %d", len(astar.Rows))
+	}
+	clus, err := lab.AblationClustering()
+	if err != nil {
+		t.Fatalf("AblationClustering: %v", err)
+	}
+	for _, r := range clus.Rows {
+		if r.Values[0] <= 0 || r.Values[1] <= 0 {
+			t.Errorf("clustering ablation %s: non-positive pages %v", r.X, r.Values)
+		}
+	}
+	buf, err := lab.AblationBuffer()
+	if err != nil {
+		t.Fatalf("AblationBuffer: %v", err)
+	}
+	// More buffer can only help (fewer or equal faults), checked on CE.
+	for i := 1; i < len(buf.Rows); i++ {
+		if buf.Rows[i].Values[0] > buf.Rows[i-1].Values[0]+1e-9 {
+			t.Errorf("buffer ablation: CE pages grew from %v to %v with a larger buffer",
+				buf.Rows[i-1].Values[0], buf.Rows[i].Values[0])
+		}
+	}
+}
+
+func TestLabCaching(t *testing.T) {
+	lab := NewLab(tinyConfig())
+	g1, err := lab.Network(labNA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := lab.Network(labNA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1 != g2 {
+		t.Error("network not cached")
+	}
+}
+
+func TestScaledSpecs(t *testing.T) {
+	lab := NewLab(Config{Scale: 0.1})
+	s := lab.scaled(labNA())
+	if s.Nodes >= labNA().Nodes || s.Edges >= labNA().Edges {
+		t.Errorf("scaling did not shrink: %+v", s)
+	}
+	if s.Edges < s.Nodes-1 {
+		t.Errorf("scaled spec unbuildable: %+v", s)
+	}
+	// Scale 1 is identity.
+	lab1 := NewLab(Config{Scale: 1})
+	if lab1.scaled(labNA()) != labNA() {
+		t.Error("scale 1 modified the spec")
+	}
+}
+
+// labNA returns the NA paper spec for cache tests.
+func labNA() gen.Spec { return gen.NA }
+
+func TestTableCSV(t *testing.T) {
+	tab := Table{
+		Figure: "Fig X", Title: "t", XLabel: "x", Metric: "m",
+		Algs: []string{"CE", "LBC"},
+		Rows: []Row{{X: "1", Values: []float64{2.5, 3}}},
+	}
+	got := tab.CSV()
+	want := "x,CE,LBC\n1,2.5,3\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}

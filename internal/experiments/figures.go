@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+
+	"roadskyline/internal/gen"
+)
+
+// Fig4a reproduces Figure 4(a): candidate ratio |C|/|D| against |Q| on the
+// NA network at omega = 50%.
+func (l *Lab) Fig4a() (Table, error) {
+	t := Table{
+		Figure: "Fig 4(a)", Title: "Candidate ratio vs |Q| (omega=50%, NA)",
+		XLabel: "|Q|", Metric: "|C|/|D|", Algs: Algs,
+	}
+	for _, q := range l.cfg.QValues {
+		ms, err := l.measureAll(gen.NA, l.cfg.DefaultOmega, q)
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, Row{X: fmt.Sprint(q), Values: pick(ms, func(m Measurement) float64 { return m.CandRatio })})
+	}
+	return t, nil
+}
+
+// Fig4b reproduces Figure 4(b): candidate ratio against object density
+// omega on the NA network at |Q| = 4.
+func (l *Lab) Fig4b() (Table, error) {
+	t := Table{
+		Figure: "Fig 4(b)", Title: "Candidate ratio vs object density (|Q|=4, NA)",
+		XLabel: "omega", Metric: "|C|/|D|", Algs: Algs,
+	}
+	for _, w := range l.cfg.Omegas {
+		ms, err := l.measureAll(gen.NA, w, l.cfg.DefaultQ)
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, Row{X: fmt.Sprintf("%.0f%%", w*100), Values: pick(ms, func(m Measurement) float64 { return m.CandRatio })})
+	}
+	return t, nil
+}
+
+// Fig4c reproduces Figure 4(c): candidate ratio against network density
+// (CA, AU, NA) at |Q| = 4, omega = 50%.
+func (l *Lab) Fig4c() (Table, error) {
+	t := Table{
+		Figure: "Fig 4(c)", Title: "Candidate ratio vs network density (|Q|=4, omega=50%)",
+		XLabel: "network", Metric: "|C|/|D|", Algs: Algs,
+	}
+	for _, spec := range gen.Paper {
+		ms, err := l.measureAll(spec, l.cfg.DefaultOmega, l.cfg.DefaultQ)
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, Row{X: spec.Name, Values: pick(ms, func(m Measurement) float64 { return m.CandRatio })})
+	}
+	return t, nil
+}
+
+// Fig5 reproduces Figures 5(a)-(c): network disk pages, total response time
+// and initial response time against network density (|Q|=4, omega=50%).
+func (l *Lab) Fig5() ([3]Table, error) {
+	tables := [3]Table{
+		{Figure: "Fig 5(a)", Title: "Network disk pages vs network density (|Q|=4, omega=50%)",
+			XLabel: "network", Metric: "pages", Algs: Algs},
+		{Figure: "Fig 5(b)", Title: "Total response time vs network density (|Q|=4, omega=50%)",
+			XLabel: "network", Metric: "ms", Algs: Algs},
+		{Figure: "Fig 5(c)", Title: "Initial response time vs network density (|Q|=4, omega=50%)",
+			XLabel: "network", Metric: "ms", Algs: Algs},
+	}
+	for _, spec := range gen.Paper {
+		ms, err := l.measureAll(spec, l.cfg.DefaultOmega, l.cfg.DefaultQ)
+		if err != nil {
+			return tables, err
+		}
+		tables[0].Rows = append(tables[0].Rows, Row{X: spec.Name, Values: pick(ms, func(m Measurement) float64 { return m.Pages })})
+		tables[1].Rows = append(tables[1].Rows, Row{X: spec.Name, Values: pick(ms, func(m Measurement) float64 { return m.TotalMs })})
+		tables[2].Rows = append(tables[2].Rows, Row{X: spec.Name, Values: pick(ms, func(m Measurement) float64 { return m.InitialMs })})
+	}
+	return tables, nil
+}
+
+// Fig6Q reproduces Figures 6(a)-(c): disk pages, total and initial response
+// time against |Q| on NA at omega = 50%.
+func (l *Lab) Fig6Q() ([3]Table, error) {
+	tables := [3]Table{
+		{Figure: "Fig 6(a)", Title: "Network disk pages vs |Q| (omega=50%, NA)",
+			XLabel: "|Q|", Metric: "pages", Algs: Algs},
+		{Figure: "Fig 6(b)", Title: "Total response time vs |Q| (omega=50%, NA)",
+			XLabel: "|Q|", Metric: "ms", Algs: Algs},
+		{Figure: "Fig 6(c)", Title: "Initial response time vs |Q| (omega=50%, NA)",
+			XLabel: "|Q|", Metric: "ms", Algs: Algs},
+	}
+	for _, q := range l.cfg.QValues {
+		if q < 2 {
+			continue // the paper plots Figure 6 from |Q| = 2
+		}
+		ms, err := l.measureAll(gen.NA, l.cfg.DefaultOmega, q)
+		if err != nil {
+			return tables, err
+		}
+		x := fmt.Sprint(q)
+		tables[0].Rows = append(tables[0].Rows, Row{X: x, Values: pick(ms, func(m Measurement) float64 { return m.Pages })})
+		tables[1].Rows = append(tables[1].Rows, Row{X: x, Values: pick(ms, func(m Measurement) float64 { return m.TotalMs })})
+		tables[2].Rows = append(tables[2].Rows, Row{X: x, Values: pick(ms, func(m Measurement) float64 { return m.InitialMs })})
+	}
+	return tables, nil
+}
+
+// Fig6W reproduces Figures 6(d)-(f): disk pages, total and initial response
+// time against object density omega on NA at |Q| = 4.
+func (l *Lab) Fig6W() ([3]Table, error) {
+	tables := [3]Table{
+		{Figure: "Fig 6(d)", Title: "Network disk pages vs omega (|Q|=4, NA)",
+			XLabel: "omega", Metric: "pages", Algs: Algs},
+		{Figure: "Fig 6(e)", Title: "Total response time vs omega (|Q|=4, NA)",
+			XLabel: "omega", Metric: "ms", Algs: Algs},
+		{Figure: "Fig 6(f)", Title: "Initial response time vs omega (|Q|=4, NA)",
+			XLabel: "omega", Metric: "ms", Algs: Algs},
+	}
+	for _, w := range l.cfg.Omegas {
+		ms, err := l.measureAll(gen.NA, w, l.cfg.DefaultQ)
+		if err != nil {
+			return tables, err
+		}
+		x := fmt.Sprintf("%.0f%%", w*100)
+		tables[0].Rows = append(tables[0].Rows, Row{X: x, Values: pick(ms, func(m Measurement) float64 { return m.Pages })})
+		tables[1].Rows = append(tables[1].Rows, Row{X: x, Values: pick(ms, func(m Measurement) float64 { return m.TotalMs })})
+		tables[2].Rows = append(tables[2].Rows, Row{X: x, Values: pick(ms, func(m Measurement) float64 { return m.InitialMs })})
+	}
+	return tables, nil
+}

@@ -1,0 +1,226 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"roadskyline/internal/graph"
+)
+
+// small returns a fast-to-generate spec for unit tests.
+func small(seed int64) Spec {
+	return Spec{Name: "small", Nodes: 400, Edges: 520,
+		NumObstacles: 3, ObstacleSize: 0.2, Jitter: 0.3, MaxStretch: 0.2, Seed: seed}
+}
+
+func TestGenerateExactCounts(t *testing.T) {
+	g, err := Generate(small(1))
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if g.NumNodes() != 400 || g.NumEdges() != 520 {
+		t.Fatalf("size = (%d,%d), want (400,520)", g.NumNodes(), g.NumEdges())
+	}
+	if !g.Connected() {
+		t.Fatal("generated network disconnected")
+	}
+}
+
+func TestGenerateUnitSquare(t *testing.T) {
+	g, err := Generate(small(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := g.Bounds()
+	if b.MinX < -0.2 || b.MinY < -0.2 || b.MaxX > 1.2 || b.MaxY > 1.2 {
+		t.Errorf("bounds %v stray far from the unit square", b)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	g1, err := Generate(small(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Generate(small(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.NumNodes() != g2.NumNodes() || g1.NumEdges() != g2.NumEdges() {
+		t.Fatal("same seed, different sizes")
+	}
+	for i := 0; i < g1.NumEdges(); i++ {
+		if g1.Edge(graph.EdgeID(i)) != g2.Edge(graph.EdgeID(i)) {
+			t.Fatalf("same seed, different edge %d", i)
+		}
+	}
+	g3, err := Generate(small(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := 0; i < g1.NumEdges() && same; i++ {
+		if g1.Edge(graph.EdgeID(i)) != g3.Edge(graph.EdgeID(i)) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical networks")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Spec{Nodes: 1, Edges: 0}); err == nil {
+		t.Error("1-node spec accepted")
+	}
+	if _, err := Generate(Spec{Nodes: 100, Edges: 50}); err == nil {
+		t.Error("edges < nodes-1 accepted")
+	}
+	if _, err := Generate(Spec{Nodes: 100, Edges: 100000}); err == nil {
+		t.Error("impossible edge budget accepted")
+	}
+}
+
+func TestPaperSpecSizes(t *testing.T) {
+	// Exact sizes from paper Section 6.1.
+	cases := []struct {
+		spec  Spec
+		nodes int
+		edges int
+	}{
+		{CA, 3044, 3607},
+		{AU, 23269, 30289},
+		{NA, 86318, 103042},
+	}
+	for _, c := range cases {
+		if c.spec.Nodes != c.nodes || c.spec.Edges != c.edges {
+			t.Errorf("%s: spec (%d,%d), paper (%d,%d)",
+				c.spec.Name, c.spec.Nodes, c.spec.Edges, c.nodes, c.edges)
+		}
+	}
+	// CA must actually generate (it's the smallest, cheap to build here).
+	g, err := Generate(CA)
+	if err != nil {
+		t.Fatalf("Generate(CA): %v", err)
+	}
+	if g.NumNodes() != 3044 || g.NumEdges() != 3607 || !g.Connected() {
+		t.Errorf("CA: (%d,%d) connected=%v", g.NumNodes(), g.NumEdges(), g.Connected())
+	}
+}
+
+// Obstacle carving must raise delta: the CA-style spec (large obstacles)
+// should show a clearly larger detour ratio than an obstacle-free clone.
+func TestObstaclesRaiseDelta(t *testing.T) {
+	withObs := small(3)
+	noObs := withObs
+	noObs.NumObstacles = 0
+	noObs.MaxStretch = withObs.MaxStretch
+	g1, err := Generate(withObs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Generate(noObs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := EstimateDelta(g1, 300, 1)
+	d2 := EstimateDelta(g2, 300, 1)
+	if d1 <= d2 {
+		t.Errorf("delta with obstacles %.3f <= without %.3f", d1, d2)
+	}
+	if d2 < 1 {
+		t.Errorf("delta below 1: %v", d2)
+	}
+}
+
+func TestObjects(t *testing.T) {
+	g, err := Generate(small(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, omega := range []float64{0.05, 0.5, 2.0} {
+		objs := Objects(g, omega, 0, 9)
+		want := int(math.Round(omega * float64(g.NumEdges())))
+		if len(objs) != want {
+			t.Errorf("omega=%v: %d objects, want %d", omega, len(objs), want)
+		}
+		for _, o := range objs {
+			if err := g.ValidateLocation(o.Loc); err != nil {
+				t.Fatalf("omega=%v: %v", omega, err)
+			}
+		}
+	}
+	withAttrs := Objects(g, 0.1, 2, 9)
+	for _, o := range withAttrs {
+		if len(o.Attrs) != 2 {
+			t.Fatalf("object %d has %d attrs", o.ID, len(o.Attrs))
+		}
+		for _, a := range o.Attrs {
+			if a < 0 || a >= 100 {
+				t.Fatalf("attr %v out of range", a)
+			}
+		}
+	}
+	// Determinism.
+	again := Objects(g, 0.5, 0, 9)
+	objs := Objects(g, 0.5, 0, 9)
+	for i := range objs {
+		if objs[i].Loc != again[i].Loc {
+			t.Fatal("same seed, different objects")
+		}
+	}
+}
+
+func TestQueryPoints(t *testing.T) {
+	g, err := Generate(small(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	locs := QueryPoints(g, 15, 0.1, 11)
+	if len(locs) != 15 {
+		t.Fatalf("got %d query points", len(locs))
+	}
+	// All valid and inside a compact region: max pairwise Euclidean
+	// distance clearly below the full diagonal.
+	maxD := 0.0
+	for i, a := range locs {
+		if err := g.ValidateLocation(a); err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range locs[:i] {
+			if d := g.Point(a).Dist(g.Point(b)); d > maxD {
+				maxD = d
+			}
+		}
+	}
+	if maxD > 0.75 {
+		t.Errorf("query spread %.3f too wide for a 10%% region", maxD)
+	}
+	// Determinism.
+	again := QueryPoints(g, 15, 0.1, 11)
+	for i := range locs {
+		if locs[i] != again[i] {
+			t.Fatal("same seed, different query points")
+		}
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	uf := newUnionFind(5)
+	if uf.components != 5 {
+		t.Fatalf("components = %d", uf.components)
+	}
+	if !uf.union(0, 1) || !uf.union(2, 3) || uf.components != 3 {
+		t.Fatal("union bookkeeping wrong")
+	}
+	if uf.union(1, 0) {
+		t.Error("re-union reported a merge")
+	}
+	uf.union(1, 3)
+	if uf.find(0) != uf.find(2) {
+		t.Error("transitive union broken")
+	}
+	if uf.find(4) == uf.find(0) {
+		t.Error("separate set merged")
+	}
+}

@@ -1,0 +1,99 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"roadskyline/internal/geom"
+)
+
+// ReadCnodeCedge parses the classic spatial-database road-network
+// distribution format used by the paper-era datasets (one file of nodes,
+// one of edges):
+//
+//	cnode lines: <node_id> <x> <y>
+//	cedge lines: <edge_id> <start_node_id> <end_node_id> <length>
+//
+// Node ids may appear in any order but must be dense (0..n-1). Edge ids
+// are ignored; edges are numbered in file order. Blank lines and lines
+// starting with '#' are skipped. Edge lengths shorter than the Euclidean
+// span of their endpoints (coordinate rounding in some distributions) are
+// raised to it, preserving A* admissibility.
+func ReadCnodeCedge(nodes, edges io.Reader) (*Graph, error) {
+	type rawNode struct {
+		seen bool
+		x, y float64
+	}
+	var raw []rawNode
+	sc := bufio.NewScanner(nodes)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 3 {
+			return nil, fmt.Errorf("graph: cnode line %q: want 3 fields", line)
+		}
+		id, err1 := strconv.Atoi(f[0])
+		x, err2 := strconv.ParseFloat(f[1], 64)
+		y, err3 := strconv.ParseFloat(f[2], 64)
+		if err1 != nil || err2 != nil || err3 != nil || id < 0 {
+			return nil, fmt.Errorf("graph: cnode line %q: bad fields", line)
+		}
+		for id >= len(raw) {
+			raw = append(raw, rawNode{})
+		}
+		if raw[id].seen {
+			return nil, fmt.Errorf("graph: cnode id %d duplicated", id)
+		}
+		raw[id] = rawNode{seen: true, x: x, y: y}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading cnode: %w", err)
+	}
+	for id, n := range raw {
+		if !n.seen {
+			return nil, fmt.Errorf("graph: cnode ids not dense: %d missing", id)
+		}
+	}
+
+	b := NewBuilder(len(raw), 0)
+	for _, n := range raw {
+		b.AddNode(geom.Point{X: n.x, Y: n.y})
+	}
+	sc = bufio.NewScanner(edges)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 4 {
+			return nil, fmt.Errorf("graph: cedge line %q: want 4 fields", line)
+		}
+		u, err1 := strconv.Atoi(f[1])
+		v, err2 := strconv.Atoi(f[2])
+		l, err3 := strconv.ParseFloat(f[3], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("graph: cedge line %q: bad fields", line)
+		}
+		if u < 0 || u >= len(raw) || v < 0 || v >= len(raw) {
+			return nil, fmt.Errorf("graph: cedge line %q: node out of range", line)
+		}
+		// Some distributions round lengths below the Euclidean span.
+		if euclid := b.nodes[u].Pt.Dist(b.nodes[v].Pt); l < euclid {
+			l = euclid
+		}
+		b.AddEdge(NodeID(u), NodeID(v), l)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading cedge: %w", err)
+	}
+	return b.Build()
+}

@@ -1,0 +1,37 @@
+package graph
+
+// Components labels every node with a connected-component id (0-based) and
+// returns the labels together with the number of components.
+func (g *Graph) Components() (labels []int32, count int32) {
+	labels = make([]int32, len(g.nodes))
+	for i := range labels {
+		labels[i] = -1
+	}
+	var queue []NodeID
+	for start := range g.nodes {
+		if labels[start] >= 0 {
+			continue
+		}
+		labels[start] = count
+		queue = append(queue[:0], NodeID(start))
+		for len(queue) > 0 {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, he := range g.adj[u] {
+				if labels[he.To] < 0 {
+					labels[he.To] = count
+					queue = append(queue, he.To)
+				}
+			}
+		}
+		count++
+	}
+	return labels, count
+}
+
+// Connected reports whether every node is reachable from every other node.
+// The empty graph is connected.
+func (g *Graph) Connected() bool {
+	_, n := g.Components()
+	return n <= 1
+}

@@ -1,0 +1,189 @@
+// Package middlelayer implements the paper's middle layer (Section 3): a
+// partial materialization of the mapping between the road network and the
+// data object set. For every object p on edge e = (v, v'), the layer stores
+// e's id with p's id and the pre-computed distances d(v, p) and d(v', p)
+// (we store the offset from v; the other distance is length - offset). The
+// layer is indexed by a B+-tree on edge ids, so a shortest-path wavefront
+// can check each visited edge for objects with a couple of buffered reads.
+package middlelayer
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"roadskyline/internal/bptree"
+	"roadskyline/internal/graph"
+	"roadskyline/internal/storage"
+)
+
+// ObjRef is an object found on an edge: its id and the distance from the
+// edge's U endpoint.
+type ObjRef struct {
+	ID     graph.ObjectID
+	Offset float64
+}
+
+// Record file layout: packed 12-byte entries (objID int32, offset float64),
+// grouped by edge, edges in ascending id order. The B+-tree maps edge id to
+// (page int32, slot int32, count int32) of the group's first entry.
+const (
+	recSize     = 12
+	recsPerPage = storage.PageSize / recSize
+	treeValSize = 12
+)
+
+// Layer is a read-only object-to-edge mapping.
+type Layer struct {
+	tree    *bptree.Tree
+	recFile storage.PageFile
+	recs    *storage.BufferPool
+	key     func(graph.EdgeID) int64
+	numObjs int
+}
+
+// Build materializes the middle layer for the given objects. treeFile holds
+// the B+-tree pages, recFile the packed records; both are typically fresh
+// MemFiles. bufferBytes sizes each of the two pools.
+//
+// key maps an edge id to its B+-tree key and must be injective; nil means
+// the identity. Shortest-path wavefronts probe the layer edge by edge, so
+// a spatially coherent key (e.g. the Hilbert value of the edge midpoint
+// prefixed to the id) clusters the probes of one wavefront onto few index
+// and record pages, exactly like the Hilbert clustering of the adjacency
+// lists.
+func Build(objects []graph.Object, treeFile, recFile storage.PageFile, bufferBytes int, key func(graph.EdgeID) int64) (*Layer, error) {
+	if key == nil {
+		key = func(e graph.EdgeID) int64 { return int64(e) }
+	}
+	byEdge := make([]graph.Object, len(objects))
+	copy(byEdge, objects)
+	sort.Slice(byEdge, func(i, j int) bool {
+		ki, kj := key(byEdge[i].Loc.Edge), key(byEdge[j].Loc.Edge)
+		if ki != kj {
+			return ki < kj
+		}
+		return byEdge[i].Loc.Offset < byEdge[j].Loc.Offset
+	})
+
+	// Pack records and collect one B+-tree entry per distinct edge.
+	var keys []int64
+	var vals [][]byte
+	page := make([]byte, storage.PageSize)
+	slot := 0
+	numPages := 0
+	flush := func() error {
+		clear(page[slot*recSize:])
+		if _, err := recFile.AppendPage(page); err != nil {
+			return err
+		}
+		numPages++
+		slot = 0
+		return nil
+	}
+	for i := 0; i < len(byEdge); {
+		e := byEdge[i].Loc.Edge
+		j := i
+		for j < len(byEdge) && byEdge[j].Loc.Edge == e {
+			j++
+		}
+		val := make([]byte, treeValSize)
+		binary.LittleEndian.PutUint32(val[0:], uint32(numPages))
+		binary.LittleEndian.PutUint32(val[4:], uint32(slot))
+		binary.LittleEndian.PutUint32(val[8:], uint32(j-i))
+		keys = append(keys, key(e))
+		vals = append(vals, val)
+		for ; i < j; i++ {
+			rec := page[slot*recSize:]
+			binary.LittleEndian.PutUint32(rec[0:], uint32(byEdge[i].ID))
+			binary.LittleEndian.PutUint64(rec[4:], math.Float64bits(byEdge[i].Loc.Offset))
+			slot++
+			if slot == recsPerPage {
+				if err := flush(); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if slot > 0 {
+		if err := flush(); err != nil {
+			return nil, err
+		}
+	}
+	tree, err := bptree.Build(treeFile, bufferBytes, treeValSize, keys, vals)
+	if err != nil {
+		return nil, fmt.Errorf("middlelayer: %w", err)
+	}
+	return &Layer{
+		tree:    tree,
+		recFile: recFile,
+		recs:    storage.NewBufferPool(recFile, bufferBytes),
+		key:     key,
+		numObjs: len(objects),
+	}, nil
+}
+
+// Clone returns an independent reader over the same pages with fresh
+// buffer pools; clones may serve lookups concurrently.
+func (l *Layer) Clone(bufferBytes int) *Layer {
+	c := *l
+	c.tree = l.tree.Clone(bufferBytes)
+	c.recs = storage.NewBufferPool(l.recFile, bufferBytes)
+	return &c
+}
+
+// NumObjects returns the number of objects in the layer.
+func (l *Layer) NumObjects() int { return l.numObjs }
+
+// ObjectsOn appends the objects lying on edge e to buf and returns it. An
+// edge with no objects costs only the B+-tree probe.
+func (l *Layer) ObjectsOn(e graph.EdgeID, buf []ObjRef) ([]ObjRef, error) {
+	var val [treeValSize]byte
+	err := l.tree.Get(l.key(e), val[:])
+	if errors.Is(err, bptree.ErrNotFound) {
+		return buf, nil
+	}
+	if err != nil {
+		return buf, err
+	}
+	pg := storage.PageID(int32(binary.LittleEndian.Uint32(val[0:])))
+	slot := int(binary.LittleEndian.Uint32(val[4:]))
+	count := int(binary.LittleEndian.Uint32(val[8:]))
+	for count > 0 {
+		p, err := l.recs.Get(pg)
+		if err != nil {
+			return buf, err
+		}
+		for ; slot < recsPerPage && count > 0; slot++ {
+			rec := p[slot*recSize:]
+			buf = append(buf, ObjRef{
+				ID:     graph.ObjectID(int32(binary.LittleEndian.Uint32(rec[0:]))),
+				Offset: math.Float64frombits(binary.LittleEndian.Uint64(rec[4:])),
+			})
+			count--
+		}
+		pg++
+		slot = 0
+	}
+	return buf, nil
+}
+
+// Stats returns the combined I/O counters of the index and record pools.
+func (l *Layer) Stats() storage.Stats {
+	a, b := l.tree.Pool().Stats(), l.recs.Stats()
+	return storage.Stats{Gets: a.Gets + b.Gets, Misses: a.Misses + b.Misses}
+}
+
+// ResetStats zeroes both pools' counters.
+func (l *Layer) ResetStats() {
+	l.tree.Pool().ResetStats()
+	l.recs.ResetStats()
+}
+
+// InvalidateCaches drops both pools' cached frames (cold-cache runs).
+func (l *Layer) InvalidateCaches() {
+	l.tree.Pool().Invalidate()
+	l.recs.Invalidate()
+}

@@ -1,0 +1,158 @@
+package middlelayer
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"roadskyline/internal/graph"
+	"roadskyline/internal/storage"
+)
+
+func build(t *testing.T, objs []graph.Object) *Layer {
+	t.Helper()
+	l, err := Build(objs, storage.NewMemFile(), storage.NewMemFile(), storage.DefaultBufferBytes, nil)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return l
+}
+
+func TestEmptyLayer(t *testing.T) {
+	l := build(t, nil)
+	if l.NumObjects() != 0 {
+		t.Fatalf("NumObjects = %d", l.NumObjects())
+	}
+	out, err := l.ObjectsOn(0, nil)
+	if err != nil {
+		t.Fatalf("ObjectsOn: %v", err)
+	}
+	if len(out) != 0 {
+		t.Errorf("empty layer returned %d objects", len(out))
+	}
+}
+
+func TestObjectsOnBasic(t *testing.T) {
+	objs := []graph.Object{
+		{ID: 0, Loc: graph.Location{Edge: 5, Offset: 0.3}},
+		{ID: 1, Loc: graph.Location{Edge: 2, Offset: 0.1}},
+		{ID: 2, Loc: graph.Location{Edge: 5, Offset: 0.1}},
+		{ID: 3, Loc: graph.Location{Edge: 9, Offset: 0.7}},
+	}
+	l := build(t, objs)
+	if l.NumObjects() != 4 {
+		t.Fatalf("NumObjects = %d", l.NumObjects())
+	}
+	out, err := l.ObjectsOn(5, nil)
+	if err != nil {
+		t.Fatalf("ObjectsOn: %v", err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("edge 5 has %d objects, want 2", len(out))
+	}
+	// Grouped entries are offset-sorted.
+	if out[0].ID != 2 || out[0].Offset != 0.1 || out[1].ID != 0 || out[1].Offset != 0.3 {
+		t.Errorf("edge 5 objects = %+v", out)
+	}
+	// Edge with no objects.
+	out, err = l.ObjectsOn(7, nil)
+	if err != nil || len(out) != 0 {
+		t.Errorf("edge 7: %v, %d objects", err, len(out))
+	}
+	// Append semantics.
+	out, _ = l.ObjectsOn(2, out[:0])
+	out, _ = l.ObjectsOn(9, out)
+	if len(out) != 2 || out[0].ID != 1 || out[1].ID != 3 {
+		t.Errorf("append semantics broken: %+v", out)
+	}
+}
+
+// Many objects on one edge must span record pages correctly.
+func TestObjectsSpanningPages(t *testing.T) {
+	const n = 1000 // > recsPerPage
+	objs := make([]graph.Object, n+2)
+	for i := 0; i < n; i++ {
+		objs[i] = graph.Object{ID: graph.ObjectID(i), Loc: graph.Location{Edge: 3, Offset: float64(i)}}
+	}
+	objs[n] = graph.Object{ID: graph.ObjectID(n), Loc: graph.Location{Edge: 1, Offset: 0}}
+	objs[n+1] = graph.Object{ID: graph.ObjectID(n + 1), Loc: graph.Location{Edge: 8, Offset: 0}}
+	l := build(t, objs)
+	out, err := l.ObjectsOn(3, nil)
+	if err != nil {
+		t.Fatalf("ObjectsOn: %v", err)
+	}
+	if len(out) != n {
+		t.Fatalf("got %d objects, want %d", len(out), n)
+	}
+	for i, r := range out {
+		if r.Offset != float64(i) {
+			t.Fatalf("object %d has offset %v", i, r.Offset)
+		}
+	}
+	// Neighbors unharmed.
+	if out, _ := l.ObjectsOn(1, nil); len(out) != 1 || out[0].ID != graph.ObjectID(n) {
+		t.Errorf("edge 1 wrong: %+v", out)
+	}
+	if out, _ := l.ObjectsOn(8, nil); len(out) != 1 || out[0].ID != graph.ObjectID(n+1) {
+		t.Errorf("edge 8 wrong: %+v", out)
+	}
+}
+
+// Randomized model check across many edges.
+func TestObjectsOnModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	const numEdges = 500
+	var objs []graph.Object
+	model := map[graph.EdgeID][]ObjRef{}
+	for i := 0; i < 3000; i++ {
+		e := graph.EdgeID(rng.Intn(numEdges))
+		o := graph.Object{ID: graph.ObjectID(i), Loc: graph.Location{Edge: e, Offset: rng.Float64()}}
+		objs = append(objs, o)
+		model[e] = append(model[e], ObjRef{ID: o.ID, Offset: o.Loc.Offset})
+	}
+	for e := range model {
+		sort.Slice(model[e], func(i, j int) bool { return model[e][i].Offset < model[e][j].Offset })
+	}
+	l := build(t, objs)
+	var buf []ObjRef
+	for e := graph.EdgeID(0); e < numEdges; e++ {
+		var err error
+		buf, err = l.ObjectsOn(e, buf[:0])
+		if err != nil {
+			t.Fatalf("ObjectsOn(%d): %v", e, err)
+		}
+		want := model[e]
+		if len(buf) != len(want) {
+			t.Fatalf("edge %d: %d objects, want %d", e, len(buf), len(want))
+		}
+		for i := range buf {
+			if buf[i] != want[i] {
+				t.Fatalf("edge %d object %d: %+v, want %+v", e, i, buf[i], want[i])
+			}
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	objs := []graph.Object{{ID: 0, Loc: graph.Location{Edge: 1, Offset: 0.5}}}
+	l := build(t, objs)
+	l.ResetStats()
+	l.ObjectsOn(1, nil)
+	st := l.Stats()
+	if st.Gets == 0 {
+		t.Error("lookup performed no page gets")
+	}
+	if st.Misses == 0 {
+		t.Error("cold lookup faulted nothing")
+	}
+	l.ResetStats()
+	l.ObjectsOn(1, nil)
+	if st := l.Stats(); st.Misses != 0 {
+		t.Errorf("warm lookup faulted %d pages", st.Misses)
+	}
+	l.InvalidateCaches()
+	l.ObjectsOn(1, nil)
+	if st := l.Stats(); st.Misses == 0 {
+		t.Error("invalidated caches still warm")
+	}
+}

@@ -1,0 +1,82 @@
+package rtree
+
+import (
+	"roadskyline/internal/geom"
+	"roadskyline/internal/pqueue"
+)
+
+// BestFirst is a generic best-first traversal of the tree under a
+// caller-supplied key: nodes and entries pop in ascending key order, where
+// NodeKey must lower-bound the EntryKey of everything inside the node's
+// rectangle. Prune callbacks run at pop time, so they may become stricter
+// as the caller learns more (EDC's candidate-space enumeration prunes with
+// the shifted vectors accumulated so far).
+type BestFirst struct {
+	tree *Tree
+	heap *pqueue.Queue[nnItem]
+
+	// NodeKey returns the traversal key lower bound of a subtree MBR.
+	nodeKey func(geom.Rect) float64
+	// EntryKey returns the traversal key of a leaf entry.
+	entryKey func(Entry) float64
+	// PruneNode reports that no entry below this MBR can qualify.
+	pruneNode func(geom.Rect) bool
+	// PruneEntry reports that this entry does not qualify.
+	pruneEntry func(Entry) bool
+}
+
+// NewBestFirst returns a best-first iterator. nodeKey and entryKey are
+// required; pruneNode and pruneEntry may be nil.
+func (t *Tree) NewBestFirst(
+	nodeKey func(geom.Rect) float64,
+	entryKey func(Entry) float64,
+	pruneNode func(geom.Rect) bool,
+	pruneEntry func(Entry) bool,
+) *BestFirst {
+	it := &BestFirst{
+		tree:       t,
+		heap:       pqueue.New[nnItem](64),
+		nodeKey:    nodeKey,
+		entryKey:   entryKey,
+		pruneNode:  pruneNode,
+		pruneEntry: pruneEntry,
+	}
+	if t.size > 0 {
+		it.heap.Push(nnItem{node: t.root}, nodeKey(t.root.rect))
+	}
+	return it
+}
+
+// Next returns the next surviving entry in ascending key order.
+func (it *BestFirst) Next() (Entry, float64, bool) {
+	for it.heap.Len() > 0 {
+		item, key := it.heap.Pop()
+		if item.node == nil {
+			if it.pruneEntry != nil && it.pruneEntry(item.entry) {
+				continue
+			}
+			return item.entry, key, true
+		}
+		n := item.node
+		if it.pruneNode != nil && it.pruneNode(n.rect) {
+			continue
+		}
+		it.tree.visits.Add(1)
+		if n.leaf {
+			for _, e := range n.entries {
+				if it.pruneEntry != nil && it.pruneEntry(e) {
+					continue
+				}
+				it.heap.Push(nnItem{entry: e}, it.entryKey(e))
+			}
+		} else {
+			for _, c := range n.children {
+				if it.pruneNode != nil && it.pruneNode(c.rect) {
+					continue
+				}
+				it.heap.Push(nnItem{node: c}, it.nodeKey(c.rect))
+			}
+		}
+	}
+	return Entry{}, 0, false
+}

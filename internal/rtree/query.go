@@ -1,0 +1,136 @@
+package rtree
+
+import (
+	"roadskyline/internal/geom"
+	"roadskyline/internal/pqueue"
+)
+
+// Search visits every entry whose rectangle intersects window, stopping
+// early when visit returns false.
+func (t *Tree) Search(window geom.Rect, visit func(Entry) bool) {
+	t.searchNode(t.root, window, visit)
+}
+
+func (t *Tree) searchNode(n *node, window geom.Rect, visit func(Entry) bool) bool {
+	t.visits.Add(1)
+	if n.leaf {
+		for _, e := range n.entries {
+			if window.Intersects(e.Rect) {
+				if !visit(e) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for _, c := range n.children {
+		if window.Intersects(c.rect) {
+			if !t.searchNode(c, window, visit) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// SearchFunc visits entries under caller control: descend(rect) decides
+// whether a subtree (or leaf entry rectangle) can contain qualifying data,
+// and visit receives the surviving entries, returning false to stop. It
+// implements EDC's step-3 window query, where the window is a union of
+// intersections of disks and cannot be expressed as one rectangle.
+func (t *Tree) SearchFunc(descend func(geom.Rect) bool, visit func(Entry) bool) {
+	t.searchFuncNode(t.root, descend, visit)
+}
+
+func (t *Tree) searchFuncNode(n *node, descend func(geom.Rect) bool, visit func(Entry) bool) bool {
+	t.visits.Add(1)
+	if n.leaf {
+		for _, e := range n.entries {
+			if descend(e.Rect) {
+				if !visit(e) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for _, c := range n.children {
+		if descend(c.rect) {
+			if !t.searchFuncNode(c, descend, visit) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// nnItem is either a node (internal/leaf) or a leaf entry queued by
+// distance to the NN query point.
+type nnItem struct {
+	node  *node // nil when the item is an entry
+	entry Entry
+}
+
+// NNIterator yields entries in ascending Euclidean distance from a query
+// point (best-first traversal, Hjaltason & Samet). An optional prune
+// function skips any subtree or entry whose rectangle it rejects; it is
+// evaluated when items are popped, so it may become more aggressive as the
+// caller learns more (LBC prunes regions dominated by network skyline
+// points found so far).
+type NNIterator struct {
+	tree  *Tree
+	from  geom.Point
+	prune func(geom.Rect) bool // reports "skip this rectangle"
+	heap  *pqueue.Queue[nnItem]
+}
+
+// NewNNIterator returns an iterator over t's entries in ascending distance
+// from. prune may be nil.
+func (t *Tree) NewNNIterator(from geom.Point, prune func(geom.Rect) bool) *NNIterator {
+	it := &NNIterator{tree: t, from: from, prune: prune, heap: pqueue.New[nnItem](64)}
+	if t.size > 0 {
+		it.heap.Push(nnItem{node: t.root}, t.root.rect.MinDist(from))
+	}
+	return it
+}
+
+// Next returns the next entry and its distance; ok is false when the
+// iteration is exhausted.
+func (it *NNIterator) Next() (e Entry, dist float64, ok bool) {
+	for it.heap.Len() > 0 {
+		item, key := it.heap.Pop()
+		if item.node == nil {
+			if it.prune != nil && it.prune(item.entry.Rect) {
+				continue
+			}
+			return item.entry, key, true
+		}
+		n := item.node
+		if it.prune != nil && it.prune(n.rect) {
+			continue
+		}
+		it.tree.visits.Add(1)
+		if n.leaf {
+			for _, e := range n.entries {
+				if it.prune != nil && it.prune(e.Rect) {
+					continue
+				}
+				it.heap.Push(nnItem{entry: e}, e.Rect.MinDist(it.from))
+			}
+		} else {
+			for _, c := range n.children {
+				if it.prune != nil && it.prune(c.rect) {
+					continue
+				}
+				it.heap.Push(nnItem{node: c}, c.rect.MinDist(it.from))
+			}
+		}
+	}
+	return Entry{}, 0, false
+}
+
+// NearestNeighbor returns the closest entry to from, or ok=false on an
+// empty tree.
+func (t *Tree) NearestNeighbor(from geom.Point) (Entry, float64, bool) {
+	return t.NewNNIterator(from, nil).Next()
+}

@@ -1,0 +1,391 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"roadskyline/internal/geom"
+	"roadskyline/internal/skyline"
+)
+
+func randomPoints(rng *rand.Rand, n int) []Entry {
+	entries := make([]Entry, n)
+	for i := range entries {
+		p := geom.Point{X: rng.Float64(), Y: rng.Float64()}
+		entries[i] = Entry{Rect: geom.RectFromPoint(p), ID: int32(i)}
+	}
+	return entries
+}
+
+func TestBulkLoadInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 2, 5, 16, 17, 100, 1000, 12345} {
+		tr := BulkLoad(randomPoints(rng, n), 16)
+		if tr.Len() != n {
+			t.Fatalf("n=%d: Len = %d", n, tr.Len())
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestInsertInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tr := New(8)
+	entries := randomPoints(rng, 2000)
+	for i, e := range entries {
+		tr.Insert(e)
+		if i%199 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("after %d inserts: %v", i+1, err)
+			}
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.Height() < 3 {
+		t.Fatalf("expected multi-level tree, height = %d", tr.Height())
+	}
+}
+
+func TestInsertRects(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := New(6)
+	for i := 0; i < 500; i++ {
+		a := geom.Point{X: rng.Float64(), Y: rng.Float64()}
+		b := geom.Point{X: a.X + rng.Float64()*0.1, Y: a.Y + rng.Float64()*0.1}
+		tr.Insert(Entry{Rect: geom.RectFromPoints(a, b), ID: int32(i)})
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSearchWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	entries := randomPoints(rng, 3000)
+	for _, build := range []func() *Tree{
+		func() *Tree { return BulkLoad(append([]Entry(nil), entries...), 32) },
+		func() *Tree {
+			tr := New(32)
+			for _, e := range entries {
+				tr.Insert(e)
+			}
+			return tr
+		},
+	} {
+		tr := build()
+		for trial := 0; trial < 50; trial++ {
+			w := geom.RectFromPoints(
+				geom.Point{X: rng.Float64(), Y: rng.Float64()},
+				geom.Point{X: rng.Float64(), Y: rng.Float64()},
+			)
+			got := map[int32]bool{}
+			tr.Search(w, func(e Entry) bool { got[e.ID] = true; return true })
+			for _, e := range entries {
+				want := w.Intersects(e.Rect)
+				if got[e.ID] != want {
+					t.Fatalf("window %v entry %d: got %v, want %v", w, e.ID, got[e.ID], want)
+				}
+			}
+		}
+	}
+}
+
+func TestSearchEarlyStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tr := BulkLoad(randomPoints(rng, 500), 16)
+	count := 0
+	tr.Search(geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, func(Entry) bool {
+		count++
+		return count < 7
+	})
+	if count != 7 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestSearchFuncDisks(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	entries := randomPoints(rng, 2000)
+	tr := BulkLoad(append([]Entry(nil), entries...), 32)
+	// Intersection of two disks, the EDC step-3 shape.
+	c1, r1 := geom.Point{X: 0.3, Y: 0.3}, 0.4
+	c2, r2 := geom.Point{X: 0.7, Y: 0.6}, 0.5
+	descend := func(r geom.Rect) bool {
+		return r.MinDist(c1) <= r1 && r.MinDist(c2) <= r2
+	}
+	got := map[int32]bool{}
+	tr.SearchFunc(descend, func(e Entry) bool { got[e.ID] = true; return true })
+	for _, e := range entries {
+		p := e.Point()
+		want := p.Dist(c1) <= r1 && p.Dist(c2) <= r2
+		if got[e.ID] != want {
+			t.Fatalf("entry %d at %v: got %v, want %v", e.ID, p, got[e.ID], want)
+		}
+	}
+}
+
+func TestNNIteratorOrderAndCompleteness(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	entries := randomPoints(rng, 1500)
+	tr := BulkLoad(append([]Entry(nil), entries...), 16)
+	for trial := 0; trial < 10; trial++ {
+		q := geom.Point{X: rng.Float64() * 1.4, Y: rng.Float64() * 1.4}
+		it := tr.NewNNIterator(q, nil)
+		var dists []float64
+		seen := map[int32]bool{}
+		prev := -1.0
+		for {
+			e, d, ok := it.Next()
+			if !ok {
+				break
+			}
+			if d < prev-1e-12 {
+				t.Fatalf("NN order violated: %v after %v", d, prev)
+			}
+			if math.Abs(d-q.Dist(e.Point())) > 1e-9 {
+				t.Fatalf("NN distance wrong: %v vs %v", d, q.Dist(e.Point()))
+			}
+			prev = d
+			seen[e.ID] = true
+			dists = append(dists, d)
+		}
+		if len(seen) != len(entries) {
+			t.Fatalf("iterator returned %d of %d entries", len(seen), len(entries))
+		}
+		// Spot-check against linear scan for the first neighbor.
+		want := math.Inf(1)
+		for _, e := range entries {
+			if d := q.Dist(e.Point()); d < want {
+				want = d
+			}
+		}
+		if math.Abs(dists[0]-want) > 1e-9 {
+			t.Fatalf("first NN %v, linear scan %v", dists[0], want)
+		}
+	}
+}
+
+func TestNNIteratorPrune(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	entries := randomPoints(rng, 800)
+	tr := BulkLoad(append([]Entry(nil), entries...), 16)
+	q := geom.Point{X: 0.5, Y: 0.5}
+	// Prune everything left of x = 0.5.
+	prune := func(r geom.Rect) bool { return r.MaxX < 0.5 }
+	it := tr.NewNNIterator(q, prune)
+	count := 0
+	for {
+		e, _, ok := it.Next()
+		if !ok {
+			break
+		}
+		if e.Point().X < 0.5 {
+			t.Fatalf("pruned region leaked entry at %v", e.Point())
+		}
+		count++
+	}
+	want := 0
+	for _, e := range entries {
+		if e.Point().X >= 0.5 {
+			want++
+		}
+	}
+	if count != want {
+		t.Fatalf("prune returned %d, want %d", count, want)
+	}
+}
+
+// The prune function may become stricter mid-iteration; already-queued
+// items must be re-checked at pop time.
+func TestNNIteratorDynamicPrune(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	entries := randomPoints(rng, 500)
+	tr := BulkLoad(append([]Entry(nil), entries...), 4) // deep tree
+	q := geom.Point{X: 0, Y: 0}
+	cut := math.Inf(1) // prune everything farther than cut from q
+	prune := func(r geom.Rect) bool { return r.MinDist(q) > cut }
+	it := tr.NewNNIterator(q, prune)
+	e, d, ok := it.Next()
+	if !ok {
+		t.Fatal("no first entry")
+	}
+	_ = e
+	cut = d + 0.05 // only entries within d+0.05 are acceptable now
+	for {
+		e, dist, ok := it.Next()
+		if !ok {
+			break
+		}
+		if dist > cut+1e-12 {
+			t.Fatalf("entry %d at dist %v exceeds dynamic cut %v", e.ID, dist, cut)
+		}
+	}
+}
+
+func TestNearestNeighborEmpty(t *testing.T) {
+	tr := New(8)
+	if _, _, ok := tr.NearestNeighbor(geom.Point{}); ok {
+		t.Error("empty tree returned a neighbor")
+	}
+	it := tr.NewNNIterator(geom.Point{}, nil)
+	if _, _, ok := it.Next(); ok {
+		t.Error("empty iterator returned a neighbor")
+	}
+}
+
+func TestSkylineIteratorMatchesBNL(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 40; trial++ {
+		n := 50 + rng.Intn(400)
+		entries := randomPoints(rng, n)
+		tr := BulkLoad(append([]Entry(nil), entries...), 16)
+		numQ := 1 + rng.Intn(4)
+		qs := make([]geom.Point, numQ)
+		for i := range qs {
+			qs[i] = geom.Point{X: rng.Float64(), Y: rng.Float64()}
+		}
+		// Reference: skyline of distance vectors.
+		vecs := make([][]float64, n)
+		for i, e := range entries {
+			v := make([]float64, numQ)
+			for j, q := range qs {
+				v[j] = q.Dist(e.Point())
+			}
+			vecs[i] = v
+		}
+		want := map[int]bool{}
+		for _, i := range skyline.Skyline(vecs) {
+			want[i] = true
+		}
+		it := tr.NewSkylineIterator(qs, nil)
+		got := map[int]bool{}
+		prevSum := -1.0
+		for {
+			e, vec, ok := it.Next()
+			if !ok {
+				break
+			}
+			got[int(e.ID)] = true
+			sum := 0.0
+			for j, q := range qs {
+				if math.Abs(vec[j]-q.Dist(e.Point())) > 1e-9 {
+					t.Fatalf("vector component wrong")
+				}
+				sum += vec[j]
+			}
+			if sum < prevSum-1e-9 {
+				t.Fatalf("skyline not in mindist order: %v after %v", sum, prevSum)
+			}
+			prevSum = sum
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d skyline points, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if !got[i] {
+				t.Fatalf("trial %d: missing skyline point %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestSkylineIteratorExternalPrune(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	entries := randomPoints(rng, 300)
+	tr := BulkLoad(append([]Entry(nil), entries...), 16)
+	qs := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 1}}
+	// Suppress everything whose distance to q0 exceeds 0.8.
+	it := tr.NewSkylineIterator(qs, &SkylineOptions{Prune: func(vec []float64) bool { return vec[0] > 0.8 }})
+	for {
+		_, vec, ok := it.Next()
+		if !ok {
+			break
+		}
+		if vec[0] > 0.8 {
+			t.Fatalf("externally pruned point returned: %v", vec)
+		}
+	}
+}
+
+func TestNodeAccessesCounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	tr := BulkLoad(randomPoints(rng, 2000), 16)
+	tr.ResetNodeAccesses()
+	tr.Search(geom.Rect{MinX: 0.4, MinY: 0.4, MaxX: 0.6, MaxY: 0.6}, func(Entry) bool { return true })
+	if tr.NodeAccesses() == 0 {
+		t.Error("window query counted no node accesses")
+	}
+	tr.ResetNodeAccesses()
+	if tr.NodeAccesses() != 0 {
+		t.Error("ResetNodeAccesses failed")
+	}
+}
+
+func TestBulkLoadHeightBalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	tr := BulkLoad(randomPoints(rng, 10000), 100)
+	// 10000 entries at fanout 100 should pack into exactly 2 levels.
+	if h := tr.Height(); h != 2 {
+		t.Errorf("height = %d, want 2", h)
+	}
+	// All leaves at the same depth.
+	depths := map[int]bool{}
+	var walk func(n *node, d int)
+	walk = func(n *node, d int) {
+		if n.leaf {
+			depths[d] = true
+			return
+		}
+		for _, c := range n.children {
+			walk(c, d+1)
+		}
+	}
+	walk(tr.root, 1)
+	if len(depths) != 1 {
+		t.Errorf("leaves at multiple depths: %v", depths)
+	}
+}
+
+// NN iterator must visit far fewer nodes than a full scan on clustered
+// queries (sanity check that best-first pruning works).
+func TestNNIteratorEfficiency(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	tr := BulkLoad(randomPoints(rng, 20000), 100)
+	tr.ResetNodeAccesses()
+	it := tr.NewNNIterator(geom.Point{X: 0.5, Y: 0.5}, nil)
+	for i := 0; i < 10; i++ {
+		it.Next()
+	}
+	total := int64(1 + (20000+99)/100)
+	if tr.NodeAccesses()*10 > total {
+		t.Errorf("10-NN visited %d of %d nodes", tr.NodeAccesses(), total)
+	}
+}
+
+func TestEntriesSortedStability(t *testing.T) {
+	// BulkLoad reorders its input slice; verify Len/queries still see all.
+	entries := []Entry{
+		{Rect: geom.RectFromPoint(geom.Point{X: 0.9, Y: 0.1}), ID: 0},
+		{Rect: geom.RectFromPoint(geom.Point{X: 0.1, Y: 0.9}), ID: 1},
+		{Rect: geom.RectFromPoint(geom.Point{X: 0.5, Y: 0.5}), ID: 2},
+	}
+	tr := BulkLoad(entries, 4)
+	var ids []int32
+	tr.Search(geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, func(e Entry) bool {
+		ids = append(ids, e.ID)
+		return true
+	})
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	if len(ids) != 3 || ids[0] != 0 || ids[1] != 1 || ids[2] != 2 {
+		t.Fatalf("ids = %v", ids)
+	}
+}

@@ -1,0 +1,122 @@
+// Package skyline provides dominance tests and reference skyline
+// computations over float64 vectors.
+//
+// Engine-wide convention (minimization): vector a dominates vector b when
+// a[i] <= b[i] for every dimension and a[i] < b[i] for at least one. An
+// object is a skyline point when no other object dominates it; objects with
+// exactly equal vectors are therefore all skyline points.
+package skyline
+
+import "sort"
+
+// Dominates reports whether a dominates b: a <= b component-wise with at
+// least one strict inequality. Vectors must have equal length.
+func Dominates(a, b []float64) bool {
+	strict := false
+	for i := range a {
+		if a[i] > b[i] {
+			return false
+		}
+		if a[i] < b[i] {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// DominatesOrEqual reports whether a <= b in every component. It is the
+// pruning test for regions: a subtree whose lower-bound vector is at or
+// beyond an existing skyline vector in all dimensions cannot contain a new
+// skyline point with a distinct vector.
+func DominatesOrEqual(a, b []float64) bool {
+	for i := range a {
+		if a[i] > b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// DominatedBy reports whether vec is dominated by any vector in set.
+func DominatedBy(vec []float64, set [][]float64) bool {
+	for _, s := range set {
+		if Dominates(s, vec) {
+			return true
+		}
+	}
+	return false
+}
+
+// BlockNestedLoops computes the skyline of vecs with the classic BNL
+// algorithm and returns the indices of the skyline vectors in ascending
+// input order. It is the reference implementation used to validate every
+// other skyline computation in the engine.
+func BlockNestedLoops(vecs [][]float64) []int {
+	var window []int
+	for i, v := range vecs {
+		dominated := false
+		for _, w := range window {
+			if Dominates(vecs[w], v) {
+				dominated = true
+				break
+			}
+		}
+		if dominated {
+			continue
+		}
+		keep := window[:0]
+		for _, w := range window {
+			if !Dominates(v, vecs[w]) {
+				keep = append(keep, w)
+			}
+		}
+		window = append(keep, i)
+	}
+	sort.Ints(window)
+	return window
+}
+
+// Skyline computes the skyline of vecs and returns the indices of skyline
+// vectors in ascending input order. It pre-sorts by vector sum
+// (Sort-Filter-Skyline): a dominating vector always has a strictly smaller
+// sum, so each element needs comparing only against already-accepted
+// skyline points and never against later ones.
+func Skyline(vecs [][]float64) []int {
+	order := make([]int, len(vecs))
+	for i := range order {
+		order[i] = i
+	}
+	sums := make([]float64, len(vecs))
+	for i, v := range vecs {
+		for _, x := range v {
+			sums[i] += x
+		}
+	}
+	sort.Slice(order, func(a, b int) bool { return sums[order[a]] < sums[order[b]] })
+	// With exact arithmetic nothing later in sum order can dominate an
+	// accepted point. Floating-point overflow (sums collapsing to +/-Inf)
+	// can break that, so newcomers also evict accepted points they
+	// dominate, which keeps the result correct for any inputs.
+	var result []int
+	for _, i := range order {
+		dominated := false
+		for _, j := range result {
+			if Dominates(vecs[j], vecs[i]) {
+				dominated = true
+				break
+			}
+		}
+		if dominated {
+			continue
+		}
+		keep := result[:0]
+		for _, j := range result {
+			if !Dominates(vecs[i], vecs[j]) {
+				keep = append(keep, j)
+			}
+		}
+		result = append(keep, i)
+	}
+	sort.Ints(result)
+	return result
+}

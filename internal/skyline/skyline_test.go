@@ -1,0 +1,197 @@
+package skyline
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestDominates(t *testing.T) {
+	cases := []struct {
+		a, b []float64
+		want bool
+	}{
+		{[]float64{1, 1}, []float64{2, 2}, true},
+		{[]float64{1, 2}, []float64{2, 2}, true},
+		{[]float64{2, 2}, []float64{2, 2}, false}, // equal: no strict dim
+		{[]float64{1, 3}, []float64{2, 2}, false}, // incomparable
+		{[]float64{3, 3}, []float64{2, 2}, false},
+		{[]float64{1}, []float64{1}, false},
+		{[]float64{0}, []float64{1}, true},
+	}
+	for _, c := range cases {
+		if got := Dominates(c.a, c.b); got != c.want {
+			t.Errorf("Dominates(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDominatesOrEqual(t *testing.T) {
+	if !DominatesOrEqual([]float64{2, 2}, []float64{2, 2}) {
+		t.Error("equal vectors must DominatesOrEqual")
+	}
+	if DominatesOrEqual([]float64{3, 1}, []float64{2, 2}) {
+		t.Error("incomparable vectors must not DominatesOrEqual")
+	}
+}
+
+// Dominance is irreflexive, antisymmetric and transitive.
+func TestDominanceProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	vec := func() []float64 {
+		v := make([]float64, 3)
+		for i := range v {
+			v[i] = float64(rng.Intn(4)) // small ints force ties
+		}
+		return v
+	}
+	for i := 0; i < 10000; i++ {
+		a, b, c := vec(), vec(), vec()
+		if Dominates(a, a) {
+			t.Fatalf("irreflexivity violated: %v", a)
+		}
+		if Dominates(a, b) && Dominates(b, a) {
+			t.Fatalf("antisymmetry violated: %v, %v", a, b)
+		}
+		if Dominates(a, b) && Dominates(b, c) && !Dominates(a, c) {
+			t.Fatalf("transitivity violated: %v, %v, %v", a, b, c)
+		}
+	}
+}
+
+// naiveSkyline is the O(n^2) definitional skyline.
+func naiveSkyline(vecs [][]float64) []int {
+	var out []int
+	for i, v := range vecs {
+		dominated := false
+		for j, w := range vecs {
+			if i != j && Dominates(w, v) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func randomVecs(rng *rand.Rand, n, dims, valRange int) [][]float64 {
+	vecs := make([][]float64, n)
+	for i := range vecs {
+		v := make([]float64, dims)
+		for d := range v {
+			v[d] = float64(rng.Intn(valRange))
+		}
+		vecs[i] = v
+	}
+	return vecs
+}
+
+func TestBNLMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 300; trial++ {
+		vecs := randomVecs(rng, rng.Intn(60), 1+rng.Intn(4), 1+rng.Intn(8))
+		got := BlockNestedLoops(vecs)
+		want := naiveSkyline(vecs)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: BNL %v != naive %v for %v", trial, got, want, vecs)
+		}
+	}
+}
+
+func TestSkylineMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 300; trial++ {
+		vecs := randomVecs(rng, rng.Intn(60), 1+rng.Intn(4), 1+rng.Intn(8))
+		got := Skyline(vecs)
+		want := naiveSkyline(vecs)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: Skyline %v != naive %v for %v", trial, got, want, vecs)
+		}
+	}
+}
+
+func TestSkylineDuplicateVectors(t *testing.T) {
+	vecs := [][]float64{{1, 1}, {1, 1}, {2, 0}, {3, 3}}
+	want := []int{0, 1, 2}
+	if got := Skyline(vecs); !reflect.DeepEqual(got, want) {
+		t.Errorf("Skyline = %v, want %v (duplicates are all skyline)", got, want)
+	}
+	if got := BlockNestedLoops(vecs); !reflect.DeepEqual(got, want) {
+		t.Errorf("BNL = %v, want %v", got, want)
+	}
+}
+
+func TestSkylineEdgeCases(t *testing.T) {
+	if got := Skyline(nil); len(got) != 0 {
+		t.Errorf("empty skyline = %v", got)
+	}
+	if got := Skyline([][]float64{{5}}); !reflect.DeepEqual(got, []int{0}) {
+		t.Errorf("singleton skyline = %v", got)
+	}
+	// Totally ordered chain: only the minimum survives.
+	vecs := [][]float64{{3, 3}, {2, 2}, {1, 1}}
+	if got := Skyline(vecs); !reflect.DeepEqual(got, []int{2}) {
+		t.Errorf("chain skyline = %v", got)
+	}
+	// Anti-chain: everything survives.
+	vecs = [][]float64{{1, 3}, {2, 2}, {3, 1}}
+	if got := Skyline(vecs); !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Errorf("anti-chain skyline = %v", got)
+	}
+}
+
+// Quick-check: no skyline member dominated, every non-member dominated.
+func TestSkylineDefinition(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		dims := 2
+		n := len(raw) / dims
+		vecs := make([][]float64, n)
+		for i := range vecs {
+			vecs[i] = raw[i*dims : (i+1)*dims]
+		}
+		got := Skyline(vecs)
+		inSky := map[int]bool{}
+		for _, i := range got {
+			inSky[i] = true
+		}
+		for i, v := range vecs {
+			dominated := false
+			for j, w := range vecs {
+				if i != j && Dominates(w, v) {
+					dominated = true
+					break
+				}
+			}
+			if inSky[i] == dominated {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDominatedBy(t *testing.T) {
+	set := [][]float64{{2, 2}, {1, 5}}
+	if !DominatedBy([]float64{3, 3}, set) {
+		t.Error("dominated vector not detected")
+	}
+	if DominatedBy([]float64{0, 0}, set) {
+		t.Error("dominating vector flagged as dominated")
+	}
+	if DominatedBy([]float64{2, 2}, set) {
+		t.Error("equal vector must not count as dominated")
+	}
+	if DominatedBy([]float64{1, 1}, nil) {
+		t.Error("empty set dominates nothing")
+	}
+}

@@ -1,0 +1,304 @@
+package sp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"roadskyline/internal/diskgraph"
+	"roadskyline/internal/geom"
+	"roadskyline/internal/graph"
+	"roadskyline/internal/pqueue"
+)
+
+// ErrStaleSession is returned by Session.Advance after a newer session has
+// been opened on the same searcher.
+var ErrStaleSession = errors.New("sp: session superseded by a newer session on the same searcher")
+
+// AStar is a resumable A* searcher rooted at one source location. Its
+// settled set and frontier persist across targets; each target gets a
+// Session, which re-keys the shared frontier with the target's Euclidean
+// heuristic (the heuristic changes with the destination, the wavefront
+// does not — paper Sections 3 and 4.2).
+//
+// Only the most recently opened session may be advanced: sessions share
+// the searcher's wavefront, so interleaving would corrupt the expansion.
+// Abandoning a session (LBC drops a candidate once it is dominated) is
+// free — the wavefront stays valid.
+type AStar struct {
+	net     Net
+	src     graph.Location
+	srcPt   geom.Point
+	settled map[graph.NodeID]float64
+	// frontier holds tentative distances and coordinates of wavefront
+	// nodes; coordinates ride along so heuristics need no page reads.
+	frontier map[graph.NodeID]frontierEntry
+	// parent records each node's predecessor on its current best path from
+	// the source (absent for the source edge's endpoints).
+	parent map[graph.NodeID]graph.NodeID
+	seq    int  // generation counter for session invalidation
+	noHeur bool // ablation: zero heuristic degrades A* to resumable Dijkstra
+
+	nodesExpanded int
+	nbuf          []diskgraph.Neighbor
+}
+
+type frontierEntry struct {
+	g  float64
+	pt geom.Point
+}
+
+// NewAStar creates a searcher rooted at src. srcPt must be the planar
+// position of src (callers have it from the query point).
+func NewAStar(net Net, src graph.Location, srcPt geom.Point) (*AStar, error) {
+	a := &AStar{
+		net:      net,
+		src:      src,
+		srcPt:    srcPt,
+		settled:  make(map[graph.NodeID]float64),
+		frontier: make(map[graph.NodeID]frontierEntry),
+		parent:   make(map[graph.NodeID]graph.NodeID),
+	}
+	e := net.Edge(src.Edge)
+	uPt, err := net.NodePoint(e.U)
+	if err != nil {
+		return nil, fmt.Errorf("sp: source edge endpoint: %w", err)
+	}
+	vPt, err := net.NodePoint(e.V)
+	if err != nil {
+		return nil, fmt.Errorf("sp: source edge endpoint: %w", err)
+	}
+	a.frontier[e.U] = frontierEntry{g: src.Offset, pt: uPt}
+	a.frontier[e.V] = frontierEntry{g: e.Length - src.Offset, pt: vPt}
+	return a, nil
+}
+
+// DisableHeuristic zeroes the Euclidean heuristic, degrading the searcher
+// to a resumable Dijkstra. It exists for the paper's A*-vs-Dijkstra
+// ablation and must be called before any session is opened.
+func (a *AStar) DisableHeuristic() { a.noHeur = true }
+
+// h returns the admissible heuristic from pt toward dest.
+func (a *AStar) h(pt, dest geom.Point) float64 {
+	if a.noHeur {
+		return 0
+	}
+	return pt.Dist(dest)
+}
+
+// NodesExpanded returns the number of nodes settled so far across all
+// sessions.
+func (a *AStar) NodesExpanded() int { return a.nodesExpanded }
+
+// Source returns the searcher's source location.
+func (a *AStar) Source() graph.Location { return a.src }
+
+// SourcePoint returns the searcher's source coordinates.
+func (a *AStar) SourcePoint() geom.Point { return a.srcPt }
+
+// Session is an A* run from the searcher's source toward one destination.
+// Advance performs one wavefront expansion step and reports the path
+// distance lower bound: a monotonically non-decreasing value that never
+// exceeds the true network distance and equals it on completion.
+type Session struct {
+	a       *AStar
+	seq     int
+	dest    graph.Location
+	destPt  geom.Point
+	destE   graph.Edge
+	heap    *pqueue.Indexed[graph.NodeID]
+	tent    float64      // best known complete path to dest
+	via     graph.NodeID // endpoint the best path enters the dest edge by
+	direct  bool         // best path runs along the shared source edge
+	plb     float64
+	done    bool
+	unreach bool
+}
+
+// NewSession opens a session toward dest located at destPt. Opening a
+// session invalidates any previously opened session on this searcher.
+func (a *AStar) NewSession(dest graph.Location, destPt geom.Point) *Session {
+	a.seq++
+	s := &Session{
+		a:      a,
+		seq:    a.seq,
+		dest:   dest,
+		destPt: destPt,
+		destE:  a.net.Edge(dest.Edge),
+		heap:   pqueue.NewIndexed[graph.NodeID](len(a.frontier) + 16),
+		tent:   math.Inf(1),
+	}
+	s.via = -1
+	// Same-edge shortcut: the path along the shared edge is always valid.
+	if dest.Edge == a.src.Edge {
+		s.tent = math.Abs(dest.Offset - a.src.Offset)
+		s.direct = true
+	}
+	// Settled endpoints of the destination edge already give complete
+	// paths. Every network path to a point on an edge enters via one of
+	// the edge's endpoints, so once both are settled the distance is exact
+	// and the session completes without touching the frontier at all.
+	dU, okU := a.settled[s.destE.U]
+	dV, okV := a.settled[s.destE.V]
+	if okU && dU+dest.Offset < s.tent {
+		s.tent, s.via, s.direct = dU+dest.Offset, s.destE.U, false
+	}
+	if okV && dV+s.destE.Length-dest.Offset < s.tent {
+		s.tent, s.via, s.direct = dV+s.destE.Length-dest.Offset, s.destE.V, false
+	}
+	if okU && okV {
+		s.finish()
+		return s
+	}
+	// Re-key the shared frontier with this destination's heuristic.
+	for id, fe := range a.frontier {
+		s.heap.Push(id, fe.g+a.h(fe.pt, destPt))
+	}
+	s.plb = math.Min(s.minF(), s.tent)
+	if s.minF() >= s.tent {
+		s.finish()
+	}
+	return s
+}
+
+func (s *Session) minF() float64 {
+	if s.heap.Len() == 0 {
+		return math.Inf(1)
+	}
+	return s.heap.MinKey()
+}
+
+func (s *Session) finish() {
+	s.done = true
+	if math.IsInf(s.tent, 1) {
+		s.unreach = true
+	}
+	s.plb = s.tent
+}
+
+// Done reports whether the network distance has been fully determined.
+func (s *Session) Done() bool { return s.done }
+
+// PLB returns the current path distance lower bound. It never exceeds the
+// true network distance, never decreases, and equals the network distance
+// once Done.
+func (s *Session) PLB() float64 { return s.plb }
+
+// Dist returns the network distance. It panics unless Done; it is +Inf for
+// an unreachable destination.
+func (s *Session) Dist() float64 {
+	if !s.done {
+		panic("sp: Dist called before session completion")
+	}
+	return s.tent
+}
+
+// Advance performs one expansion step (settles one node) and returns the
+// updated lower bound. Calling Advance on a completed session is a no-op.
+func (s *Session) Advance() (plb float64, done bool, err error) {
+	if s.done {
+		return s.plb, true, nil
+	}
+	if s.seq != s.a.seq {
+		return 0, false, ErrStaleSession
+	}
+	a := s.a
+	u, _ := s.heap.Pop()
+	fe := a.frontier[u]
+	delete(a.frontier, u)
+	a.settled[u] = fe.g
+	a.nodesExpanded++
+
+	if u == s.destE.U && fe.g+s.dest.Offset < s.tent {
+		s.tent, s.via, s.direct = fe.g+s.dest.Offset, u, false
+	}
+	if u == s.destE.V && fe.g+s.destE.Length-s.dest.Offset < s.tent {
+		s.tent, s.via, s.direct = fe.g+s.destE.Length-s.dest.Offset, u, false
+	}
+
+	a.nbuf, err = a.net.Neighbors(u, a.nbuf[:0])
+	if err != nil {
+		return 0, false, fmt.Errorf("sp: expanding node %d: %w", u, err)
+	}
+	for _, nb := range a.nbuf {
+		if _, ok := a.settled[nb.To]; ok {
+			continue
+		}
+		newg := fe.g + nb.Length
+		if cur, ok := a.frontier[nb.To]; ok && cur.g <= newg {
+			continue
+		}
+		a.frontier[nb.To] = frontierEntry{g: newg, pt: nb.ToPt}
+		a.parent[nb.To] = u
+		s.heap.Push(nb.To, newg+a.h(nb.ToPt, s.destPt))
+	}
+
+	if lb := math.Min(s.minF(), s.tent); lb > s.plb {
+		s.plb = lb
+	}
+	if s.minF() >= s.tent {
+		s.finish()
+	} else if _, okU := a.settled[s.destE.U]; okU {
+		// Both endpoints settled: the distance is exact (see NewSession).
+		if _, okV := a.settled[s.destE.V]; okV {
+			s.finish()
+		}
+	}
+	return s.plb, s.done, nil
+}
+
+// Run advances the session to completion and returns the network distance
+// (+Inf when unreachable).
+func (s *Session) Run() (float64, error) {
+	for !s.done {
+		if _, _, err := s.Advance(); err != nil {
+			return 0, err
+		}
+	}
+	return s.tent, nil
+}
+
+// DistanceTo computes the network distance from the searcher's source to
+// dest at destPt, reusing all previously expanded network state.
+func (a *AStar) DistanceTo(dest graph.Location, destPt geom.Point) (float64, error) {
+	return a.NewSession(dest, destPt).Run()
+}
+
+// ErrUnreachable is returned by Path for a destination with no network
+// path from the source.
+var ErrUnreachable = errors.New("sp: destination unreachable")
+
+// Path returns the node sequence of a shortest path realizing Dist: the
+// nodes visited in order from the source edge to the destination edge.
+// The walk starts partway along the source edge (reaching the first node
+// costs its offset part) and ends partway along the destination edge. An
+// empty sequence means the path runs directly along the shared edge.
+// Path panics unless Done.
+func (s *Session) Path() ([]graph.NodeID, error) {
+	if !s.done {
+		panic("sp: Path called before session completion")
+	}
+	if s.unreach {
+		return nil, ErrUnreachable
+	}
+	if s.direct {
+		return nil, nil
+	}
+	// Walk the shared predecessor tree from the entry endpoint back to a
+	// source-edge seed (the only settled nodes without parents), then
+	// reverse. Every ancestor of a settled node settled earlier, so the
+	// chain is stable even though later sessions keep growing the tree.
+	var rev []graph.NodeID
+	for v := s.via; ; {
+		rev = append(rev, v)
+		p, ok := s.a.parent[v]
+		if !ok {
+			break
+		}
+		v = p
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, nil
+}

@@ -1,0 +1,50 @@
+package sp
+
+import (
+	"math/rand"
+	"testing"
+
+	"roadskyline/internal/testnet"
+)
+
+func BenchmarkDijkstraFullDrain(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := testnet.RandomGraph(rng, 20000)
+	objs := testnet.RandomObjects(rng, g, 2000, 0)
+	srcs := testnet.RandomLocations(rng, g, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net := testnet.NewMemNet(g, objs)
+		d, err := NewDijkstra(net, srcs[i%len(srcs)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			if _, ok, err := d.NextObject(); err != nil {
+				b.Fatal(err)
+			} else if !ok {
+				break
+			}
+		}
+	}
+}
+
+func BenchmarkAStarManyTargets(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	g := testnet.RandomGraph(rng, 20000)
+	objs := testnet.RandomObjects(rng, g, 200, 0)
+	srcs := testnet.RandomLocations(rng, g, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net := testnet.NewMemNet(g, objs)
+		a, err := NewAStar(net, srcs[i%len(srcs)], g.Point(srcs[i%len(srcs)]))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, o := range objs {
+			if _, err := a.DistanceTo(o.Loc, g.Point(o.Loc)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

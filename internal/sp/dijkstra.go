@@ -1,0 +1,147 @@
+package sp
+
+import (
+	"fmt"
+	"math"
+
+	"roadskyline/internal/diskgraph"
+	"roadskyline/internal/graph"
+	"roadskyline/internal/middlelayer"
+	"roadskyline/internal/pqueue"
+)
+
+// ObjectHit is a data object reported by the incremental NN search with its
+// final network distance from the source.
+type ObjectHit struct {
+	ID   graph.ObjectID
+	Dist float64
+}
+
+// Dijkstra is a resumable Dijkstra wavefront from a source location that
+// yields data objects in ascending network distance (the incremental
+// network expansion of CE). Each call to NextObject resumes the wavefront
+// where the previous call stopped.
+type Dijkstra struct {
+	net      Net
+	settled  map[graph.NodeID]float64
+	frontier *pqueue.Indexed[graph.NodeID]
+
+	objBest map[graph.ObjectID]float64 // best tentative object distances
+	objDone map[graph.ObjectID]bool    // objects already reported
+	objHeap *pqueue.Queue[graph.ObjectID]
+
+	nodesExpanded int
+	nbuf          []diskgraph.Neighbor
+	obuf          []middlelayer.ObjRef
+}
+
+// NewDijkstra creates a wavefront rooted at src.
+func NewDijkstra(net Net, src graph.Location) (*Dijkstra, error) {
+	d := &Dijkstra{
+		net:      net,
+		settled:  make(map[graph.NodeID]float64),
+		frontier: pqueue.NewIndexed[graph.NodeID](64),
+		objBest:  make(map[graph.ObjectID]float64),
+		objDone:  make(map[graph.ObjectID]bool),
+		objHeap:  pqueue.New[graph.ObjectID](64),
+	}
+	e := net.Edge(src.Edge)
+	d.frontier.Push(e.U, src.Offset)
+	d.frontier.Push(e.V, e.Length-src.Offset)
+	// Objects on the source edge are reachable directly along the edge.
+	var err error
+	d.obuf, err = net.ObjectsOn(src.Edge, d.obuf[:0])
+	if err != nil {
+		return nil, fmt.Errorf("sp: seeding source edge: %w", err)
+	}
+	for _, r := range d.obuf {
+		d.improveObject(r.ID, math.Abs(r.Offset-src.Offset))
+	}
+	return d, nil
+}
+
+// NodesExpanded returns the number of nodes settled so far.
+func (d *Dijkstra) NodesExpanded() int { return d.nodesExpanded }
+
+func (d *Dijkstra) improveObject(id graph.ObjectID, dist float64) {
+	if best, ok := d.objBest[id]; ok && best <= dist {
+		return
+	}
+	d.objBest[id] = dist
+	d.objHeap.Push(id, dist)
+}
+
+// frontierMin returns the smallest tentative node distance on the
+// wavefront, or +Inf when the wavefront is exhausted.
+func (d *Dijkstra) frontierMin() float64 {
+	if d.frontier.Len() == 0 {
+		return math.Inf(1)
+	}
+	return d.frontier.MinKey()
+}
+
+// NextObject returns the next unreported object in ascending network
+// distance. ok is false when no reachable objects remain.
+func (d *Dijkstra) NextObject() (hit ObjectHit, ok bool, err error) {
+	for {
+		// Report an object once no shorter path to it can exist: its
+		// tentative distance is at most the smallest frontier distance.
+		for d.objHeap.Len() > 0 {
+			id, key := d.objHeap.Peek()
+			if d.objDone[id] || key > d.objBest[id] {
+				d.objHeap.Pop() // stale or duplicate heap entry
+				continue
+			}
+			if key <= d.frontierMin() {
+				d.objHeap.Pop()
+				d.objDone[id] = true
+				return ObjectHit{ID: id, Dist: key}, true, nil
+			}
+			break
+		}
+		if d.frontier.Len() == 0 {
+			return ObjectHit{}, false, nil
+		}
+		if err := d.expandOne(); err != nil {
+			return ObjectHit{}, false, err
+		}
+	}
+}
+
+// expandOne settles the closest frontier node, relaxing its edges and
+// scanning them for data objects.
+func (d *Dijkstra) expandOne() error {
+	u, dist := d.frontier.Pop()
+	d.settled[u] = dist
+	d.nodesExpanded++
+	var err error
+	d.nbuf, err = d.net.Neighbors(u, d.nbuf[:0])
+	if err != nil {
+		return fmt.Errorf("sp: expanding node %d: %w", u, err)
+	}
+	for _, nb := range d.nbuf {
+		// Scan the edge for objects regardless of the neighbor's state: a
+		// settle on this side can still improve objects on the edge.
+		d.obuf, err = d.net.ObjectsOn(nb.Edge, d.obuf[:0])
+		if err != nil {
+			return fmt.Errorf("sp: scanning edge %d: %w", nb.Edge, err)
+		}
+		if len(d.obuf) > 0 {
+			e := d.net.Edge(nb.Edge)
+			for _, r := range d.obuf {
+				d.improveObject(r.ID, dist+offsetFrom(e, u, r.Offset))
+			}
+		}
+		if _, settled := d.settled[nb.To]; settled {
+			continue
+		}
+		d.frontier.Push(nb.To, dist+nb.Length)
+	}
+	return nil
+}
+
+// SettledDist returns the exact network distance to a settled node.
+func (d *Dijkstra) SettledDist(id graph.NodeID) (float64, bool) {
+	dist, ok := d.settled[id]
+	return dist, ok
+}

@@ -1,0 +1,45 @@
+// Package sp implements the network expansion engines of the paper:
+//
+//   - Dijkstra: a resumable Dijkstra wavefront that reports data objects in
+//     ascending network distance from a source location (incremental
+//     network nearest neighbors; the engine behind CE, paper Section 4.1);
+//   - AStar: a resumable A* searcher whose per-target sessions expose the
+//     path distance lower bound (plb), the monotone bound that LBC uses to
+//     abandon network distance computations early (paper Section 4.3).
+//
+// Both keep their wavefront (settled set plus frontier) across requests,
+// matching the experimental setup of paper Section 6.1: "the frontier
+// nodes on the wavefront are maintained such that the expansion can
+// continue from a previous state".
+package sp
+
+import (
+	"roadskyline/internal/diskgraph"
+	"roadskyline/internal/geom"
+	"roadskyline/internal/graph"
+	"roadskyline/internal/middlelayer"
+)
+
+// Net is the engine's view of the road network and its object mapping.
+// Implementations route Neighbors and ObjectsOn through disk-backed,
+// I/O-counted structures; Edge and NodePoint may be served from small
+// in-memory tables.
+type Net interface {
+	// Neighbors appends node id's adjacency entries to buf.
+	Neighbors(id graph.NodeID, buf []diskgraph.Neighbor) ([]diskgraph.Neighbor, error)
+	// NodePoint returns the coordinates of a node.
+	NodePoint(id graph.NodeID) (geom.Point, error)
+	// ObjectsOn appends the data objects lying on edge e to buf.
+	ObjectsOn(e graph.EdgeID, buf []middlelayer.ObjRef) ([]middlelayer.ObjRef, error)
+	// Edge returns edge e's endpoints and length.
+	Edge(e graph.EdgeID) graph.Edge
+}
+
+// offsetFrom returns the distance from node u along edge e to a point at
+// offset off from e.U.
+func offsetFrom(e graph.Edge, u graph.NodeID, off float64) float64 {
+	if u == e.U {
+		return off
+	}
+	return e.Length - off
+}

@@ -1,0 +1,135 @@
+package storage
+
+import "fmt"
+
+// Stats counts buffer pool activity. Misses is the paper's "disk pages
+// accessed" metric: the number of pages physically faulted in from the file.
+type Stats struct {
+	Gets   int64 // logical page requests
+	Misses int64 // physical page reads (buffer faults)
+}
+
+// BufferPool is an LRU page cache in front of a PageFile. It serves
+// read-only workloads (the engine builds files up front and queries them),
+// is not safe for concurrent use, and hands out direct references to cached
+// frames: a slice returned by Get is valid only until the next Get call.
+type BufferPool struct {
+	file   PageFile
+	frames []frame
+	where  map[PageID]int32 // page -> frame index
+	head   int32            // most recently used, -1 when empty
+	tail   int32            // least recently used, -1 when empty
+	free   int32            // next unused frame, len(frames) when full
+	stats  Stats
+}
+
+type frame struct {
+	page       PageID
+	prev, next int32
+	data       []byte
+}
+
+// NewBufferPool returns a buffer pool of bufferBytes/PageSize frames (at
+// least one) over file.
+func NewBufferPool(file PageFile, bufferBytes int) *BufferPool {
+	n := bufferBytes / PageSize
+	if n < 1 {
+		n = 1
+	}
+	b := &BufferPool{
+		file:   file,
+		frames: make([]frame, n),
+		where:  make(map[PageID]int32, n),
+		head:   -1,
+		tail:   -1,
+	}
+	backing := make([]byte, n*PageSize)
+	for i := range b.frames {
+		b.frames[i].data = backing[i*PageSize : (i+1)*PageSize]
+	}
+	return b
+}
+
+// Capacity returns the number of frames in the pool.
+func (b *BufferPool) Capacity() int { return len(b.frames) }
+
+// Stats returns the counters accumulated since the last ResetStats.
+func (b *BufferPool) Stats() Stats { return b.stats }
+
+// ResetStats zeroes the counters without touching cache contents, so a
+// warm-cache query can be measured in isolation.
+func (b *BufferPool) ResetStats() { b.stats = Stats{} }
+
+// Invalidate drops every cached frame, forcing subsequent Gets to fault.
+func (b *BufferPool) Invalidate() {
+	clear(b.where)
+	b.head, b.tail, b.free = -1, -1, 0
+}
+
+// Get returns the contents of page id, faulting it in on a miss. The
+// returned slice aliases the cache frame and is valid only until the next
+// call to Get; callers must decode, not retain.
+func (b *BufferPool) Get(id PageID) ([]byte, error) {
+	b.stats.Gets++
+	if fi, ok := b.where[id]; ok {
+		b.touch(fi)
+		return b.frames[fi].data, nil
+	}
+	b.stats.Misses++
+	fi := b.victim()
+	if err := b.file.ReadPage(id, b.frames[fi].data); err != nil {
+		return nil, fmt.Errorf("buffer pool: %w", err)
+	}
+	b.frames[fi].page = id
+	b.where[id] = fi
+	b.pushFront(fi)
+	return b.frames[fi].data, nil
+}
+
+// victim returns a frame index to (re)use, unlinking it from the LRU list
+// and the page map when it held a page.
+func (b *BufferPool) victim() int32 {
+	if int(b.free) < len(b.frames) {
+		fi := b.free
+		b.free++
+		return fi
+	}
+	fi := b.tail
+	b.unlink(fi)
+	delete(b.where, b.frames[fi].page)
+	return fi
+}
+
+func (b *BufferPool) touch(fi int32) {
+	if b.head == fi {
+		return
+	}
+	b.unlink(fi)
+	b.pushFront(fi)
+}
+
+func (b *BufferPool) pushFront(fi int32) {
+	b.frames[fi].prev = -1
+	b.frames[fi].next = b.head
+	if b.head >= 0 {
+		b.frames[b.head].prev = fi
+	}
+	b.head = fi
+	if b.tail < 0 {
+		b.tail = fi
+	}
+}
+
+func (b *BufferPool) unlink(fi int32) {
+	p, n := b.frames[fi].prev, b.frames[fi].next
+	if p >= 0 {
+		b.frames[p].next = n
+	} else {
+		b.head = n
+	}
+	if n >= 0 {
+		b.frames[n].prev = p
+	} else {
+		b.tail = p
+	}
+}

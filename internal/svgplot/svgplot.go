@@ -1,0 +1,146 @@
+// Package svgplot renders road networks and query results as standalone
+// SVG documents, for eyeballing generated networks and explaining skyline
+// answers. It has no dependencies beyond the standard library.
+package svgplot
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"roadskyline/internal/geom"
+	"roadskyline/internal/graph"
+)
+
+// Options style a plot.
+type Options struct {
+	// Size is the output width/height in pixels (default 800).
+	Size int
+	// EdgeColor, EdgeWidth style road segments.
+	EdgeColor string
+	EdgeWidth float64
+	// Background fills the canvas; empty means none.
+	Background string
+}
+
+func (o *Options) fill() {
+	if o.Size <= 0 {
+		o.Size = 800
+	}
+	if o.EdgeColor == "" {
+		o.EdgeColor = "#9aa3ab"
+	}
+	if o.EdgeWidth <= 0 {
+		o.EdgeWidth = 1
+	}
+	if o.Background == "" {
+		o.Background = "#ffffff"
+	}
+}
+
+// Marker is a highlighted point on the plot.
+type Marker struct {
+	At    geom.Point
+	Color string
+	// Radius in pixels (default 4).
+	Radius float64
+	// Label, when non-empty, is drawn next to the marker.
+	Label string
+}
+
+// Plot is a network drawing with optional markers.
+type Plot struct {
+	g       *graph.Graph
+	opts    Options
+	markers []Marker
+}
+
+// New returns a plot of g. opts may be nil for defaults.
+func New(g *graph.Graph, opts *Options) *Plot {
+	p := &Plot{g: g}
+	if opts != nil {
+		p.opts = *opts
+	}
+	p.opts.fill()
+	return p
+}
+
+// Add appends a marker.
+func (p *Plot) Add(m Marker) {
+	if m.Radius <= 0 {
+		m.Radius = 4
+	}
+	if m.Color == "" {
+		m.Color = "#000000"
+	}
+	p.markers = append(p.markers, m)
+}
+
+// AddLocation marks a network location.
+func (p *Plot) AddLocation(loc graph.Location, color, label string) {
+	p.Add(Marker{At: p.g.Point(loc), Color: color, Label: label})
+}
+
+// transform maps network coordinates to pixel coordinates (y flipped so
+// north is up).
+func (p *Plot) transform(pt geom.Point) (float64, float64) {
+	b := p.g.Bounds()
+	w := b.MaxX - b.MinX
+	h := b.MaxY - b.MinY
+	m := w
+	if h > m {
+		m = h
+	}
+	if m == 0 {
+		m = 1
+	}
+	margin := 0.04 * float64(p.opts.Size)
+	scale := (float64(p.opts.Size) - 2*margin) / m
+	x := margin + (pt.X-b.MinX)*scale
+	y := float64(p.opts.Size) - margin - (pt.Y-b.MinY)*scale
+	return x, y
+}
+
+// WriteTo renders the SVG document.
+func (p *Plot) WriteTo(w io.Writer) (int64, error) {
+	var sb strings.Builder
+	size := p.opts.Size
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		size, size, size, size)
+	fmt.Fprintf(&sb, `<rect width="%d" height="%d" fill="%s"/>`+"\n", size, size, p.opts.Background)
+
+	// Edges as one path element for compactness.
+	sb.WriteString(`<path fill="none" stroke="` + p.opts.EdgeColor + `" stroke-width="` +
+		trimFloat(p.opts.EdgeWidth) + `" d="`)
+	for i := 0; i < p.g.NumEdges(); i++ {
+		e := p.g.Edge(graph.EdgeID(i))
+		x1, y1 := p.transform(p.g.NodePoint(e.U))
+		x2, y2 := p.transform(p.g.NodePoint(e.V))
+		fmt.Fprintf(&sb, "M%s %sL%s %s", trimFloat(x1), trimFloat(y1), trimFloat(x2), trimFloat(y2))
+	}
+	sb.WriteString(`"/>` + "\n")
+
+	for _, m := range p.markers {
+		x, y := p.transform(m.At)
+		fmt.Fprintf(&sb, `<circle cx="%s" cy="%s" r="%s" fill="%s"/>`+"\n",
+			trimFloat(x), trimFloat(y), trimFloat(m.Radius), m.Color)
+		if m.Label != "" {
+			fmt.Fprintf(&sb, `<text x="%s" y="%s" font-size="12" font-family="sans-serif" fill="#1c1c1c">%s</text>`+"\n",
+				trimFloat(x+m.Radius+2), trimFloat(y-m.Radius-2), escape(m.Label))
+		}
+	}
+	sb.WriteString("</svg>\n")
+	n, err := io.WriteString(w, sb.String())
+	return int64(n), err
+}
+
+func trimFloat(f float64) string {
+	s := fmt.Sprintf("%.2f", f)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,95 @@
+package svgplot
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"roadskyline/internal/geom"
+	"roadskyline/internal/graph"
+	"roadskyline/internal/testnet"
+)
+
+func render(t *testing.T, p *Plot) string {
+	t.Helper()
+	var sb strings.Builder
+	if _, err := p.WriteTo(&sb); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	return sb.String()
+}
+
+func TestPlotBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := testnet.RandomGraph(rng, 30)
+	p := New(g, nil)
+	p.AddLocation(graph.Location{Edge: 0, Offset: 0}, "#ff0000", "start")
+	p.Add(Marker{At: geom.Point{X: 0.5, Y: 0.5}, Color: "#00ff00"})
+	svg := render(t, p)
+	for _, want := range []string{"<svg", "</svg>", "<path", "circle", "#ff0000", "start"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("svg missing %q", want)
+		}
+	}
+	// One path segment pair per edge.
+	if got := strings.Count(svg, "M"); got < g.NumEdges() {
+		t.Errorf("only %d move commands for %d edges", got, g.NumEdges())
+	}
+}
+
+func TestPlotLabelEscaping(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := testnet.RandomGraph(rng, 5)
+	p := New(g, nil)
+	p.Add(Marker{At: geom.Point{}, Label: `<q&a>"x"`})
+	svg := render(t, p)
+	if strings.Contains(svg, `<q&a>`) {
+		t.Error("label not escaped")
+	}
+	if !strings.Contains(svg, "&lt;q&amp;a&gt;") {
+		t.Error("escaped label missing")
+	}
+}
+
+func TestPlotOptions(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := testnet.RandomGraph(rng, 5)
+	p := New(g, &Options{Size: 400, EdgeColor: "#123456", Background: "#000000"})
+	svg := render(t, p)
+	if !strings.Contains(svg, `width="400"`) || !strings.Contains(svg, "#123456") || !strings.Contains(svg, "#000000") {
+		t.Error("options not applied")
+	}
+}
+
+// Coordinates must stay inside the canvas for any network bounds.
+func TestPlotTransformInBounds(t *testing.T) {
+	b := graph.NewBuilder(3, 2)
+	b.AddNode(geom.Point{X: -500, Y: 1000})
+	b.AddNode(geom.Point{X: 2500, Y: 1000})
+	b.AddNode(geom.Point{X: 0, Y: 3000})
+	b.AddEdge(0, 1, 3000)
+	b.AddEdge(0, 2, 2200)
+	g := b.MustBuild()
+	p := New(g, &Options{Size: 200})
+	for i := 0; i < g.NumNodes(); i++ {
+		x, y := p.transform(g.NodePoint(graph.NodeID(i)))
+		if x < 0 || x > 200 || y < 0 || y > 200 {
+			t.Errorf("node %d maps to (%v,%v) outside canvas", i, x, y)
+		}
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{
+		1.0:    "1",
+		1.5:    "1.5",
+		1.25:   "1.25",
+		1.2345: "1.23",
+		100:    "100",
+	}
+	for in, want := range cases {
+		if got := trimFloat(in); got != want {
+			t.Errorf("trimFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

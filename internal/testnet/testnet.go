@@ -1,0 +1,126 @@
+// Package testnet builds small randomized road networks and in-memory Net
+// implementations for tests. It is independent of the production generator
+// (internal/gen) so that generator and engine validate each other rather
+// than sharing bugs.
+package testnet
+
+import (
+	"math"
+	"math/rand"
+
+	"roadskyline/internal/diskgraph"
+	"roadskyline/internal/geom"
+	"roadskyline/internal/graph"
+	"roadskyline/internal/middlelayer"
+)
+
+// RandomGraph returns a connected random graph with n nodes: a random
+// spanning tree over uniform points plus extra short edges. Edge lengths
+// are the Euclidean distance times a random detour factor in [1, 1.5].
+func RandomGraph(rng *rand.Rand, n int) *graph.Graph {
+	b := graph.NewBuilder(n, 2*n)
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Float64(), Y: rng.Float64()}
+		b.AddNode(pts[i])
+	}
+	addEdge := func(u, v int) {
+		d := pts[u].Dist(pts[v])
+		if d == 0 {
+			d = 1e-9 // coincident points still need a positive length
+		}
+		b.AddEdge(graph.NodeID(u), graph.NodeID(v), d*(1+rng.Float64()*0.5))
+	}
+	// Random spanning tree: connect node i to a random earlier node.
+	for i := 1; i < n; i++ {
+		addEdge(i, rng.Intn(i))
+	}
+	// Extra edges for alternative routes.
+	extra := n / 2
+	for k := 0; k < extra; k++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			addEdge(u, v)
+		}
+	}
+	return b.MustBuild()
+}
+
+// RandomObjects places m objects at uniform positions on random edges.
+// When numAttrs > 0, each object gets that many random static attributes
+// in [0, 100).
+func RandomObjects(rng *rand.Rand, g *graph.Graph, m, numAttrs int) []graph.Object {
+	objs := make([]graph.Object, m)
+	for i := range objs {
+		e := g.Edge(graph.EdgeID(rng.Intn(g.NumEdges())))
+		objs[i] = graph.Object{
+			ID:  graph.ObjectID(i),
+			Loc: graph.Location{Edge: e.ID, Offset: rng.Float64() * e.Length},
+		}
+		if numAttrs > 0 {
+			attrs := make([]float64, numAttrs)
+			for a := range attrs {
+				attrs[a] = math.Floor(rng.Float64() * 100)
+			}
+			objs[i].Attrs = attrs
+		}
+	}
+	return objs
+}
+
+// RandomLocations returns k uniform random locations on edges of g.
+func RandomLocations(rng *rand.Rand, g *graph.Graph, k int) []graph.Location {
+	locs := make([]graph.Location, k)
+	for i := range locs {
+		e := g.Edge(graph.EdgeID(rng.Intn(g.NumEdges())))
+		locs[i] = graph.Location{Edge: e.ID, Offset: rng.Float64() * e.Length}
+	}
+	return locs
+}
+
+// MemNet is an uncounted in-memory implementation of the sp.Net interface
+// shape, backed directly by a Graph and an object list.
+type MemNet struct {
+	G      *graph.Graph
+	byEdge map[graph.EdgeID][]middlelayer.ObjRef
+	// Counters mirror what disk-backed nets measure, for rough comparisons.
+	NeighborCalls int
+	ObjectCalls   int
+}
+
+// NewMemNet indexes objs by edge over g.
+func NewMemNet(g *graph.Graph, objs []graph.Object) *MemNet {
+	n := &MemNet{G: g, byEdge: make(map[graph.EdgeID][]middlelayer.ObjRef)}
+	for _, o := range objs {
+		n.byEdge[o.Loc.Edge] = append(n.byEdge[o.Loc.Edge], middlelayer.ObjRef{ID: o.ID, Offset: o.Loc.Offset})
+	}
+	return n
+}
+
+// Neighbors implements the Net interface.
+func (n *MemNet) Neighbors(id graph.NodeID, buf []diskgraph.Neighbor) ([]diskgraph.Neighbor, error) {
+	n.NeighborCalls++
+	for _, he := range n.G.Adj(id) {
+		buf = append(buf, diskgraph.Neighbor{
+			To:     he.To,
+			ToPt:   n.G.NodePoint(he.To),
+			Edge:   he.Edge,
+			Length: he.Length,
+		})
+	}
+	return buf, nil
+}
+
+// NodePoint implements the Net interface.
+func (n *MemNet) NodePoint(id graph.NodeID) (geom.Point, error) {
+	return n.G.NodePoint(id), nil
+}
+
+// ObjectsOn implements the Net interface.
+func (n *MemNet) ObjectsOn(e graph.EdgeID, buf []middlelayer.ObjRef) ([]middlelayer.ObjRef, error) {
+	n.ObjectCalls++
+	return append(buf, n.byEdge[e]...), nil
+}
+
+// Edge implements the Net interface.
+func (n *MemNet) Edge(e graph.EdgeID) graph.Edge { return n.G.Edge(e) }

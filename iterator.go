@@ -1,0 +1,63 @@
+package roadskyline
+
+import (
+	"roadskyline/internal/core"
+	"roadskyline/internal/graph"
+)
+
+// SkylineIterator streams skyline points progressively using the LBC
+// algorithm: results arrive nearest-to-the-source first (or spread across
+// all query points when alternate is set), so interactive applications can
+// render the first answers while the rest are still being determined.
+//
+// The iterator owns the engine's storage counters until it is exhausted or
+// abandoned; do not interleave other queries on the same engine.
+type SkylineIterator struct {
+	eng *Engine
+	it  *core.LBCIterator
+}
+
+// SkylineIter starts a progressive LBC skyline query.
+func (e *Engine) SkylineIter(points []Location, useAttrs, alternate bool) (*SkylineIterator, error) {
+	pts := make([]graph.Location, len(points))
+	for i, p := range points {
+		pts[i] = graph.Location{Edge: graph.EdgeID(p.Edge), Offset: p.Offset}
+	}
+	it, err := core.NewLBCIterator(e.env, core.Query{Points: pts, UseAttrs: useAttrs}, core.Options{
+		ColdCache:    !e.cfg.WarmCache,
+		LBCAlternate: alternate,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &SkylineIterator{eng: e, it: it}, nil
+}
+
+// Next returns the next skyline point; ok is false when the skyline is
+// exhausted.
+func (s *SkylineIterator) Next() (SkylinePoint, bool, error) {
+	p, ok, err := s.it.Next()
+	if err != nil || !ok {
+		return SkylinePoint{}, ok, err
+	}
+	return SkylinePoint{
+		Object:    s.eng.objs[p.Object.ID],
+		Distances: p.Dists,
+		Vector:    p.Vec,
+	}, true, nil
+}
+
+// Stats finalizes and returns the query's cost counters; call after the
+// last Next (or when abandoning the iteration).
+func (s *SkylineIterator) Stats() Stats {
+	m := s.it.Metrics()
+	return Stats{
+		Candidates:           m.Candidates,
+		NetworkPages:         m.NetworkPages,
+		RTreeNodes:           m.RTreeNodes,
+		NodesExpanded:        m.NodesExpanded,
+		DistanceComputations: m.DistanceComputations,
+		Total:                m.Total,
+		Initial:              m.Initial,
+	}
+}

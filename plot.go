@@ -1,0 +1,51 @@
+package roadskyline
+
+import (
+	"io"
+	"strconv"
+
+	"roadskyline/internal/graph"
+	"roadskyline/internal/svgplot"
+)
+
+// WriteQueryPlot renders an SVG visualization of a skyline query: the road
+// network in grey, the query points in blue, every object as a small grey
+// dot, and the skyline objects in red with their ids as labels.
+func WriteQueryPlot(w io.Writer, n *Network, objects []Object, queryPoints []Location, result *Result) error {
+	p := svgplot.New(n.g, nil)
+	inSkyline := make(map[int32]bool)
+	if result != nil {
+		for _, sp := range result.Points {
+			inSkyline[sp.Object.ID] = true
+		}
+	}
+	for _, o := range objects {
+		if inSkyline[o.ID] {
+			continue
+		}
+		p.Add(svgplot.Marker{
+			At:     n.g.Point(graph.Location{Edge: graph.EdgeID(o.Loc.Edge), Offset: o.Loc.Offset}),
+			Color:  "#c2c8cd",
+			Radius: 2.5,
+		})
+	}
+	if result != nil {
+		for _, sp := range result.Points {
+			p.Add(svgplot.Marker{
+				At:     n.g.Point(graph.Location{Edge: graph.EdgeID(sp.Object.Loc.Edge), Offset: sp.Object.Loc.Offset}),
+				Color:  "#d5473c",
+				Radius: 4.5,
+			})
+		}
+	}
+	for i, q := range queryPoints {
+		p.Add(svgplot.Marker{
+			At:     n.g.Point(graph.Location{Edge: graph.EdgeID(q.Edge), Offset: q.Offset}),
+			Color:  "#2868c8",
+			Radius: 6,
+			Label:  "q" + strconv.Itoa(i),
+		})
+	}
+	_, err := p.WriteTo(w)
+	return err
+}
