@@ -1,6 +1,8 @@
 package roadskyline
 
 import (
+	"context"
+
 	"roadskyline/internal/core"
 	"roadskyline/internal/graph"
 )
@@ -37,6 +39,12 @@ type AggregateNNResult struct {
 // closing remark that the plb approach benefits other road-network
 // queries.
 func (e *Engine) AggregateNN(points []Location, k int, agg Aggregate) (*AggregateNNResult, error) {
+	return e.AggregateNNContext(context.Background(), points, k, agg)
+}
+
+// AggregateNNContext is AggregateNN under a context: cancellation or
+// deadline expiry aborts the expansion and returns ctx.Err().
+func (e *Engine) AggregateNNContext(ctx context.Context, points []Location, k int, agg Aggregate) (*AggregateNNResult, error) {
 	pts := make([]graph.Location, len(points))
 	for i, p := range points {
 		pts[i] = graph.Location{Edge: graph.EdgeID(p.Edge), Offset: p.Offset}
@@ -45,21 +53,13 @@ func (e *Engine) AggregateNN(points []Location, k int, agg Aggregate) (*Aggregat
 	if agg == MaxDistance {
 		coreAgg = core.AggMax
 	}
-	res, err := core.AggregateNN(e.env, pts, k, coreAgg, core.Options{ColdCache: !e.cfg.WarmCache})
+	res, err := core.AggregateNN(ctx, e.env, pts, k, coreAgg, core.Options{ColdCache: !e.cfg.WarmCache})
 	if err != nil {
 		return nil, err
 	}
 	out := &AggregateNNResult{
 		Neighbors: make([]AggregateNeighbor, len(res.Neighbors)),
-		Stats: Stats{
-			Candidates:           res.Metrics.Candidates,
-			NetworkPages:         res.Metrics.NetworkPages,
-			RTreeNodes:           res.Metrics.RTreeNodes,
-			NodesExpanded:        res.Metrics.NodesExpanded,
-			DistanceComputations: res.Metrics.DistanceComputations,
-			Total:                res.Metrics.Total,
-			Initial:              res.Metrics.Initial,
-		},
+		Stats:     statsFromMetrics(res.Metrics),
 	}
 	for i, nb := range res.Neighbors {
 		out.Neighbors[i] = AggregateNeighbor{

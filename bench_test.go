@@ -7,6 +7,7 @@
 package roadskyline
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -140,7 +141,7 @@ func BenchmarkAlgorithms(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				q := core.Query{Points: gen.QueryPoints(g, 4, 0.1, int64(i))}
-				res, err := core.Run(env, q, alg, core.Options{ColdCache: true})
+				res, err := core.Run(context.Background(), env, q, alg, core.Options{ColdCache: true})
 				if err != nil {
 					b.Fatal(err)
 				}

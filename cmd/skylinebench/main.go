@@ -9,28 +9,41 @@
 //	skylinebench -fig 5 -trials 3 # Figures 5(a)-(c) with 3 query sets
 //	skylinebench -scale 0.2       # all figures on 20%-size networks
 //	skylinebench -fig ablations   # the design-choice ablations
+//	skylinebench -parallel 8      # pool throughput: serial vs 8 workers
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
+	"roadskyline"
 	"roadskyline/internal/experiments"
 )
 
 func main() {
 	var (
-		fig    = flag.String("fig", "all", "figure to run: 4a 4b 4c 5 6q 6w ablations all")
-		scale  = flag.Float64("scale", 1.0, "network size scale (1 = paper scale)")
-		trials = flag.Int("trials", 10, "query sets averaged per setting (paper: 10)")
-		seed   = flag.Int64("seed", 2007, "random seed")
-		quickQ = flag.Bool("quick", false, "use the reduced Quick configuration")
-		csv    = flag.Bool("csv", false, "emit tables as CSV")
+		fig     = flag.String("fig", "all", "figure to run: 4a 4b 4c 5 6q 6w ablations all")
+		scale   = flag.Float64("scale", 1.0, "network size scale (1 = paper scale)")
+		trials  = flag.Int("trials", 10, "query sets averaged per setting (paper: 10)")
+		seed    = flag.Int64("seed", 2007, "random seed")
+		quickQ  = flag.Bool("quick", false, "use the reduced Quick configuration")
+		csv     = flag.Bool("csv", false, "emit tables as CSV")
+		par     = flag.Int("parallel", 0, "run the pool throughput benchmark with this many workers instead of figures")
+		queries = flag.Int("queries", 96, "queries in the -parallel workload")
 	)
 	flag.Parse()
+
+	if *par > 0 {
+		if err := parallelBench(*scale, *par, *queries, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "skylinebench: parallel: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := experiments.Default()
 	if *quickQ {
@@ -111,6 +124,75 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// parallelBench measures concurrent query throughput: the same mixed
+// CE/EDC/LBC workload answered serially on one engine and then through a
+// Pool of `workers` clones, reporting wall time, queries/s and speedup.
+func parallelBench(scale float64, workers, queries int, seed int64) error {
+	if queries < 1 {
+		return fmt.Errorf("-queries must be at least 1 (got %d)", queries)
+	}
+	spec := roadskyline.CA
+	if scale > 0 && scale != 1 {
+		spec.Nodes = int(float64(spec.Nodes) * scale)
+		if spec.Nodes < 100 {
+			spec.Nodes = 100
+		}
+		spec.Edges = int(float64(spec.Edges) * scale)
+		if spec.Edges < spec.Nodes-1 {
+			spec.Edges = spec.Nodes - 1
+		}
+	}
+	spec.Seed = seed
+	fmt.Printf("pool throughput on %s (%d nodes, %d edges), %d queries, %d workers\n",
+		spec.Name, spec.Nodes, spec.Edges, queries, workers)
+	n, err := roadskyline.Generate(spec)
+	if err != nil {
+		return err
+	}
+	eng, err := roadskyline.NewEngine(n, n.GenerateObjects(0.5, 0, seed), roadskyline.EngineConfig{})
+	if err != nil {
+		return err
+	}
+	algs := []roadskyline.Algorithm{roadskyline.CEAlg, roadskyline.EDCAlg, roadskyline.LBCAlg}
+	work := make([]roadskyline.Query, queries)
+	for i := range work {
+		work[i] = roadskyline.Query{
+			Points:    n.GenerateQueryPoints(4, 0.1, seed+int64(i)),
+			Algorithm: algs[i%len(algs)],
+		}
+	}
+
+	serialStart := time.Now()
+	for i, q := range work {
+		if _, err := eng.Skyline(q); err != nil {
+			return fmt.Errorf("serial query %d: %w", i, err)
+		}
+	}
+	serial := time.Since(serialStart)
+
+	pool, err := roadskyline.NewPool(eng, roadskyline.PoolConfig{Workers: workers})
+	if err != nil {
+		return err
+	}
+	defer pool.Close()
+	poolStart := time.Now()
+	_, errs := pool.SkylineBatch(context.Background(), work)
+	parallel := time.Since(poolStart)
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("pooled query %d: %w", i, err)
+		}
+	}
+
+	qps := func(d time.Duration) float64 { return float64(queries) / d.Seconds() }
+	fmt.Printf("%-20s%14s%14s\n", "", "wall", "queries/s")
+	fmt.Printf("%-20s%14v%14.1f\n", "serial (1 engine)", serial.Round(time.Millisecond), qps(serial))
+	fmt.Printf("%-20s%14v%14.1f\n", fmt.Sprintf("pool (%d workers)", workers),
+		parallel.Round(time.Millisecond), qps(parallel))
+	fmt.Printf("speedup: %.2fx\n", serial.Seconds()/parallel.Seconds())
+	return nil
 }
 
 func flagSet(name string) bool {

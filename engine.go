@@ -1,6 +1,7 @@
 package roadskyline
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -62,7 +63,11 @@ type EngineConfig struct {
 // Engine answers skyline queries over one network and one object set. It
 // owns the simulated storage stack: Hilbert-clustered adjacency pages, the
 // B+-tree middle layer mapping edges to objects, and the object R-tree.
-// An Engine is not safe for concurrent queries.
+//
+// An Engine is not safe for concurrent queries: buffer pools and cost
+// counters are per-engine mutable state. To serve queries concurrently use
+// one Clone per goroutine, or a Pool, which manages a fixed set of clones
+// behind a bounded work queue.
 type Engine struct {
 	net  *Network
 	env  *core.Env
@@ -129,6 +134,11 @@ type Query struct {
 	// spread across all query points (paper Section 4.3's multi-source
 	// extension). Ignored by CE and EDC.
 	Alternate bool
+	// Source selects which query point LBC uses as its nearest-neighbor
+	// source (results then arrive nearest to that point first). It must
+	// index into Points; out-of-range values are rejected. Ignored by CE
+	// and EDC, and by LBC when Alternate is set.
+	Source int
 }
 
 // SkylinePoint is one skyline object with its network distances to the
@@ -154,9 +164,27 @@ type Stats struct {
 	// DistanceComputations counts completed (query point, object) network
 	// distance evaluations.
 	DistanceComputations int
+	// InitialPages counts the network pages faulted before the first
+	// skyline point was determined (the I/O share of the initial response
+	// time the paper reports).
+	InitialPages int64
 	// Total is the response time; Initial the time to the first skyline
 	// point.
 	Total, Initial time.Duration
+}
+
+// statsFromMetrics maps the internal cost counters onto the public Stats.
+func statsFromMetrics(m core.Metrics) Stats {
+	return Stats{
+		Candidates:           m.Candidates,
+		NetworkPages:         m.NetworkPages,
+		RTreeNodes:           m.RTreeNodes,
+		NodesExpanded:        m.NodesExpanded,
+		DistanceComputations: m.DistanceComputations,
+		InitialPages:         m.InitialPages,
+		Total:                m.Total,
+		Initial:              m.Initial,
+	}
 }
 
 // Result is a query answer. Points appear in the order the algorithm
@@ -166,8 +194,17 @@ type Result struct {
 	Stats  Stats
 }
 
-// Skyline answers the query.
+// Skyline answers the query without cancellation; it is
+// SkylineContext(context.Background(), q).
 func (e *Engine) Skyline(q Query) (*Result, error) {
+	return e.SkylineContext(context.Background(), q)
+}
+
+// SkylineContext answers the query under a context: cancellation or
+// deadline expiry aborts the network expansion promptly (within a bounded
+// number of node settlements) and returns ctx.Err(). An already-cancelled
+// context returns immediately.
+func (e *Engine) SkylineContext(ctx context.Context, q Query) (*Result, error) {
 	if len(q.Points) == 0 {
 		return nil, fmt.Errorf("roadskyline: query needs at least one point")
 	}
@@ -175,24 +212,17 @@ func (e *Engine) Skyline(q Query) (*Result, error) {
 	for i, p := range q.Points {
 		pts[i] = graph.Location{Edge: graph.EdgeID(p.Edge), Offset: p.Offset}
 	}
-	res, err := core.Run(e.env, core.Query{Points: pts, UseAttrs: q.UseAttrs}, q.Algorithm.core(), core.Options{
+	res, err := core.Run(ctx, e.env, core.Query{Points: pts, UseAttrs: q.UseAttrs}, q.Algorithm.core(), core.Options{
 		ColdCache:    !e.cfg.WarmCache,
 		LBCAlternate: q.Alternate,
+		LBCSource:    q.Source,
 	})
 	if err != nil {
 		return nil, err
 	}
 	out := &Result{
 		Points: make([]SkylinePoint, len(res.Skyline)),
-		Stats: Stats{
-			Candidates:           res.Metrics.Candidates,
-			NetworkPages:         res.Metrics.NetworkPages,
-			RTreeNodes:           res.Metrics.RTreeNodes,
-			NodesExpanded:        res.Metrics.NodesExpanded,
-			DistanceComputations: res.Metrics.DistanceComputations,
-			Total:                res.Metrics.Total,
-			Initial:              res.Metrics.Initial,
-		},
+		Stats:  statsFromMetrics(res.Metrics),
 	}
 	for i, p := range res.Skyline {
 		out.Points[i] = SkylinePoint{
@@ -229,7 +259,7 @@ func (e *Engine) ShortestPath(from, to Location) (*PathResult, error) {
 	if err := e.net.g.ValidateLocation(gTo); err != nil {
 		return nil, err
 	}
-	a, err := sp.NewAStar(e.env, gFrom, e.net.g.Point(gFrom))
+	a, err := sp.NewAStar(context.Background(), e.env, gFrom, e.net.g.Point(gFrom))
 	if err != nil {
 		return nil, err
 	}

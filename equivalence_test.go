@@ -1,0 +1,184 @@
+package roadskyline
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"roadskyline/internal/bruteforce"
+	"roadskyline/internal/graph"
+)
+
+// fuzzTrial is one random equivalence instance: a small network, an object
+// set (sometimes attributed) and a query-point set.
+type fuzzTrial struct {
+	seed int64
+	eng  *Engine
+	objs []Object
+	pts  []Location
+	use  bool // UseAttrs
+	want map[int32][]float64
+}
+
+// newFuzzTrial generates a trial and computes the bruteforce ground truth
+// with the oracle package, which is independent of the engine's disk-backed
+// expansion code.
+func newFuzzTrial(t *testing.T, seed int64) *fuzzTrial {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	// The generator caps extra edges by its planar candidate set, which can
+	// be tiny at this scale, so walk the edge budget down until it fits
+	// (Nodes-1 — a spanning tree — always does).
+	nodes := 40 + rng.Intn(80)
+	var n *Network
+	var err error
+	for edges := nodes - 1 + rng.Intn(nodes/8); edges >= nodes-1; edges-- {
+		n, err = Generate(NetworkSpec{
+			Name: fmt.Sprintf("fuzz%d", seed), Nodes: nodes, Edges: edges,
+			Jitter: 0.3, MaxStretch: 0.2, Seed: seed,
+		})
+		if err == nil {
+			break
+		}
+	}
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	numAttrs := rng.Intn(2) // 0 or 1 static attribute
+	objs := n.GenerateObjects(0.3+rng.Float64(), numAttrs, seed+1)
+	if len(objs) == 0 {
+		objs = []Object{{Loc: Location{Edge: 0, Offset: 0}}}
+	}
+	eng, err := NewEngine(n, objs, EngineConfig{})
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	pts := n.GenerateQueryPoints(1+rng.Intn(4), 0.2, seed+2)
+	use := numAttrs > 0 && rng.Intn(2) == 0
+
+	// Ground truth over the in-memory graph.
+	gObjs := make([]graph.Object, len(objs))
+	for i, o := range objs {
+		gObjs[i] = graph.Object{
+			ID:    graph.ObjectID(i),
+			Loc:   graph.Location{Edge: graph.EdgeID(o.Loc.Edge), Offset: o.Loc.Offset},
+			Attrs: o.Attrs,
+		}
+	}
+	gPts := make([]graph.Location, len(pts))
+	for i, p := range pts {
+		gPts[i] = graph.Location{Edge: graph.EdgeID(p.Edge), Offset: p.Offset}
+	}
+	idx, dists := bruteforce.NetworkSkyline(eng.net.g, gObjs, gPts, use)
+	want := map[int32][]float64{}
+	for _, i := range idx {
+		want[int32(i)] = dists[i]
+	}
+	return &fuzzTrial{seed: seed, eng: eng, objs: objs, pts: pts, use: use, want: want}
+}
+
+// queries enumerates every algorithm and LBC mode for the trial: CE, EDC,
+// LBC single-source (default), LBC alternate, and LBC from each explicit
+// source.
+func (tr *fuzzTrial) queries() []Query {
+	qs := []Query{
+		{Points: tr.pts, UseAttrs: tr.use, Algorithm: CEAlg},
+		{Points: tr.pts, UseAttrs: tr.use, Algorithm: EDCAlg},
+		{Points: tr.pts, UseAttrs: tr.use, Algorithm: LBCAlg},
+		{Points: tr.pts, UseAttrs: tr.use, Algorithm: LBCAlg, Alternate: true},
+	}
+	for src := range tr.pts {
+		qs = append(qs, Query{Points: tr.pts, UseAttrs: tr.use, Algorithm: LBCAlg, Source: src})
+	}
+	return qs
+}
+
+// check compares one engine answer against the bruteforce skyline.
+func (tr *fuzzTrial) check(res *Result, label string) error {
+	if len(res.Points) != len(tr.want) {
+		got := make([]int32, 0, len(res.Points))
+		for _, p := range res.Points {
+			got = append(got, p.Object.ID)
+		}
+		return fmt.Errorf("seed %d %s: %d skyline points %v, bruteforce has %d",
+			tr.seed, label, len(res.Points), got, len(tr.want))
+	}
+	for _, p := range res.Points {
+		dists, ok := tr.want[p.Object.ID]
+		if !ok {
+			return fmt.Errorf("seed %d %s: object %d not in bruteforce skyline",
+				tr.seed, label, p.Object.ID)
+		}
+		for j := range dists {
+			if math.Abs(p.Distances[j]-dists[j]) > 1e-9 {
+				return fmt.Errorf("seed %d %s: object %d dist[%d] = %v, bruteforce %v",
+					tr.seed, label, p.Object.ID, j, p.Distances[j], dists[j])
+			}
+		}
+	}
+	return nil
+}
+
+// TestCrossAlgorithmEquivalenceFuzz runs the serial half of the equivalence
+// sweep: on random small networks, CE, EDC and LBC in every mode must
+// reproduce the bruteforce skyline exactly.
+func TestCrossAlgorithmEquivalenceFuzz(t *testing.T) {
+	trials := 12
+	if testing.Short() {
+		trials = 4
+	}
+	for seed := int64(0); seed < int64(trials); seed++ {
+		tr := newFuzzTrial(t, 9000+seed)
+		for qi, q := range tr.queries() {
+			res, err := tr.eng.Skyline(q)
+			if err != nil {
+				t.Fatalf("seed %d query %d: %v", tr.seed, qi, err)
+			}
+			if err := tr.check(res, fmt.Sprintf("query %d (%v)", qi, q.Algorithm)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestCrossAlgorithmEquivalenceFuzzPooled runs the concurrent half: the
+// same workload through a shared Pool with every query in flight at once.
+// Run under -race this doubles as the shared-index race check.
+func TestCrossAlgorithmEquivalenceFuzzPooled(t *testing.T) {
+	trials := 6
+	if testing.Short() {
+		trials = 2
+	}
+	for seed := int64(0); seed < int64(trials); seed++ {
+		tr := newFuzzTrial(t, 9500+seed)
+		pool, err := NewPool(tr.eng, PoolConfig{Workers: 8, QueueDepth: 256})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		errc := make(chan error, 32)
+		for qi, q := range tr.queries() {
+			wg.Add(1)
+			go func(qi int, q Query) {
+				defer wg.Done()
+				res, err := pool.Skyline(context.Background(), q)
+				if err != nil {
+					errc <- fmt.Errorf("seed %d pooled query %d: %v", tr.seed, qi, err)
+					return
+				}
+				if err := tr.check(res, fmt.Sprintf("pooled query %d (%v)", qi, q.Algorithm)); err != nil {
+					errc <- err
+				}
+			}(qi, q)
+		}
+		wg.Wait()
+		close(errc)
+		pool.Close()
+		for err := range errc {
+			t.Error(err)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -75,7 +76,13 @@ type AggResult struct {
 //   - each candidate's network distances are evaluated with A* sessions
 //     whose plb values bound the aggregate from below, abandoning the
 //     candidate as soon as the bound reaches the current k-th best.
-func AggregateNN(env *Env, points []graph.Location, k int, agg Agg, opts Options) (*AggResult, error) {
+func AggregateNN(ctx context.Context, env *Env, points []graph.Location, k int, agg Agg, opts Options) (*AggResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if len(points) == 0 {
 		return nil, fmt.Errorf("core: aggregate NN needs at least one query point")
 	}
@@ -100,7 +107,7 @@ func AggregateNN(env *Env, points []graph.Location, k int, agg Agg, opts Options
 	}
 	astars := make([]*sp.AStar, n)
 	for i, p := range points {
-		a, err := sp.NewAStar(env, p, qPts[i])
+		a, err := sp.NewAStar(ctx, env, p, qPts[i])
 		if err != nil {
 			return nil, err
 		}
@@ -142,6 +149,9 @@ func AggregateNN(env *Env, points []graph.Location, k int, agg Agg, opts Options
 
 	lb := make([]float64, n)
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		entry, key, ok := stream.Next()
 		if !ok || key >= threshold() {
 			break

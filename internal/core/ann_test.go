@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -38,7 +39,7 @@ func TestAggregateNNMatchesOracle(t *testing.T) {
 		k := 1 + rng.Intn(5)
 		for _, agg := range []Agg{AggSum, AggMax} {
 			want := oracleAggNN(env, pts, k, agg)
-			res, err := AggregateNN(env, pts, k, agg, Options{ColdCache: true})
+			res, err := AggregateNN(context.Background(), env, pts, k, agg, Options{ColdCache: true})
 			if err != nil {
 				t.Fatalf("trial %d %v: %v", trial, agg, err)
 			}
@@ -69,14 +70,14 @@ func TestAggregateNNValidation(t *testing.T) {
 	g := testnet.RandomGraph(rng, 20)
 	env := newTestEnv(t, g, testnet.RandomObjects(rng, g, 10, 0))
 	pts := testnet.RandomLocations(rng, g, 2)
-	if _, err := AggregateNN(env, nil, 1, AggSum, Options{}); err == nil {
+	if _, err := AggregateNN(context.Background(), env, nil, 1, AggSum, Options{}); err == nil {
 		t.Error("no query points accepted")
 	}
-	if _, err := AggregateNN(env, pts, 0, AggSum, Options{}); err == nil {
+	if _, err := AggregateNN(context.Background(), env, pts, 0, AggSum, Options{}); err == nil {
 		t.Error("k=0 accepted")
 	}
 	bad := []graph.Location{{Edge: 9999}}
-	if _, err := AggregateNN(env, bad, 1, AggSum, Options{}); err == nil {
+	if _, err := AggregateNN(context.Background(), env, bad, 1, AggSum, Options{}); err == nil {
 		t.Error("invalid location accepted")
 	}
 }
@@ -87,7 +88,7 @@ func TestAggregateNNKLargerThanD(t *testing.T) {
 	objs := testnet.RandomObjects(rng, g, 5, 0)
 	env := newTestEnv(t, g, objs)
 	pts := testnet.RandomLocations(rng, g, 2)
-	res, err := AggregateNN(env, pts, 50, AggSum, Options{ColdCache: true})
+	res, err := AggregateNN(context.Background(), env, pts, 50, AggSum, Options{ColdCache: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestAggregateNNEmptyObjects(t *testing.T) {
 	g := testnet.RandomGraph(rng, 20)
 	env := newTestEnv(t, g, nil)
 	pts := testnet.RandomLocations(rng, g, 2)
-	res, err := AggregateNN(env, pts, 3, AggMax, Options{ColdCache: true})
+	res, err := AggregateNN(context.Background(), env, pts, 3, AggMax, Options{ColdCache: true})
 	if err != nil {
 		t.Fatal(err)
 	}

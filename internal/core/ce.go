@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -19,14 +20,14 @@ import (
 // objects that are not candidates and pruning candidates whose lower-bound
 // vector (known distances, plus the per-query last-visited distance for
 // unknown ones) is dominated by a reported skyline point.
-func ce(env *Env, q Query) (*Result, error) {
+func ce(ctx context.Context, env *Env, q Query) (*Result, error) {
 	start := time.Now()
 	n := len(q.Points)
 	dims := env.vectorDims(n, q.UseAttrs)
 
 	searchers := make([]*sp.Dijkstra, n)
 	for i, p := range q.Points {
-		s, err := sp.NewDijkstra(env, p)
+		s, err := sp.NewDijkstra(ctx, env, p)
 		if err != nil {
 			return nil, err
 		}
@@ -144,7 +145,16 @@ func ce(env *Env, q Query) (*Result, error) {
 
 	cursor := 0
 	hits, sweepAt := 0, 256
+	rounds := 0
 	for {
+		// The searchers check cancellation every K settlements; the
+		// round-robin loop itself can spin through many object pops per
+		// settlement, so it re-checks at the same stride.
+		if rounds++; rounds%64 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if len(cands) == 0 && stopAdmitting() {
 			break
 		}
@@ -280,11 +290,18 @@ func ce(env *Env, q Query) (*Result, error) {
 // dropDominatedDuplicates removes reported skyline points dominated by
 // later-reported ones. This only ever fires when exact distance ties let an
 // object finish before its dominator (see package documentation on ties).
+//
+// Dominance is decided against a snapshot taken before the in-place
+// compaction: compacting res.Skyline while still reading res.Skyline[j]
+// from the same backing array would compare later points against entries
+// the compaction has already overwritten.
 func dropDominatedDuplicates(res *Result) {
+	snap := make([]SkylinePoint, len(res.Skyline))
+	copy(snap, res.Skyline)
 	keep := res.Skyline[:0]
-	for i, p := range res.Skyline {
+	for i, p := range snap {
 		dominated := false
-		for j, o := range res.Skyline {
+		for j, o := range snap {
 			if i != j && skyline.Dominates(o.Vec, p.Vec) {
 				dominated = true
 				break

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -215,12 +216,12 @@ func TestLBCSourceChoiceIrrelevantToResult(t *testing.T) {
 	objs := testnet.RandomObjects(rng, g, 40, 0)
 	env := newTestEnv(t, g, objs)
 	q := Query{Points: testnet.RandomLocations(rng, g, 4)}
-	base, err := Run(env, q, AlgLBC, Options{ColdCache: true, LBCSource: 0})
+	base, err := Run(context.Background(), env, q, AlgLBC, Options{ColdCache: true, LBCSource: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for s := 1; s < 4; s++ {
-		res, err := Run(env, q, AlgLBC, Options{ColdCache: true, LBCSource: s})
+		res, err := Run(context.Background(), env, q, AlgLBC, Options{ColdCache: true, LBCSource: s})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -239,11 +240,11 @@ func TestLBCDisablePLBSameResult(t *testing.T) {
 		objs := testnet.RandomObjects(rng, g, 60, 0)
 		env := newTestEnv(t, g, objs)
 		q := Query{Points: testnet.RandomLocations(rng, g, 3)}
-		a, err := Run(env, q, AlgLBC, Options{ColdCache: true})
+		a, err := Run(context.Background(), env, q, AlgLBC, Options{ColdCache: true})
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := Run(env, q, AlgLBC, Options{ColdCache: true, LBCDisablePLB: true})
+		b, err := Run(context.Background(), env, q, AlgLBC, Options{ColdCache: true, LBCDisablePLB: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -274,7 +275,7 @@ func TestQueryValidation(t *testing.T) {
 	if _, err := RunDefault(env, noAttrs, AlgEDC); err == nil {
 		t.Error("UseAttrs accepted without attributes")
 	}
-	if _, err := Run(env, Query{Points: testnet.RandomLocations(rng, g, 1)}, Algorithm(99), Options{}); err == nil {
+	if _, err := Run(context.Background(), env, Query{Points: testnet.RandomLocations(rng, g, 1)}, Algorithm(99), Options{}); err == nil {
 		t.Error("unknown algorithm accepted")
 	}
 }
@@ -377,7 +378,7 @@ func TestLBCAlternateMatchesOracle(t *testing.T) {
 		numQ := 2 + rng.Intn(4)
 		q := Query{Points: testnet.RandomLocations(rng, g, numQ)}
 		wantIdx, _ := bruteforce.NetworkSkyline(g, objs, q.Points, false)
-		res, err := Run(env, q, AlgLBC, Options{ColdCache: true, LBCAlternate: true})
+		res, err := Run(context.Background(), env, q, AlgLBC, Options{ColdCache: true, LBCAlternate: true})
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -398,11 +399,11 @@ func TestDisableAStarHeuristicSameResult(t *testing.T) {
 		env := newTestEnv(t, g, objs)
 		q := Query{Points: testnet.RandomLocations(rng, g, 3)}
 		for _, alg := range []Algorithm{AlgEDC, AlgLBC} {
-			a, err := Run(env, q, alg, Options{ColdCache: true})
+			a, err := Run(context.Background(), env, q, alg, Options{ColdCache: true})
 			if err != nil {
 				t.Fatal(err)
 			}
-			b, err := Run(env, q, alg, Options{ColdCache: true, DisableAStarHeuristic: true})
+			b, err := Run(context.Background(), env, q, alg, Options{ColdCache: true, DisableAStarHeuristic: true})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -426,7 +427,7 @@ func TestLBCProgressiveOrder(t *testing.T) {
 	objs := testnet.RandomObjects(rng, g, 50, 0)
 	env := newTestEnv(t, g, objs)
 	q := Query{Points: testnet.RandomLocations(rng, g, 3)}
-	res, err := Run(env, q, AlgLBC, Options{ColdCache: true})
+	res, err := Run(context.Background(), env, q, AlgLBC, Options{ColdCache: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -446,11 +447,11 @@ func TestWarmCache(t *testing.T) {
 	objs := testnet.RandomObjects(rng, g, 60, 0)
 	env := newTestEnv(t, g, objs)
 	q := Query{Points: testnet.RandomLocations(rng, g, 3)}
-	cold, err := Run(env, q, AlgLBC, Options{ColdCache: true})
+	cold, err := Run(context.Background(), env, q, AlgLBC, Options{ColdCache: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	warm, err := Run(env, q, AlgLBC, Options{ColdCache: false})
+	warm, err := Run(context.Background(), env, q, AlgLBC, Options{ColdCache: false})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -534,7 +535,7 @@ func TestLBCIteratorMatchesBatch(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		it, err := NewLBCIterator(env, q, Options{ColdCache: true})
+		it, err := NewLBCIterator(context.Background(), env, q, Options{ColdCache: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -585,7 +586,7 @@ func TestLBCIteratorEarlyStop(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	it, err := NewLBCIterator(env, q, Options{ColdCache: true})
+	it, err := NewLBCIterator(context.Background(), env, q, Options{ColdCache: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -41,7 +42,7 @@ func maxEuclid(env *Env, qPts []geom.Point, id graph.ObjectID) float64 {
 // This is the candidate space of the paper's Figure 3(b): everything
 // bottom-left of the shifted curve L1 is a candidate, everything beyond it
 // is pruned.
-func edc(env *Env, q Query, opts Options) (*Result, error) {
+func edc(ctx context.Context, env *Env, q Query, opts Options) (*Result, error) {
 	start := time.Now()
 	n := len(q.Points)
 	dims := env.vectorDims(n, q.UseAttrs)
@@ -52,7 +53,7 @@ func edc(env *Env, q Query, opts Options) (*Result, error) {
 
 	astars := make([]*sp.AStar, n)
 	for i, p := range q.Points {
-		a, err := sp.NewAStar(env, p, qPts[i])
+		a, err := sp.NewAStar(ctx, env, p, qPts[i])
 		if err != nil {
 			return nil, err
 		}
@@ -175,6 +176,13 @@ func edc(env *Env, q Query, opts Options) (*Result, error) {
 	}
 
 	for {
+		// The A* searchers check cancellation every K settlements inside
+		// fetch; the seed loop re-checks between seeds so that seeds whose
+		// distances resolve via the settled-endpoints shortcut (no
+		// expansion at all) cannot starve cancellation.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		seed, _, ok := seeds.Next()
 		if !ok {
 			break

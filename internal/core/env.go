@@ -150,13 +150,14 @@ func NewEnv(g *graph.Graph, objects []graph.Object, cfg EnvConfig) (*Env, error)
 
 // Clone returns an independent query environment over the same immutable
 // data: the graph, object table, R-tree structure and page files are
-// shared; buffer pools are fresh. Clones may serve queries concurrently.
-// Note the shared object R-tree's node-access counter is global across
-// clones; the network page counters are per-clone.
+// shared; buffer pools and every statistics counter (network page pools and
+// the R-tree node-visit counter) are per-clone. Clones may serve queries
+// concurrently.
 func (e *Env) Clone() *Env {
 	c := *e
 	c.Store = e.Store.Clone(e.bufferBytes)
 	c.Layer = e.Layer.Clone(e.bufferBytes)
+	c.ObjTree = e.ObjTree.Clone()
 	return &c
 }
 

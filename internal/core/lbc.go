@@ -1,5 +1,7 @@
 package core
 
+import "context"
+
 // lbc implements the Lower-Bound Constraint algorithm (paper Section 4.3)
 // by draining the progressive LBCIterator.
 //
@@ -27,10 +29,9 @@ package core
 // stream the candidate came from) or was pruned because a known skyline
 // point dominates it — and that skyline point dominates the candidate
 // too, by transitivity.
-func lbc(env *Env, q Query, opts Options) (*Result, error) {
+func lbc(ctx context.Context, env *Env, q Query, opts Options) (*Result, error) {
 	// The iterator owns cache invalidation and counter resets.
-	opts2 := opts
-	it, err := NewLBCIterator(env, q, opts2)
+	it, err := NewLBCIterator(ctx, env, q, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"time"
 
 	"roadskyline/internal/geom"
@@ -15,6 +17,7 @@ import (
 // consume results as they are determined instead of waiting for the full
 // skyline. The batch LBC algorithm is this iterator drained to exhaustion.
 type LBCIterator struct {
+	ctx   context.Context
 	env   *Env
 	q     Query
 	opts  Options
@@ -42,10 +45,21 @@ type LBCIterator struct {
 // NewLBCIterator validates the query and prepares the incremental LBC
 // machinery. Like Run, it resets the environment's I/O counters (and drops
 // caches when opts.ColdCache is set): the iterator owns the environment
-// until it is exhausted or abandoned.
-func NewLBCIterator(env *Env, q Query, opts Options) (*LBCIterator, error) {
+// until it is exhausted or abandoned. The context bounds the whole
+// iteration; once it is cancelled, Next fails with ctx.Err(). A nil context
+// means context.Background().
+func NewLBCIterator(ctx context.Context, env *Env, q Query, opts Options) (*LBCIterator, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := q.Validate(env); err != nil {
 		return nil, err
+	}
+	if !opts.LBCAlternate && (opts.LBCSource < 0 || opts.LBCSource >= len(q.Points)) {
+		return nil, fmt.Errorf("core: LBCSource %d out of range for %d query points", opts.LBCSource, len(q.Points))
 	}
 	if opts.ColdCache {
 		env.InvalidateCaches()
@@ -53,6 +67,7 @@ func NewLBCIterator(env *Env, q Query, opts Options) (*LBCIterator, error) {
 	env.ResetIO()
 
 	it := &LBCIterator{
+		ctx:   ctx,
 		env:   env,
 		q:     q,
 		opts:  opts,
@@ -66,7 +81,7 @@ func NewLBCIterator(env *Env, q Query, opts Options) (*LBCIterator, error) {
 	}
 	it.astars = make([]*sp.AStar, it.n)
 	for i, p := range q.Points {
-		a, err := sp.NewAStar(env, p, it.qPts[i])
+		a, err := sp.NewAStar(ctx, env, p, it.qPts[i])
 		if err != nil {
 			return nil, err
 		}
@@ -81,11 +96,7 @@ func NewLBCIterator(env *Env, q Query, opts Options) (*LBCIterator, error) {
 			it.sources[i] = i
 		}
 	} else {
-		src := opts.LBCSource
-		if src < 0 || src >= it.n {
-			src = 0
-		}
-		it.sources = []int{src}
+		it.sources = []int{opts.LBCSource}
 	}
 	it.streams = make([]*nnStream, len(it.sources))
 	for i, src := range it.sources {
@@ -103,6 +114,12 @@ func NewLBCIterator(env *Env, q Query, opts Options) (*LBCIterator, error) {
 // skyline is exhausted.
 func (it *LBCIterator) Next() (SkylinePoint, bool, error) {
 	for it.remaining > 0 {
+		// The A* searchers check cancellation every K settlements; the
+		// per-candidate check here covers candidates that resolve without
+		// expansion (settled-endpoints shortcut).
+		if err := it.ctx.Err(); err != nil {
+			return SkylinePoint{}, false, err
+		}
 		for it.done[it.cursor] {
 			it.cursor = (it.cursor + 1) % len(it.sources)
 		}

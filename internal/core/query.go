@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -125,7 +126,7 @@ type Options struct {
 	// counts reflect a cold run. Defaults to true in Run.
 	ColdCache bool
 	// LBCSource selects which query point LBC uses as the source (default
-	// 0).
+	// 0). Out-of-range values are rejected with an error.
 	LBCSource int
 	// LBCAlternate retrieves network nearest neighbors from every query
 	// point round-robin instead of a single source (the multi-source
@@ -145,7 +146,18 @@ type Options struct {
 // Run executes the query with the chosen algorithm. Each call resets the
 // I/O counters; with opts.ColdCache (the default via RunDefault) it also
 // drops the buffer pools first.
-func Run(env *Env, q Query, alg Algorithm, opts Options) (*Result, error) {
+//
+// The context bounds the query: cancellation or deadline expiry aborts the
+// expansion loops of all three algorithms and returns ctx.Err(). An
+// already-cancelled context returns immediately without touching the
+// environment. A nil context means context.Background().
+func Run(ctx context.Context, env *Env, q Query, alg Algorithm, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := q.Validate(env); err != nil {
 		return nil, err
 	}
@@ -155,19 +167,20 @@ func Run(env *Env, q Query, alg Algorithm, opts Options) (*Result, error) {
 	env.ResetIO()
 	switch alg {
 	case AlgCE:
-		return ce(env, q)
+		return ce(ctx, env, q)
 	case AlgEDC:
-		return edc(env, q, opts)
+		return edc(ctx, env, q, opts)
 	case AlgLBC:
-		return lbc(env, q, opts)
+		return lbc(ctx, env, q, opts)
 	default:
 		return nil, fmt.Errorf("core: unknown algorithm %d", int(alg))
 	}
 }
 
-// RunDefault executes the query cold-cache with default options.
+// RunDefault executes the query cold-cache with default options and no
+// cancellation.
 func RunDefault(env *Env, q Query, alg Algorithm) (*Result, error) {
-	return Run(env, q, alg, Options{ColdCache: true})
+	return Run(context.Background(), env, q, alg, Options{ColdCache: true})
 }
 
 // finishMetrics fills the I/O counters shared by all algorithms.

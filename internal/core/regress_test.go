@@ -1,0 +1,142 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"roadskyline/internal/graph"
+	"roadskyline/internal/testnet"
+)
+
+// TestDropDominatedDuplicatesTieChain is the regression test for the
+// in-place compaction bug: the function used to shrink res.Skyline while
+// the inner dominance loop kept indexing the same backing array, so later
+// points were compared against entries the compaction had already
+// overwritten. A chain of tied points where survivors and victims
+// interleave exercises exactly that aliasing.
+func TestDropDominatedDuplicatesTieChain(t *testing.T) {
+	pt := func(id int, vec ...float64) SkylinePoint {
+		return SkylinePoint{Object: graph.Object{ID: graph.ObjectID(id)}, Vec: vec}
+	}
+	cases := []struct {
+		name string
+		in   []SkylinePoint
+		want []int
+	}{
+		{
+			// Dominated points sandwiched between survivors: the first
+			// drop shifts the array under the remaining comparisons.
+			name: "interleaved",
+			in: []SkylinePoint{
+				pt(0, 1, 9), // survivor
+				pt(1, 2, 5), // dominated by 3
+				pt(2, 5, 2), // dominated by 4
+				pt(3, 2, 4), // survivor (ties 1 on dim 0)
+				pt(4, 4, 2), // survivor (ties 2 on dim 1)
+			},
+			want: []int{0, 3, 4},
+		},
+		{
+			// A tie chain ending in one dominator: every earlier point
+			// shares a coordinate with the next and only the last survives.
+			name: "tie chain",
+			in: []SkylinePoint{
+				pt(0, 3, 3),
+				pt(1, 3, 2),
+				pt(2, 2, 2),
+				pt(3, 2, 1),
+			},
+			want: []int{3},
+		},
+		{
+			// Exact duplicates dominate nothing (no strict improvement);
+			// all must survive.
+			name: "exact duplicates",
+			in: []SkylinePoint{
+				pt(0, 1, 2),
+				pt(1, 1, 2),
+			},
+			want: []int{0, 1},
+		},
+		{
+			name: "empty",
+			in:   nil,
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res := &Result{Skyline: append([]SkylinePoint(nil), tc.in...)}
+			dropDominatedDuplicates(res)
+			got := make([]int, 0, len(res.Skyline))
+			for _, p := range res.Skyline {
+				got = append(got, int(p.Object.ID))
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("kept %v, want %v", got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("kept %v, want %v", got, tc.want)
+				}
+			}
+		})
+	}
+}
+
+// TestLBCSourceValidation checks that out-of-range LBCSource values are
+// rejected with an error instead of being silently clamped to source 0.
+func TestLBCSourceValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := testnet.RandomGraph(rng, 40)
+	objs := testnet.RandomObjects(rng, g, 10, 0)
+	env := newTestEnv(t, g, objs)
+	q := Query{Points: testnet.RandomLocations(rng, g, 3)}
+
+	for _, bad := range []int{-1, 3, 17} {
+		if _, err := NewLBCIterator(context.Background(), env, q, Options{LBCSource: bad}); err == nil {
+			t.Errorf("LBCSource = %d accepted, want error", bad)
+		}
+		if _, err := Run(context.Background(), env, q, AlgLBC, Options{LBCSource: bad}); err == nil {
+			t.Errorf("Run with LBCSource = %d accepted, want error", bad)
+		}
+		// Alternate mode ignores LBCSource, so it must not reject it.
+		if _, err := Run(context.Background(), env, q, AlgLBC, Options{LBCSource: bad, LBCAlternate: true}); err != nil {
+			t.Errorf("alternate run rejected ignored LBCSource %d: %v", bad, err)
+		}
+	}
+	for src := 0; src < len(q.Points); src++ {
+		if _, err := Run(context.Background(), env, q, AlgLBC, Options{LBCSource: src}); err != nil {
+			t.Errorf("valid LBCSource %d rejected: %v", src, err)
+		}
+	}
+}
+
+// TestRunCancelledContext checks that an already-cancelled context aborts
+// all three algorithms before any expansion.
+func TestRunCancelledContext(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := testnet.RandomGraph(rng, 60)
+	objs := testnet.RandomObjects(rng, g, 20, 0)
+	env := newTestEnv(t, g, objs)
+	q := Query{Points: testnet.RandomLocations(rng, g, 2)}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, alg := range []Algorithm{AlgCE, AlgEDC, AlgLBC} {
+		res, err := Run(ctx, env, q, alg, Options{})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%v: err = %v, want context.Canceled", alg, err)
+		}
+		if res != nil {
+			t.Errorf("%v: non-nil result under cancelled context", alg)
+		}
+	}
+	if _, err := NewLBCIterator(ctx, env, q, Options{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("NewLBCIterator err = %v, want context.Canceled", err)
+	}
+	if _, err := AggregateNN(ctx, env, q.Points, 1, AggSum, Options{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("AggregateNN err = %v, want context.Canceled", err)
+	}
+}

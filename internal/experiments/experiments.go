@@ -10,6 +10,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -237,7 +238,7 @@ func (l *Lab) measureWith(spec gen.Spec, omega float64, numQ int, alg core.Algor
 	for trial := 0; trial < l.cfg.Trials; trial++ {
 		qseed := l.cfg.Seed + int64(trial)*7919 + int64(numQ)*104729
 		q := core.Query{Points: gen.QueryPoints(g, numQ, 0.1, qseed)}
-		res, err := core.Run(env, q, alg, opts)
+		res, err := core.Run(context.Background(), env, q, alg, opts)
 		if err != nil {
 			return Measurement{}, fmt.Errorf("experiments: %s omega=%.2f |Q|=%d %v: %w", spec.Name, omega, numQ, alg, err)
 		}

@@ -46,13 +46,14 @@ type node struct {
 }
 
 // Tree is an R-tree. The zero value is not usable; construct with New or
-// BulkLoad. Not safe for concurrent mutation.
+// BulkLoad. Not safe for concurrent mutation; concurrent read-only queries
+// are safe (node visits are counted atomically).
 type Tree struct {
 	root    *node
 	fanout  int
 	minFill int
 	size    int
-	visits  atomic.Int64 // atomic: concurrent readers share the tree
+	visits  *atomic.Int64 // atomic: concurrent readers share the tree
 }
 
 // New returns an empty tree with the given fanout (entries per node);
@@ -65,6 +66,7 @@ func New(fanout int) *Tree {
 		root:    &node{leaf: true, rect: geom.EmptyRect()},
 		fanout:  fanout,
 		minFill: fanout * 2 / 5,
+		visits:  new(atomic.Int64),
 	}
 }
 
@@ -80,6 +82,16 @@ func (t *Tree) NodeAccesses() int64 { return t.visits.Load() }
 
 // ResetNodeAccesses zeroes the node-visit counter.
 func (t *Tree) ResetNodeAccesses() { t.visits.Store(0) }
+
+// Clone returns a reader over the same tree structure with an independent
+// node-visit counter. The nodes themselves are shared (the tree must not be
+// mutated afterwards); each clone's NodeAccesses/ResetNodeAccesses only see
+// that clone's queries, so concurrent readers get isolated statistics.
+func (t *Tree) Clone() *Tree {
+	c := *t
+	c.visits = new(atomic.Int64)
+	return &c
+}
 
 // Height returns the number of levels (1 for a leaf-only tree).
 func (t *Tree) Height() int {

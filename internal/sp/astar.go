@@ -1,6 +1,7 @@
 package sp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -26,6 +27,7 @@ var ErrStaleSession = errors.New("sp: session superseded by a newer session on t
 // Abandoning a session (LBC drops a candidate once it is dominated) is
 // free — the wavefront stays valid.
 type AStar struct {
+	ctx     context.Context
 	net     Net
 	src     graph.Location
 	srcPt   geom.Point
@@ -49,9 +51,16 @@ type frontierEntry struct {
 }
 
 // NewAStar creates a searcher rooted at src. srcPt must be the planar
-// position of src (callers have it from the query point).
-func NewAStar(net Net, src graph.Location, srcPt geom.Point) (*AStar, error) {
+// position of src (callers have it from the query point). The context
+// bounds every session's expansion: once it is cancelled, Advance fails
+// with ctx.Err() within cancelCheckEvery settlements. A nil context means
+// context.Background().
+func NewAStar(ctx context.Context, net Net, src graph.Location, srcPt geom.Point) (*AStar, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	a := &AStar{
+		ctx:      ctx,
 		net:      net,
 		src:      src,
 		srcPt:    srcPt,
@@ -203,6 +212,11 @@ func (s *Session) Advance() (plb float64, done bool, err error) {
 		return 0, false, ErrStaleSession
 	}
 	a := s.a
+	if a.nodesExpanded%cancelCheckEvery == cancelCheckEvery-1 {
+		if err := a.ctx.Err(); err != nil {
+			return 0, false, err
+		}
+	}
 	u, _ := s.heap.Pop()
 	fe := a.frontier[u]
 	delete(a.frontier, u)

@@ -1,6 +1,7 @@
 package sp
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -15,7 +16,7 @@ func BenchmarkDijkstraFullDrain(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		net := testnet.NewMemNet(g, objs)
-		d, err := NewDijkstra(net, srcs[i%len(srcs)])
+		d, err := NewDijkstra(context.Background(), net, srcs[i%len(srcs)])
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -37,7 +38,7 @@ func BenchmarkAStarManyTargets(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		net := testnet.NewMemNet(g, objs)
-		a, err := NewAStar(net, srcs[i%len(srcs)], g.Point(srcs[i%len(srcs)]))
+		a, err := NewAStar(context.Background(), net, srcs[i%len(srcs)], g.Point(srcs[i%len(srcs)]))
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package sp
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -9,6 +10,12 @@ import (
 	"roadskyline/internal/middlelayer"
 	"roadskyline/internal/pqueue"
 )
+
+// cancelCheckEvery is how many node settlements a searcher performs between
+// context cancellation checks. Checking per settlement would put a
+// synchronized load on the hottest loop in the engine; every K settlements
+// bounds cancellation latency to K page reads while keeping the loop tight.
+const cancelCheckEvery = 64
 
 // ObjectHit is a data object reported by the incremental NN search with its
 // final network distance from the source.
@@ -22,6 +29,7 @@ type ObjectHit struct {
 // network expansion of CE). Each call to NextObject resumes the wavefront
 // where the previous call stopped.
 type Dijkstra struct {
+	ctx      context.Context
 	net      Net
 	settled  map[graph.NodeID]float64
 	frontier *pqueue.Indexed[graph.NodeID]
@@ -35,9 +43,15 @@ type Dijkstra struct {
 	obuf          []middlelayer.ObjRef
 }
 
-// NewDijkstra creates a wavefront rooted at src.
-func NewDijkstra(net Net, src graph.Location) (*Dijkstra, error) {
+// NewDijkstra creates a wavefront rooted at src. The context bounds the
+// expansion: once it is cancelled, NextObject fails with ctx.Err() within
+// cancelCheckEvery settlements. A nil context means context.Background().
+func NewDijkstra(ctx context.Context, net Net, src graph.Location) (*Dijkstra, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	d := &Dijkstra{
+		ctx:      ctx,
 		net:      net,
 		settled:  make(map[graph.NodeID]float64),
 		frontier: pqueue.NewIndexed[graph.NodeID](64),
@@ -114,6 +128,11 @@ func (d *Dijkstra) expandOne() error {
 	u, dist := d.frontier.Pop()
 	d.settled[u] = dist
 	d.nodesExpanded++
+	if d.nodesExpanded%cancelCheckEvery == 0 {
+		if err := d.ctx.Err(); err != nil {
+			return err
+		}
+	}
 	var err error
 	d.nbuf, err = d.net.Neighbors(u, d.nbuf[:0])
 	if err != nil {

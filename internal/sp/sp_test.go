@@ -1,6 +1,7 @@
 package sp
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -24,7 +25,7 @@ func TestDijkstraIncrementalNN(t *testing.T) {
 		want := bruteforce.ObjectDistances(g, objs, src)
 
 		net := testnet.NewMemNet(g, objs)
-		d, err := NewDijkstra(net, src)
+		d, err := NewDijkstra(context.Background(), net, src)
 		if err != nil {
 			t.Fatalf("trial %d: NewDijkstra: %v", trial, err)
 		}
@@ -70,7 +71,7 @@ func TestDijkstraNoObjects(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	g := testnet.RandomGraph(rng, 20)
 	net := testnet.NewMemNet(g, nil)
-	d, err := NewDijkstra(net, testnet.RandomLocations(rng, g, 1)[0])
+	d, err := NewDijkstra(context.Background(), net, testnet.RandomLocations(rng, g, 1)[0])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +93,7 @@ func TestDijkstraSourceEdgeObjects(t *testing.T) {
 		{ID: 1, Loc: graph.Location{Edge: 0, Offset: 0.4}},
 	}
 	net := testnet.NewMemNet(g, objs)
-	d, err := NewDijkstra(net, graph.Location{Edge: 0, Offset: 0.5})
+	d, err := NewDijkstra(context.Background(), net, graph.Location{Edge: 0, Offset: 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +122,7 @@ func TestDijkstraShortcutBeatsOwnEdge(t *testing.T) {
 	// offset 0 would be 9; via the shortcut it is 0.5+0.5+ (10-9)=2.
 	objs := []graph.Object{{ID: 0, Loc: graph.Location{Edge: 0, Offset: 9}}}
 	net := testnet.NewMemNet(g, objs)
-	d, _ := NewDijkstra(net, graph.Location{Edge: 0, Offset: 0})
+	d, _ := NewDijkstra(context.Background(), net, graph.Location{Edge: 0, Offset: 0})
 	hit, ok, _ := d.NextObject()
 	if !ok || math.Abs(hit.Dist-2.0) > 1e-12 {
 		t.Fatalf("hit = %+v, want dist 2.0 via shortcut", hit)
@@ -144,7 +145,7 @@ func TestAStarMatchesOracle(t *testing.T) {
 		want := bruteforce.ObjectDistances(g, objs, src)
 
 		net := testnet.NewMemNet(g, objs)
-		a, err := NewAStar(net, src, g.Point(src))
+		a, err := NewAStar(context.Background(), net, src, g.Point(src))
 		if err != nil {
 			t.Fatalf("NewAStar: %v", err)
 		}
@@ -171,7 +172,7 @@ func TestAStarRepeatTarget(t *testing.T) {
 	objs := testnet.RandomObjects(rng, g, 5, 0)
 	src := testnet.RandomLocations(rng, g, 1)[0]
 	net := testnet.NewMemNet(g, objs)
-	a, _ := NewAStar(net, src, g.Point(src))
+	a, _ := NewAStar(context.Background(), net, src, g.Point(src))
 	d1, err := a.DistanceTo(objs[0].Loc, g.Point(objs[0].Loc))
 	if err != nil {
 		t.Fatal(err)
@@ -199,7 +200,7 @@ func TestPLBInvariants(t *testing.T) {
 		src := testnet.RandomLocations(rng, g, 1)[0]
 		want := bruteforce.ObjectDistances(g, objs, src)
 		net := testnet.NewMemNet(g, objs)
-		a, _ := NewAStar(net, src, g.Point(src))
+		a, _ := NewAStar(context.Background(), net, src, g.Point(src))
 		for i, o := range objs {
 			s := a.NewSession(o.Loc, g.Point(o.Loc))
 			prev := s.PLB()
@@ -246,7 +247,7 @@ func TestSessionStaleness(t *testing.T) {
 	objs := testnet.RandomObjects(rng, g, 3, 0)
 	src := testnet.RandomLocations(rng, g, 1)[0]
 	net := testnet.NewMemNet(g, objs)
-	a, _ := NewAStar(net, src, g.Point(src))
+	a, _ := NewAStar(context.Background(), net, src, g.Point(src))
 	s1 := a.NewSession(objs[0].Loc, g.Point(objs[0].Loc))
 	s2 := a.NewSession(objs[1].Loc, g.Point(objs[1].Loc))
 	if !s1.Done() {
@@ -265,7 +266,7 @@ func TestDistPanicsBeforeDone(t *testing.T) {
 	objs := testnet.RandomObjects(rng, g, 1, 0)
 	src := testnet.RandomLocations(rng, g, 1)[0]
 	net := testnet.NewMemNet(g, objs)
-	a, _ := NewAStar(net, src, g.Point(src))
+	a, _ := NewAStar(context.Background(), net, src, g.Point(src))
 	s := a.NewSession(objs[0].Loc, g.Point(objs[0].Loc))
 	if s.Done() {
 		t.Skip("session completed immediately")
@@ -288,7 +289,7 @@ func TestAStarExpandsNoMoreThanDijkstraRadius(t *testing.T) {
 		objs := testnet.RandomObjects(rng, g, 5, 0)
 		src := testnet.RandomLocations(rng, g, 1)[0]
 		net1 := testnet.NewMemNet(g, objs)
-		a, _ := NewAStar(net1, src, g.Point(src))
+		a, _ := NewAStar(context.Background(), net1, src, g.Point(src))
 		// Single farthest object: worst case for directional search.
 		want := bruteforce.ObjectDistances(g, objs, src)
 		far, fd := 0, -1.0
@@ -301,7 +302,7 @@ func TestAStarExpandsNoMoreThanDijkstraRadius(t *testing.T) {
 			t.Fatal(err)
 		}
 		net2 := testnet.NewMemNet(g, objs)
-		d, _ := NewDijkstra(net2, src)
+		d, _ := NewDijkstra(context.Background(), net2, src)
 		for {
 			hit, ok, _ := d.NextObject()
 			if !ok || hit.ID == objs[far].ID {
@@ -325,7 +326,7 @@ func TestAbandonedSessionsDoNotCorrupt(t *testing.T) {
 		src := testnet.RandomLocations(rng, g, 1)[0]
 		want := bruteforce.ObjectDistances(g, objs, src)
 		net := testnet.NewMemNet(g, objs)
-		a, _ := NewAStar(net, src, g.Point(src))
+		a, _ := NewAStar(context.Background(), net, src, g.Point(src))
 		for i, o := range objs {
 			s := a.NewSession(o.Loc, g.Point(o.Loc))
 			if i%2 == 0 {
@@ -372,7 +373,7 @@ func TestDijkstraTiesComplete(t *testing.T) {
 	}
 	src := graph.Location{Edge: 0, Offset: 0}
 	net := testnet.NewMemNet(g, objs)
-	dij, _ := NewDijkstra(net, src)
+	dij, _ := NewDijkstra(context.Background(), net, src)
 	var got []float64
 	for {
 		hit, ok, _ := dij.NextObject()
@@ -402,7 +403,7 @@ func TestSessionPath(t *testing.T) {
 		objs := testnet.RandomObjects(rng, g, 1+rng.Intn(20), 0)
 		src := testnet.RandomLocations(rng, g, 1)[0]
 		net := testnet.NewMemNet(g, objs)
-		a, _ := NewAStar(net, src, g.Point(src))
+		a, _ := NewAStar(context.Background(), net, src, g.Point(src))
 		for _, o := range objs {
 			s := a.NewSession(o.Loc, g.Point(o.Loc))
 			dist, err := s.Run()
@@ -479,7 +480,7 @@ func TestPathPanicsBeforeDone(t *testing.T) {
 	objs := testnet.RandomObjects(rng, g, 1, 0)
 	src := testnet.RandomLocations(rng, g, 1)[0]
 	net := testnet.NewMemNet(g, objs)
-	a, _ := NewAStar(net, src, g.Point(src))
+	a, _ := NewAStar(context.Background(), net, src, g.Point(src))
 	s := a.NewSession(objs[0].Loc, g.Point(objs[0].Loc))
 	if s.Done() {
 		t.Skip("completed immediately")

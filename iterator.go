@@ -1,6 +1,8 @@
 package roadskyline
 
 import (
+	"context"
+
 	"roadskyline/internal/core"
 	"roadskyline/internal/graph"
 )
@@ -17,15 +19,30 @@ type SkylineIterator struct {
 	it  *core.LBCIterator
 }
 
-// SkylineIter starts a progressive LBC skyline query.
+// SkylineIter starts a progressive LBC skyline query without cancellation.
+// It is SkylineIterContext(context.Background(), ...) with the query's
+// Source left at its default.
 func (e *Engine) SkylineIter(points []Location, useAttrs, alternate bool) (*SkylineIterator, error) {
-	pts := make([]graph.Location, len(points))
-	for i, p := range points {
+	return e.SkylineIterContext(context.Background(), Query{
+		Points:    points,
+		UseAttrs:  useAttrs,
+		Alternate: alternate,
+	})
+}
+
+// SkylineIterContext starts a progressive LBC skyline query under a
+// context: once it is cancelled, Next fails with ctx.Err(). The query's
+// Algorithm field is ignored (the iterator is always LBC); Source and
+// Alternate select the nearest-neighbor source(s).
+func (e *Engine) SkylineIterContext(ctx context.Context, q Query) (*SkylineIterator, error) {
+	pts := make([]graph.Location, len(q.Points))
+	for i, p := range q.Points {
 		pts[i] = graph.Location{Edge: graph.EdgeID(p.Edge), Offset: p.Offset}
 	}
-	it, err := core.NewLBCIterator(e.env, core.Query{Points: pts, UseAttrs: useAttrs}, core.Options{
+	it, err := core.NewLBCIterator(ctx, e.env, core.Query{Points: pts, UseAttrs: q.UseAttrs}, core.Options{
 		ColdCache:    !e.cfg.WarmCache,
-		LBCAlternate: alternate,
+		LBCAlternate: q.Alternate,
+		LBCSource:    q.Source,
 	})
 	if err != nil {
 		return nil, err
@@ -50,14 +67,5 @@ func (s *SkylineIterator) Next() (SkylinePoint, bool, error) {
 // Stats finalizes and returns the query's cost counters; call after the
 // last Next (or when abandoning the iteration).
 func (s *SkylineIterator) Stats() Stats {
-	m := s.it.Metrics()
-	return Stats{
-		Candidates:           m.Candidates,
-		NetworkPages:         m.NetworkPages,
-		RTreeNodes:           m.RTreeNodes,
-		NodesExpanded:        m.NodesExpanded,
-		DistanceComputations: m.DistanceComputations,
-		Total:                m.Total,
-		Initial:              m.Initial,
-	}
+	return statsFromMetrics(s.it.Metrics())
 }

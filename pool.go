@@ -1,0 +1,232 @@
+package roadskyline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// ErrPoolClosed is returned by pool queries after Close.
+var ErrPoolClosed = errors.New("roadskyline: pool closed")
+
+// ErrPoolSaturated is returned when a query arrives while every worker is
+// busy and the admission queue is full. Callers should treat it as
+// backpressure: retry later or shed the request.
+var ErrPoolSaturated = errors.New("roadskyline: pool saturated")
+
+// PoolConfig tunes a Pool.
+type PoolConfig struct {
+	// Workers is the number of engine clones serving queries concurrently.
+	// Defaults to runtime.GOMAXPROCS(0).
+	Workers int
+	// QueueDepth bounds how many queries may wait for a worker beyond the
+	// ones already running; arrivals past Workers+QueueDepth fail fast with
+	// ErrPoolSaturated. Defaults to 4x Workers.
+	QueueDepth int
+}
+
+// Pool serves skyline queries concurrently from a fixed set of engine
+// clones behind a bounded admission queue. The clones share the immutable
+// indexes and page files of the source engine; each owns private buffer
+// pools and cost counters, so concurrent queries are race-free and their
+// Stats are per-query exact.
+//
+// All methods are safe for concurrent use. The source engine passed to
+// NewPool is not retained and stays free for serial use.
+type Pool struct {
+	workers chan *Engine  // idle clones; capacity = Workers
+	queue   chan struct{} // admission tokens; capacity = Workers+QueueDepth
+	size    int
+	closed  chan struct{}
+	once    sync.Once
+}
+
+// NewPool builds a pool of cfg.Workers clones of e.
+func NewPool(e *Engine, cfg PoolConfig) (*Pool, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth < 0 {
+		return nil, fmt.Errorf("roadskyline: negative QueueDepth %d", cfg.QueueDepth)
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 4 * cfg.Workers
+	}
+	p := &Pool{
+		workers: make(chan *Engine, cfg.Workers),
+		queue:   make(chan struct{}, cfg.Workers+cfg.QueueDepth),
+		size:    cfg.Workers,
+		closed:  make(chan struct{}),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		p.workers <- e.Clone()
+	}
+	return p, nil
+}
+
+// Workers returns the number of engine clones in the pool.
+func (p *Pool) Workers() int { return p.size }
+
+// Close shuts the pool: queries already running finish normally, every
+// waiter and later call fails with ErrPoolClosed. Close is idempotent.
+func (p *Pool) Close() {
+	p.once.Do(func() { close(p.closed) })
+}
+
+// acquire admits the caller through the bounded queue (failing fast with
+// ErrPoolSaturated when it is full) and then waits for an idle worker.
+func (p *Pool) acquire(ctx context.Context) (*Engine, error) {
+	select {
+	case p.queue <- struct{}{}:
+	default:
+		select {
+		case <-p.closed:
+			return nil, ErrPoolClosed
+		default:
+		}
+		return nil, ErrPoolSaturated
+	}
+	eng, err := p.wait(ctx)
+	if err != nil {
+		<-p.queue
+	}
+	return eng, err
+}
+
+// acquireWait is acquire without the saturation fast-fail: the caller is
+// willing to block until a worker frees up (batch submission owns its
+// backlog). It bypasses the admission queue entirely.
+func (p *Pool) acquireWait(ctx context.Context) (*Engine, error) {
+	return p.wait(ctx)
+}
+
+func (p *Pool) wait(ctx context.Context) (*Engine, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	select {
+	case <-p.closed:
+		return nil, ErrPoolClosed
+	default:
+	}
+	select {
+	case eng := <-p.workers:
+		return eng, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-p.closed:
+		return nil, ErrPoolClosed
+	}
+}
+
+func (p *Pool) release(eng *Engine, admitted bool) {
+	p.workers <- eng
+	if admitted {
+		<-p.queue
+	}
+}
+
+// Skyline answers the query on an idle worker. It blocks until a worker is
+// free, the context is done, or the pool closes; when every worker is busy
+// and the admission queue is full it fails fast with ErrPoolSaturated.
+// Cancellation both abandons the wait and aborts a running expansion.
+func (p *Pool) Skyline(ctx context.Context, q Query) (*Result, error) {
+	eng, err := p.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer p.release(eng, true)
+	return eng.SkylineContext(ctx, q)
+}
+
+// SkylineBatch answers queries[i] into results[i] and errs[i], fanning the
+// batch out over the pool's workers. Unlike Skyline, a batch is never
+// rejected with ErrPoolSaturated: the caller owns the whole backlog, so
+// each query simply waits for a worker. A context error fails the queries
+// that have not started yet with ctx.Err().
+func (p *Pool) SkylineBatch(ctx context.Context, queries []Query) (results []*Result, errs []error) {
+	results = make([]*Result, len(queries))
+	errs = make([]error, len(queries))
+	var wg sync.WaitGroup
+	for i := range queries {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			eng, err := p.acquireWait(ctx)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer p.release(eng, false)
+			results[i], errs[i] = eng.SkylineContext(ctx, queries[i])
+		}(i)
+	}
+	wg.Wait()
+	return results, errs
+}
+
+// SkylineIter starts a progressive LBC query on an idle worker. The worker
+// stays checked out until the iterator is exhausted, fails, or is closed;
+// always call Close (it is idempotent and exhaustion triggers it
+// automatically) or the worker leaks. Admission follows the same rules as
+// Skyline, including ErrPoolSaturated.
+func (p *Pool) SkylineIter(ctx context.Context, q Query) (*PoolIterator, error) {
+	eng, err := p.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	it, err := eng.SkylineIterContext(ctx, q)
+	if err != nil {
+		p.release(eng, true)
+		return nil, err
+	}
+	return &PoolIterator{pool: p, eng: eng, it: it}, nil
+}
+
+// PoolIterator streams skyline points from a pool worker. It is not safe
+// for concurrent use; hand it to one consumer.
+type PoolIterator struct {
+	pool  *Pool
+	eng   *Engine
+	it    *SkylineIterator
+	stats Stats
+	done  bool
+}
+
+// Next returns the next skyline point; ok is false when the skyline is
+// exhausted (which releases the worker) or after Close. A context or query
+// error also releases the worker and ends the iteration.
+func (pi *PoolIterator) Next() (SkylinePoint, bool, error) {
+	if pi.done {
+		return SkylinePoint{}, false, nil
+	}
+	pt, ok, err := pi.it.Next()
+	if err != nil || !ok {
+		pi.Close()
+		return SkylinePoint{}, false, err
+	}
+	return pt, true, nil
+}
+
+// Stats returns the query's cost counters so far; after exhaustion or
+// Close it returns the final snapshot.
+func (pi *PoolIterator) Stats() Stats {
+	if pi.done {
+		return pi.stats
+	}
+	return pi.it.Stats()
+}
+
+// Close finalizes the iteration and returns the worker to the pool. It is
+// idempotent and safe after exhaustion.
+func (pi *PoolIterator) Close() {
+	if pi.done {
+		return
+	}
+	pi.done = true
+	pi.stats = pi.it.Stats()
+	pi.pool.release(pi.eng, true)
+	pi.eng, pi.it = nil, nil
+}
