@@ -34,11 +34,12 @@ func main() {
 		csv     = flag.Bool("csv", false, "emit tables as CSV")
 		par     = flag.Int("parallel", 0, "run the pool throughput benchmark with this many workers instead of figures")
 		queries = flag.Int("queries", 96, "queries in the -parallel workload")
+		lms     = flag.Int("landmarks", 0, "ALT landmark count per environment (0 = default, negative disables)")
 	)
 	flag.Parse()
 
 	if *par > 0 {
-		if err := parallelBench(*scale, *par, *queries, *seed); err != nil {
+		if err := parallelBench(*scale, *par, *queries, *seed, *lms); err != nil {
 			fmt.Fprintf(os.Stderr, "skylinebench: parallel: %v\n", err)
 			os.Exit(1)
 		}
@@ -52,6 +53,7 @@ func main() {
 	cfg.Scale = *scale
 	cfg.Trials = *trials
 	cfg.Seed = *seed
+	cfg.Landmarks = *lms
 	if *quickQ && !flagSet("scale") {
 		cfg.Scale = experiments.Quick().Scale
 	}
@@ -109,7 +111,7 @@ func main() {
 	if want == "all" || want == "ablations" {
 		ran = true
 		for _, f := range []func() (experiments.Table, error){
-			lab.AblationPLB, lab.AblationAStar, lab.AblationClustering, lab.AblationBuffer,
+			lab.AblationPLB, lab.AblationAStar, lab.AblationLandmarks, lab.AblationClustering, lab.AblationBuffer,
 		} {
 			tab, err := f()
 			if err != nil {
@@ -129,7 +131,7 @@ func main() {
 // parallelBench measures concurrent query throughput: the same mixed
 // CE/EDC/LBC workload answered serially on one engine and then through a
 // Pool of `workers` clones, reporting wall time, queries/s and speedup.
-func parallelBench(scale float64, workers, queries int, seed int64) error {
+func parallelBench(scale float64, workers, queries int, seed int64, landmarks int) error {
 	if queries < 1 {
 		return fmt.Errorf("-queries must be at least 1 (got %d)", queries)
 	}
@@ -151,7 +153,10 @@ func parallelBench(scale float64, workers, queries int, seed int64) error {
 	if err != nil {
 		return err
 	}
-	eng, err := roadskyline.NewEngine(n, n.GenerateObjects(0.5, 0, seed), roadskyline.EngineConfig{})
+	eng, err := roadskyline.NewEngine(n, n.GenerateObjects(0.5, 0, seed), roadskyline.EngineConfig{
+		Landmarks:   landmarks,
+		NoLandmarks: landmarks < 0,
+	})
 	if err != nil {
 		return err
 	}

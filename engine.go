@@ -58,6 +58,15 @@ type EngineConfig struct {
 	// DiskDir, when non-empty, stores the simulated disk pages as real
 	// files in that directory instead of in memory.
 	DiskDir string
+	// Landmarks is the number of ALT landmark nodes precomputed at build
+	// time: exact distance tables from a few farthest-point-sampled nodes
+	// tighten the A* heuristic beyond the Euclidean bound via the triangle
+	// inequality. Zero means the default (8); set NoLandmarks to disable.
+	Landmarks int
+	// NoLandmarks disables the landmark table so the A* searchers fall
+	// back to the pure Euclidean heuristic of the paper; used by the
+	// landmark ablation.
+	NoLandmarks bool
 }
 
 // Engine answers skyline queries over one network and one object set. It
@@ -94,10 +103,15 @@ func NewEngine(n *Network, objects []Object, cfg EngineConfig) (*Engine, error) 
 	if cfg.NoHilbertClustering {
 		order = diskgraph.OrderNodeID
 	}
+	landmarks := cfg.Landmarks
+	if cfg.NoLandmarks {
+		landmarks = -1
+	}
 	env, err := core.NewEnv(n.g, objs, core.EnvConfig{
 		BufferBytes: cfg.BufferBytes,
 		Order:       order,
 		Dir:         cfg.DiskDir,
+		Landmarks:   landmarks,
 	})
 	if err != nil {
 		return nil, err
@@ -139,6 +153,11 @@ type Query struct {
 	// index into Points; out-of-range values are rejected. Ignored by CE
 	// and EDC, and by LBC when Alternate is set.
 	Source int
+	// NoLandmarks runs this query with the pure Euclidean A* heuristic,
+	// ignoring the engine's landmark table (per-query ablation; the result
+	// is identical, only the work counters change). Ignored by CE, which
+	// uses Dijkstra wavefronts without a heuristic.
+	NoLandmarks bool
 }
 
 // SkylinePoint is one skyline object with its network distances to the
@@ -164,6 +183,11 @@ type Stats struct {
 	// DistanceComputations counts completed (query point, object) network
 	// distance evaluations.
 	DistanceComputations int
+	// LandmarkWins and EuclidWins split the A* heuristic evaluations by
+	// which lower bound was tighter: the landmark (ALT) triangle bound or
+	// the Euclidean bound. Both are zero when landmarks are disabled.
+	LandmarkWins int
+	EuclidWins   int
 	// InitialPages counts the network pages faulted before the first
 	// skyline point was determined (the I/O share of the initial response
 	// time the paper reports).
@@ -181,6 +205,8 @@ func statsFromMetrics(m core.Metrics) Stats {
 		RTreeNodes:           m.RTreeNodes,
 		NodesExpanded:        m.NodesExpanded,
 		DistanceComputations: m.DistanceComputations,
+		LandmarkWins:         m.LandmarkWins,
+		EuclidWins:           m.EuclidWins,
 		InitialPages:         m.InitialPages,
 		Total:                m.Total,
 		Initial:              m.Initial,
@@ -213,9 +239,10 @@ func (e *Engine) SkylineContext(ctx context.Context, q Query) (*Result, error) {
 		pts[i] = graph.Location{Edge: graph.EdgeID(p.Edge), Offset: p.Offset}
 	}
 	res, err := core.Run(ctx, e.env, core.Query{Points: pts, UseAttrs: q.UseAttrs}, q.Algorithm.core(), core.Options{
-		ColdCache:    !e.cfg.WarmCache,
-		LBCAlternate: q.Alternate,
-		LBCSource:    q.Source,
+		ColdCache:        !e.cfg.WarmCache,
+		LBCAlternate:     q.Alternate,
+		LBCSource:        q.Source,
+		DisableLandmarks: q.NoLandmarks,
 	})
 	if err != nil {
 		return nil, err
@@ -262,6 +289,9 @@ func (e *Engine) ShortestPath(from, to Location) (*PathResult, error) {
 	a, err := sp.NewAStar(context.Background(), e.env, gFrom, e.net.g.Point(gFrom))
 	if err != nil {
 		return nil, err
+	}
+	if hs := e.env.HeuristicSource(core.Options{}); hs != nil {
+		a.UseHeuristicSource(hs)
 	}
 	s := a.NewSession(gTo, e.net.g.Point(gTo))
 	dist, err := s.Run()

@@ -107,12 +107,9 @@ func AggregateNN(ctx context.Context, env *Env, points []graph.Location, k int, 
 	}
 	astars := make([]*sp.AStar, n)
 	for i, p := range points {
-		a, err := sp.NewAStar(ctx, env, p, qPts[i])
+		a, err := newAStar(ctx, env, opts, p, qPts[i])
 		if err != nil {
 			return nil, err
-		}
-		if opts.DisableAStarHeuristic {
-			a.DisableHeuristic()
 		}
 		astars[i] = a
 	}
@@ -213,9 +210,7 @@ func AggregateNN(ctx context.Context, env *Env, points []graph.Location, k int, 
 		nb, _ := best.Pop()
 		res.Neighbors[i] = nb
 	}
-	for _, a := range astars {
-		m.NodesExpanded += a.NodesExpanded()
-	}
+	collectSearcherStats(&m, astars)
 	finishMetrics(env, &m, start)
 	res.Metrics = m
 	return res, nil

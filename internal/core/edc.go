@@ -53,12 +53,9 @@ func edc(ctx context.Context, env *Env, q Query, opts Options) (*Result, error) 
 
 	astars := make([]*sp.AStar, n)
 	for i, p := range q.Points {
-		a, err := sp.NewAStar(ctx, env, p, qPts[i])
+		a, err := newAStar(ctx, env, opts, p, qPts[i])
 		if err != nil {
 			return nil, err
-		}
-		if opts.DisableAStarHeuristic {
-			a.DisableHeuristic()
 		}
 		astars[i] = a
 	}
@@ -257,9 +254,7 @@ func edc(ctx context.Context, env *Env, q Query, opts Options) (*Result, error) 
 	}
 
 	dropDominatedDuplicates(res)
-	for _, a := range astars {
-		m.NodesExpanded += a.NodesExpanded()
-	}
+	collectSearcherStats(&m, astars)
 	finishMetrics(env, &m, start)
 	res.Metrics = m
 	return res, nil

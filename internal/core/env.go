@@ -17,8 +17,10 @@ import (
 	"roadskyline/internal/diskgraph"
 	"roadskyline/internal/geom"
 	"roadskyline/internal/graph"
+	"roadskyline/internal/landmark"
 	"roadskyline/internal/middlelayer"
 	"roadskyline/internal/rtree"
+	"roadskyline/internal/sp"
 	"roadskyline/internal/storage"
 )
 
@@ -33,6 +35,9 @@ type Env struct {
 	Store   *diskgraph.Store
 	Layer   *middlelayer.Layer
 	ObjTree *rtree.Tree
+	// Landmarks is the ALT lower-bound table (nil when disabled). It is
+	// immutable after NewEnv and shared across clones.
+	Landmarks *landmark.Table
 
 	numAttrs    int
 	bufferBytes int
@@ -61,7 +66,16 @@ type EnvConfig struct {
 	// observes ("I/O is the overwhelming factor"); the default models a
 	// commodity disk reading 4 KB pages with readahead (150us per fault).
 	DiskLatency time.Duration
+	// Landmarks is the number of ALT landmark nodes precomputed at build
+	// time to tighten the A* heuristic beyond the Euclidean bound. Zero
+	// means DefaultLandmarks; a negative value disables the table (queries
+	// fall back to the pure Euclidean heuristic, the paper's setup).
+	Landmarks int
 }
+
+// DefaultLandmarks is the landmark count used when EnvConfig.Landmarks is
+// zero.
+const DefaultLandmarks = landmark.DefaultK
 
 // DefaultDiskLatency is the default simulated cost per page fault.
 const DefaultDiskLatency = 150 * time.Microsecond
@@ -136,12 +150,21 @@ func NewEnv(g *graph.Graph, objects []graph.Object, cfg EnvConfig) (*Env, error)
 	for i, o := range objects {
 		entries[i] = rtree.Entry{Rect: geom.RectFromPoint(g.Point(o.Loc)), ID: int32(o.ID)}
 	}
+	landmarks := cfg.Landmarks
+	if landmarks == 0 {
+		landmarks = DefaultLandmarks
+	}
+	var lmTable *landmark.Table
+	if landmarks > 0 {
+		lmTable = landmark.Build(g, landmarks)
+	}
 	return &Env{
 		G:           g,
 		Objects:     objects,
 		Store:       store,
 		Layer:       layer,
 		ObjTree:     rtree.BulkLoad(entries, cfg.RTreeFanout),
+		Landmarks:   lmTable,
 		numAttrs:    numAttrs,
 		bufferBytes: cfg.BufferBytes,
 		diskLatency: cfg.DiskLatency,
@@ -149,10 +172,11 @@ func NewEnv(g *graph.Graph, objects []graph.Object, cfg EnvConfig) (*Env, error)
 }
 
 // Clone returns an independent query environment over the same immutable
-// data: the graph, object table, R-tree structure and page files are
-// shared; buffer pools and every statistics counter (network page pools and
-// the R-tree node-visit counter) are per-clone. Clones may serve queries
-// concurrently.
+// data: the graph, object table, R-tree structure, landmark table and page
+// files are shared; buffer pools and every statistics counter (network page
+// pools and the R-tree node-visit counter) are per-clone. Clones may serve
+// queries concurrently: the landmark table is read-only after construction,
+// so the struct-copied pointer needs no synchronization.
 func (e *Env) Clone() *Env {
 	c := *e
 	c.Store = e.Store.Clone(e.bufferBytes)
@@ -163,6 +187,17 @@ func (e *Env) Clone() *Env {
 
 // NumAttrs returns the number of static attributes carried by every object.
 func (e *Env) NumAttrs() int { return e.numAttrs }
+
+// HeuristicSource returns the landmark heuristic source the A* searchers
+// should use under opts, or nil when the table is absent or the options
+// disable it (the DisableLandmarks ablation, or DisableAStarHeuristic,
+// which zeroes the heuristic entirely).
+func (e *Env) HeuristicSource(opts Options) sp.HeuristicSource {
+	if e.Landmarks == nil || opts.DisableLandmarks || opts.DisableAStarHeuristic {
+		return nil
+	}
+	return e.Landmarks
+}
 
 // Neighbors implements sp.Net via the disk-resident adjacency store.
 func (e *Env) Neighbors(id graph.NodeID, buf []diskgraph.Neighbor) ([]diskgraph.Neighbor, error) {

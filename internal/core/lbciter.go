@@ -81,12 +81,9 @@ func NewLBCIterator(ctx context.Context, env *Env, q Query, opts Options) (*LBCI
 	}
 	it.astars = make([]*sp.AStar, it.n)
 	for i, p := range q.Points {
-		a, err := sp.NewAStar(ctx, env, p, it.qPts[i])
+		a, err := newAStar(ctx, env, opts, p, it.qPts[i])
 		if err != nil {
 			return nil, err
-		}
-		if opts.DisableAStarHeuristic {
-			a.DisableHeuristic()
 		}
 		it.astars[i] = a
 	}
@@ -224,9 +221,7 @@ func (it *LBCIterator) Metrics() Metrics {
 		for _, s := range it.streams {
 			it.metrics.DistanceComputations += s.confirmed
 		}
-		for _, a := range it.astars {
-			it.metrics.NodesExpanded += a.NodesExpanded()
-		}
+		collectSearcherStats(&it.metrics, it.astars)
 		finishMetrics(it.env, &it.metrics, it.start)
 	}
 	return it.metrics

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"time"
 
+	"roadskyline/internal/geom"
 	"roadskyline/internal/graph"
+	"roadskyline/internal/sp"
 )
 
 // Query is a multi-source relative skyline query: find every object whose
@@ -64,6 +66,11 @@ type Metrics struct {
 	// (query point, object) — partial lower-bound expansions that LBC
 	// abandons are not counted.
 	DistanceComputations int
+	// LandmarkWins and EuclidWins split the A* heuristic evaluations by
+	// which bound was tighter: the landmark (ALT) triangle bound or the
+	// paper's Euclidean bound. Both are zero when landmarks are disabled.
+	LandmarkWins int
+	EuclidWins   int
 	// InitialPages is the number of network pages faulted before the first
 	// skyline point was determined.
 	InitialPages int64
@@ -141,6 +148,37 @@ type Options struct {
 	// (degrading their searchers to resumable Dijkstra); used by the
 	// directional-expansion ablation.
 	DisableAStarHeuristic bool
+	// DisableLandmarks keeps the A* heuristic purely Euclidean, ignoring
+	// the environment's landmark (ALT) table; used by the landmark
+	// ablation. No effect when the environment was built without a table.
+	DisableLandmarks bool
+}
+
+// newAStar builds one A* searcher for a query point with opts applied:
+// the heuristic is zeroed for the directional-expansion ablation, and the
+// environment's landmark table is attached otherwise (unless ablated).
+func newAStar(ctx context.Context, env *Env, opts Options, p graph.Location, pt geom.Point) (*sp.AStar, error) {
+	a, err := sp.NewAStar(ctx, env, p, pt)
+	if err != nil {
+		return nil, err
+	}
+	if opts.DisableAStarHeuristic {
+		a.DisableHeuristic()
+	}
+	if hs := env.HeuristicSource(opts); hs != nil {
+		a.UseHeuristicSource(hs)
+	}
+	return a, nil
+}
+
+// collectSearcherStats folds the per-searcher counters into the metrics.
+func collectSearcherStats(m *Metrics, astars []*sp.AStar) {
+	for _, a := range astars {
+		m.NodesExpanded += a.NodesExpanded()
+		lw, ew := a.BoundWins()
+		m.LandmarkWins += lw
+		m.EuclidWins += ew
+	}
 }
 
 // Run executes the query with the chosen algorithm. Each call resets the

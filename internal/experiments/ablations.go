@@ -57,6 +57,34 @@ func (l *Lab) AblationAStar() (Table, error) {
 	return t, nil
 }
 
+// AblationLandmarks isolates the landmark (ALT) lower bounds inside the A*
+// searchers of EDC and LBC: the same queries with the landmark table
+// attached (heuristic = max of Euclidean and triangle bound) and with the
+// pure Euclidean heuristic of the paper. The skylines are identical; the
+// difference in nodes expanded is the landmarks' contribution
+// (NA, |Q|=4, omega=50%).
+func (l *Lab) AblationLandmarks() (Table, error) {
+	t := Table{
+		Figure: "Ablation A5", Title: "Landmark (ALT) lower bounds (NA)",
+		XLabel: "algorithm", Metric: "nodes expanded / network pages",
+		Algs: []string{"nodes", "euclid-nodes", "pages", "euclid-pages"},
+	}
+	for _, alg := range []core.Algorithm{core.AlgEDC, core.AlgLBC} {
+		with, err := l.Measure(gen.NA, l.cfg.DefaultOmega, l.cfg.DefaultQ, alg, core.Options{})
+		if err != nil {
+			return t, err
+		}
+		without, err := l.Measure(gen.NA, l.cfg.DefaultOmega, l.cfg.DefaultQ, alg, core.Options{DisableLandmarks: true})
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, Row{X: alg.String(), Values: []float64{
+			with.Nodes, without.Nodes, with.Pages, without.Pages,
+		}})
+	}
+	return t, nil
+}
+
 // AblationClustering isolates the Hilbert clustering of adjacency lists
 // (paper Section 6.1) by storing node records in node-id order instead.
 func (l *Lab) AblationClustering() (Table, error) {

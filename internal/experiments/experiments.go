@@ -43,6 +43,11 @@ type Config struct {
 	DefaultOmega float64
 	// BufferBytes is the LRU buffer size (paper: 1 MB).
 	BufferBytes int
+	// Landmarks is the number of ALT landmark nodes built into each
+	// environment (0 = core.DefaultLandmarks, negative disables). The
+	// landmark ablation compares per-query instead, via
+	// core.Options.DisableLandmarks, so one environment serves both arms.
+	Landmarks int
 }
 
 // Default returns the paper's experimental configuration.
@@ -207,7 +212,7 @@ func (l *Lab) Env(spec gen.Spec, omega float64, bufferBytes int, order diskgraph
 		return nil, err
 	}
 	objs := gen.Objects(g, omega, 0, l.cfg.Seed+int64(omega*1000))
-	env, err := core.NewEnv(g, objs, core.EnvConfig{BufferBytes: bufferBytes, Order: order})
+	env, err := core.NewEnv(g, objs, core.EnvConfig{BufferBytes: bufferBytes, Order: order, Landmarks: l.cfg.Landmarks})
 	if err != nil {
 		return nil, err
 	}

@@ -106,6 +106,24 @@ func TestAblations(t *testing.T) {
 			t.Errorf("plb ablation on %s: with-plb nodes %v > without %v", r.X, r.Values[2], r.Values[3])
 		}
 	}
+	lm, err := lab.AblationLandmarks()
+	if err != nil {
+		t.Fatalf("AblationLandmarks: %v", err)
+	}
+	strict := false
+	for _, r := range lm.Rows {
+		// A consistent heuristic that dominates the Euclidean bound expands
+		// no more nodes; strictly fewer somewhere proves it is doing work.
+		if r.Values[0] > r.Values[1] {
+			t.Errorf("landmark ablation %s: with-landmarks nodes %v > euclid-only %v", r.X, r.Values[0], r.Values[1])
+		}
+		if r.Values[0] < r.Values[1] {
+			strict = true
+		}
+	}
+	if !strict {
+		t.Error("landmark ablation: landmarks never reduced nodes expanded on any algorithm")
+	}
 	astar, err := lab.AblationAStar()
 	if err != nil {
 		t.Fatalf("AblationAStar: %v", err)

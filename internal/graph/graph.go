@@ -29,7 +29,9 @@ type Node struct {
 // Edge is an undirected road segment between nodes U and V. Length is the
 // travel distance along the segment and must be at least the Euclidean
 // distance between the endpoints (a polyline is never shorter than the
-// straight line), which keeps the A* heuristic admissible.
+// straight line), which keeps the A* heuristic admissible. Self-loops
+// (U == V, e.g. a cul-de-sac circle) and parallel edges between the same
+// node pair are allowed.
 type Edge struct {
 	ID     EdgeID
 	U, V   NodeID
@@ -167,9 +169,6 @@ func (b *Builder) Build() (*Graph, error) {
 		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
 			return nil, fmt.Errorf("graph: edge %d references missing node (%d-%d, have %d nodes)", e.ID, e.U, e.V, n)
 		}
-		if e.U == e.V {
-			return nil, fmt.Errorf("graph: edge %d is a self-loop at node %d", e.ID, e.U)
-		}
 		if e.Length <= 0 || math.IsNaN(e.Length) || math.IsInf(e.Length, 0) {
 			return nil, fmt.Errorf("graph: edge %d has invalid length %v", e.ID, e.Length)
 		}
@@ -178,14 +177,21 @@ func (b *Builder) Build() (*Graph, error) {
 			return nil, fmt.Errorf("graph: edge %d length %v shorter than Euclidean distance %v", e.ID, e.Length, euclid)
 		}
 		deg[e.U]++
-		deg[e.V]++
+		if e.U != e.V {
+			deg[e.V]++
+		}
 	}
 	for i, d := range deg {
 		g.adj[i] = make([]Halfedge, 0, d)
 	}
 	for _, e := range g.edges {
 		g.adj[e.U] = append(g.adj[e.U], Halfedge{To: e.V, Edge: e.ID, Length: e.Length})
-		g.adj[e.V] = append(g.adj[e.V], Halfedge{To: e.U, Edge: e.ID, Length: e.Length})
+		// A self-loop contributes a single halfedge: traversing it returns
+		// to the same node, but the edge must still appear in the adjacency
+		// list so wavefronts scan it for data objects.
+		if e.U != e.V {
+			g.adj[e.V] = append(g.adj[e.V], Halfedge{To: e.U, Edge: e.ID, Length: e.Length})
+		}
 	}
 	return g, nil
 }

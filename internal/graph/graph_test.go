@@ -74,7 +74,6 @@ func TestBuildRejectsBadEdges(t *testing.T) {
 	}{
 		{"missing node", func(b *Builder) { b.AddEdge(0, 7, 10) }},
 		{"negative node", func(b *Builder) { b.AddEdge(-1, 0, 10) }},
-		{"self loop", func(b *Builder) { b.AddEdge(1, 1, 10) }},
 		{"zero length", func(b *Builder) { b.AddEdge(0, 1, 0) }},
 		{"negative length", func(b *Builder) { b.AddEdge(0, 1, -2) }},
 		{"NaN length", func(b *Builder) { b.AddEdge(0, 1, math.NaN()) }},
@@ -92,6 +91,46 @@ func TestBuildRejectsBadEdges(t *testing.T) {
 	b.AddEdge(0, 1, 5.0)
 	if _, err := b.Build(); err != nil {
 		t.Errorf("euclidean-length edge rejected: %v", err)
+	}
+}
+
+// TestBuildDegenerateTopology checks that self-loops and parallel edges are
+// accepted and produce the expected adjacency: a self-loop appears exactly
+// once in its node's list (traversal returns to the same node), parallel
+// edges appear as distinct halfedges on both endpoints.
+func TestBuildDegenerateTopology(t *testing.T) {
+	b := NewBuilder(2, 3)
+	b.AddNode(geom.Point{X: 0, Y: 0})
+	b.AddNode(geom.Point{X: 3, Y: 4})
+	loop := b.AddEdge(1, 1, 10)
+	p1 := b.AddEdge(0, 1, 5)
+	p2 := b.AddEdge(0, 1, 7) // parallel to p1, longer detour
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	loops := 0
+	for _, he := range g.Adj(1) {
+		if he.Edge == loop {
+			loops++
+			if he.To != 1 || he.Length != 10 {
+				t.Errorf("self-loop halfedge = %+v", he)
+			}
+		}
+	}
+	if loops != 1 {
+		t.Errorf("self-loop appears %d times in adjacency, want 1", loops)
+	}
+	for _, node := range []NodeID{0, 1} {
+		seen := map[EdgeID]bool{}
+		for _, he := range g.Adj(node) {
+			if he.Edge == p1 || he.Edge == p2 {
+				seen[he.Edge] = true
+			}
+		}
+		if !seen[p1] || !seen[p2] {
+			t.Errorf("node %d adjacency misses a parallel edge: %v", node, seen)
+		}
 	}
 }
 

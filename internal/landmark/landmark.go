@@ -1,0 +1,207 @@
+// Package landmark implements ALT (A*, Landmarks, Triangle inequality)
+// lower bounds for road-network distances: a small set of landmark nodes is
+// selected at build time by farthest-point sampling, exact Dijkstra
+// distance tables are precomputed from each, and the triangle inequality
+// turns the tables into an admissible consistent lower bound
+//
+//	lb(u, t) = max over landmarks L of |d(L, u) - d(L, t)|
+//
+// on the network distance between any two nodes. Composed with the paper's
+// Euclidean heuristic as max(dE, lb), it tightens the expansion order of
+// the A* searchers and — because the searchers' session bounds feed LBC's
+// dominance tests and EDC's shifted-vector windows — the per-query-point
+// path distance lower bounds that those algorithms prune with.
+//
+// Unlike the Euclidean bound, the ALT bound reflects actual detours
+// (rivers, obstacle fields, sparse regions), so it is strongest exactly
+// where the Euclidean bound is weakest. The table is built once per
+// environment from the in-memory graph and is immutable afterwards, so
+// engine clones share it without synchronization.
+package landmark
+
+import (
+	"math"
+
+	"roadskyline/internal/geom"
+	"roadskyline/internal/graph"
+	"roadskyline/internal/pqueue"
+	"roadskyline/internal/sp"
+)
+
+// DefaultK is the default number of landmarks. Eight covers the unit-square
+// networks of the paper's evaluation well; more landmarks tighten bounds
+// with diminishing returns and linear memory cost (8 bytes per node each).
+const DefaultK = 8
+
+// Table holds the landmark nodes and their exact distance tables. It is
+// immutable after Build and safe for concurrent use; it implements
+// sp.HeuristicSource.
+type Table struct {
+	g     *graph.Graph
+	nodes []graph.NodeID // selected landmark nodes
+	dist  [][]float64    // dist[l][v] = network distance from nodes[l] to v
+}
+
+// Build selects up to k landmarks on g by farthest-point sampling (the
+// first landmark is node 0; each next one maximizes the distance to the
+// already-selected set, seeding unreached components first) and computes
+// their distance tables. It returns nil when k <= 0 or the graph has no
+// nodes; fewer than k landmarks are selected when the graph runs out of
+// distinct positions to cover.
+func Build(g *graph.Graph, k int) *Table {
+	n := g.NumNodes()
+	if k <= 0 || n == 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	t := &Table{g: g}
+	// minDist[v] = distance from v to the closest selected landmark.
+	minDist := make([]float64, n)
+	for i := range minDist {
+		minDist[i] = math.Inf(1)
+	}
+	next := graph.NodeID(0)
+	for len(t.nodes) < k {
+		d := nodeDistances(g, next)
+		t.nodes = append(t.nodes, next)
+		t.dist = append(t.dist, d)
+		// Farthest-point step: pick the node worst covered by the selected
+		// set. +Inf (an unreached component) beats every finite distance,
+		// so isolated components get their own landmark before refinement
+		// continues elsewhere.
+		worst := -1.0
+		pick := graph.NodeID(-1)
+		for v := 0; v < n; v++ {
+			if d[v] < minDist[v] {
+				minDist[v] = d[v]
+			}
+			if minDist[v] > worst {
+				worst = minDist[v]
+				pick = graph.NodeID(v)
+			}
+		}
+		if pick < 0 || worst == 0 {
+			break // every node is a landmark already
+		}
+		next = pick
+	}
+	return t
+}
+
+// nodeDistances runs a full Dijkstra over the in-memory graph from node
+// src and returns the distance to every node (+Inf where unreachable).
+func nodeDistances(g *graph.Graph, src graph.NodeID) []float64 {
+	dist := make([]float64, g.NumNodes())
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	h := pqueue.NewIndexed[graph.NodeID](64)
+	h.Push(src, 0)
+	for h.Len() > 0 {
+		u, d := h.Pop()
+		if d >= dist[u] {
+			continue
+		}
+		dist[u] = d
+		for _, he := range g.Adj(u) {
+			if nd := d + he.Length; nd < dist[he.To] {
+				h.Push(he.To, nd)
+			}
+		}
+	}
+	return dist
+}
+
+// K returns the number of selected landmarks.
+func (t *Table) K() int { return len(t.nodes) }
+
+// Nodes returns the landmark nodes. The slice is owned by the table and
+// must not be modified.
+func (t *Table) Nodes() []graph.NodeID { return t.nodes }
+
+// NodeBound returns an admissible lower bound on the network distance
+// between nodes u and v: max over landmarks of |d(L,u) - d(L,v)|. It is
+// +Inf when some landmark proves u and v lie in different components, and
+// 0 when no landmark has information about the pair.
+func (t *Table) NodeBound(u, v graph.NodeID) float64 {
+	best := 0.0
+	for _, d := range t.dist {
+		du, dv := d[u], d[v]
+		if math.IsInf(du, 1) || math.IsInf(dv, 1) {
+			if math.IsInf(du, 1) != math.IsInf(dv, 1) {
+				// The landmark reaches exactly one of the two: they are in
+				// different components and the true distance is +Inf.
+				return math.Inf(1)
+			}
+			continue // the landmark sees neither; no information
+		}
+		if b := math.Abs(du - dv); b > best {
+			best = b
+		}
+	}
+	return best
+}
+
+// target is the per-session heuristic toward one location: the min over
+// the location's edge endpoints of (node bound + along-edge offset), which
+// lower-bounds the distance to the location because every network path
+// enters the edge through an endpoint. Min preserves consistency
+// (|min(a,b)(u) - min(a,b)(v)| <= max of the per-side differences), so the
+// composed bound stays safe for the no-reopen A*. Per-landmark distances to
+// the two endpoints are cached here so the hot Bound path is one slice scan.
+type target struct {
+	dist       [][]float64 // shared landmark tables
+	du, dv     []float64   // du[l] = dist[l][dest edge U], dv[l] = ...V
+	offU, offV float64     // along-edge offsets from each endpoint
+}
+
+// ForTarget implements sp.HeuristicSource.
+func (t *Table) ForTarget(dest graph.Location, destPt geom.Point) sp.TargetHeuristic {
+	e := t.g.Edge(dest.Edge)
+	tg := &target{
+		dist: t.dist,
+		du:   make([]float64, len(t.dist)),
+		dv:   make([]float64, len(t.dist)),
+		offU: dest.Offset,
+		offV: e.Length - dest.Offset,
+	}
+	if e.U == e.V {
+		// Self-loop destination edge: one entry node, two entry offsets.
+		tg.offU = math.Min(tg.offU, tg.offV)
+		tg.offV = tg.offU
+	}
+	for l, d := range t.dist {
+		tg.du[l] = d[e.U]
+		tg.dv[l] = d[e.V]
+	}
+	return tg
+}
+
+// Bound implements sp.TargetHeuristic.
+func (tg *target) Bound(n graph.NodeID) float64 {
+	bu, bv := 0.0, 0.0
+	for l, d := range tg.dist {
+		dn := d[n]
+		bu = sideBound(bu, dn, tg.du[l])
+		bv = sideBound(bv, dn, tg.dv[l])
+	}
+	return math.Min(bu+tg.offU, bv+tg.offV)
+}
+
+// sideBound folds one landmark's triangle bound |dn - dt| into the running
+// max for one endpoint, with the component guards of NodeBound: one-sided
+// +Inf proves unreachability (+Inf result), double +Inf contributes nothing.
+func sideBound(best, dn, dt float64) float64 {
+	if math.IsInf(dn, 1) || math.IsInf(dt, 1) {
+		if math.IsInf(dn, 1) != math.IsInf(dt, 1) {
+			return math.Inf(1)
+		}
+		return best
+	}
+	if b := math.Abs(dn - dt); b > best {
+		return b
+	}
+	return best
+}

@@ -40,9 +40,16 @@ type AStar struct {
 	parent map[graph.NodeID]graph.NodeID
 	seq    int  // generation counter for session invalidation
 	noHeur bool // ablation: zero heuristic degrades A* to resumable Dijkstra
+	// hs, when set, strengthens every session's heuristic to
+	// max(Euclidean, hs bound); see UseHeuristicSource.
+	hs HeuristicSource
 
 	nodesExpanded int
-	nbuf          []diskgraph.Neighbor
+	// landmarkWins / euclidWins count heuristic evaluations where the
+	// HeuristicSource bound exceeded the Euclidean bound and vice versa.
+	landmarkWins int
+	euclidWins   int
+	nbuf         []diskgraph.Neighbor
 }
 
 type frontierEntry struct {
@@ -77,27 +84,40 @@ func NewAStar(ctx context.Context, net Net, src graph.Location, srcPt geom.Point
 	if err != nil {
 		return nil, fmt.Errorf("sp: source edge endpoint: %w", err)
 	}
-	a.frontier[e.U] = frontierEntry{g: src.Offset, pt: uPt}
-	a.frontier[e.V] = frontierEntry{g: e.Length - src.Offset, pt: vPt}
+	// seed keeps the smaller tentative distance when both seeds land on the
+	// same node — on a self-loop source edge (e.U == e.V) a plain map write
+	// would let the second side overwrite the shorter first one.
+	seed := func(id graph.NodeID, g float64, pt geom.Point) {
+		if cur, ok := a.frontier[id]; ok && cur.g <= g {
+			return
+		}
+		a.frontier[id] = frontierEntry{g: g, pt: pt}
+	}
+	seed(e.U, src.Offset, uPt)
+	seed(e.V, e.Length-src.Offset, vPt)
 	return a, nil
 }
 
-// DisableHeuristic zeroes the Euclidean heuristic, degrading the searcher
-// to a resumable Dijkstra. It exists for the paper's A*-vs-Dijkstra
-// ablation and must be called before any session is opened.
+// DisableHeuristic zeroes the heuristic (Euclidean and any heuristic
+// source), degrading the searcher to a resumable Dijkstra. It exists for
+// the paper's A*-vs-Dijkstra ablation and must be called before any
+// session is opened.
 func (a *AStar) DisableHeuristic() { a.noHeur = true }
 
-// h returns the admissible heuristic from pt toward dest.
-func (a *AStar) h(pt, dest geom.Point) float64 {
-	if a.noHeur {
-		return 0
-	}
-	return pt.Dist(dest)
-}
+// UseHeuristicSource strengthens the searcher's sessions to key the
+// frontier by max(Euclidean, hs bound). The source must produce admissible
+// consistent bounds (see HeuristicSource); it must be installed before any
+// session is opened. A nil source leaves the pure Euclidean heuristic.
+func (a *AStar) UseHeuristicSource(hs HeuristicSource) { a.hs = hs }
 
 // NodesExpanded returns the number of nodes settled so far across all
 // sessions.
 func (a *AStar) NodesExpanded() int { return a.nodesExpanded }
+
+// BoundWins returns how many heuristic evaluations were won by the
+// installed heuristic source versus the Euclidean bound. Both are zero
+// when no source is installed.
+func (a *AStar) BoundWins() (landmark, euclid int) { return a.landmarkWins, a.euclidWins }
 
 // Source returns the searcher's source location.
 func (a *AStar) Source() graph.Location { return a.src }
@@ -115,6 +135,7 @@ type Session struct {
 	dest    graph.Location
 	destPt  geom.Point
 	destE   graph.Edge
+	th      TargetHeuristic // per-target bound from the searcher's source, nil without one
 	heap    *pqueue.Indexed[graph.NodeID]
 	tent    float64      // best known complete path to dest
 	via     graph.NodeID // endpoint the best path enters the dest edge by
@@ -138,6 +159,9 @@ func (a *AStar) NewSession(dest graph.Location, destPt geom.Point) *Session {
 		tent:   math.Inf(1),
 	}
 	s.via = -1
+	if a.hs != nil && !a.noHeur {
+		s.th = a.hs.ForTarget(dest, destPt)
+	}
 	// Same-edge shortcut: the path along the shared edge is always valid.
 	if dest.Edge == a.src.Edge {
 		s.tent = math.Abs(dest.Offset - a.src.Offset)
@@ -147,6 +171,8 @@ func (a *AStar) NewSession(dest graph.Location, destPt geom.Point) *Session {
 	// paths. Every network path to a point on an edge enters via one of
 	// the edge's endpoints, so once both are settled the distance is exact
 	// and the session completes without touching the frontier at all.
+	// A self-loop destination edge degenerates cleanly: both checks read
+	// the same node and the min over its two entry offsets survives.
 	dU, okU := a.settled[s.destE.U]
 	dV, okV := a.settled[s.destE.V]
 	if okU && dU+dest.Offset < s.tent {
@@ -161,13 +187,32 @@ func (a *AStar) NewSession(dest graph.Location, destPt geom.Point) *Session {
 	}
 	// Re-key the shared frontier with this destination's heuristic.
 	for id, fe := range a.frontier {
-		s.heap.Push(id, fe.g+a.h(fe.pt, destPt))
+		s.heap.Push(id, fe.g+s.h(id, fe.pt))
 	}
 	s.plb = math.Min(s.minF(), s.tent)
 	if s.minF() >= s.tent {
 		s.finish()
 	}
 	return s
+}
+
+// h returns the session's admissible heuristic for node u at pt: the
+// Euclidean distance to the target, strengthened by the searcher's
+// heuristic source when one is installed.
+func (s *Session) h(u graph.NodeID, pt geom.Point) float64 {
+	a := s.a
+	if a.noHeur {
+		return 0
+	}
+	h := pt.Dist(s.destPt)
+	if s.th != nil {
+		if lb := s.th.Bound(u); lb > h {
+			a.landmarkWins++
+			return lb
+		}
+		a.euclidWins++
+	}
+	return h
 }
 
 func (s *Session) minF() float64 {
@@ -244,7 +289,7 @@ func (s *Session) Advance() (plb float64, done bool, err error) {
 		}
 		a.frontier[nb.To] = frontierEntry{g: newg, pt: nb.ToPt}
 		a.parent[nb.To] = u
-		s.heap.Push(nb.To, newg+a.h(nb.ToPt, s.destPt))
+		s.heap.Push(nb.To, newg+s.h(nb.To, nb.ToPt))
 	}
 
 	if lb := math.Min(s.minF(), s.tent); lb > s.plb {

@@ -60,9 +60,15 @@ func NewDijkstra(ctx context.Context, net Net, src graph.Location) (*Dijkstra, e
 		objHeap:  pqueue.New[graph.ObjectID](64),
 	}
 	e := net.Edge(src.Edge)
+	// On a self-loop source edge (e.U == e.V) both pushes land on the same
+	// node; Indexed.Push keeps the smaller key (decrease-key semantics), so
+	// the shorter side survives.
 	d.frontier.Push(e.U, src.Offset)
 	d.frontier.Push(e.V, e.Length-src.Offset)
 	// Objects on the source edge are reachable directly along the edge.
+	// Shorter routes that leave the edge and re-enter it through an
+	// endpoint (the common case on self-loops) are found when the endpoint
+	// settles and the edge is rescanned.
 	var err error
 	d.obuf, err = net.ObjectsOn(src.Edge, d.obuf[:0])
 	if err != nil {

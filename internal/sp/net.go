@@ -14,6 +14,8 @@
 package sp
 
 import (
+	"math"
+
 	"roadskyline/internal/diskgraph"
 	"roadskyline/internal/geom"
 	"roadskyline/internal/graph"
@@ -36,8 +38,12 @@ type Net interface {
 }
 
 // offsetFrom returns the distance from node u along edge e to a point at
-// offset off from e.U.
+// offset off from e.U. On a self-loop both edge ends meet at u, so the
+// point is reachable from either side and the shorter one counts.
 func offsetFrom(e graph.Edge, u graph.NodeID, off float64) float64 {
+	if e.U == e.V {
+		return math.Min(off, e.Length-off)
+	}
 	if u == e.U {
 		return off
 	}

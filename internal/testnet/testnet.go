@@ -46,6 +46,43 @@ func RandomGraph(rng *rand.Rand, n int) *graph.Graph {
 	return b.MustBuild()
 }
 
+// DegenerateGraph returns a connected random graph laced with the
+// topology engines tend to mishandle: self-loops and parallel edges on
+// random nodes, in addition to the spanning tree and shortcut edges of
+// RandomGraph.
+func DegenerateGraph(rng *rand.Rand, n int) *graph.Graph {
+	b := graph.NewBuilder(n, 3*n)
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Float64(), Y: rng.Float64()}
+		b.AddNode(pts[i])
+	}
+	addEdge := func(u, v int) {
+		d := pts[u].Dist(pts[v])
+		if d == 0 {
+			d = 1e-9
+		}
+		b.AddEdge(graph.NodeID(u), graph.NodeID(v), d*(1+rng.Float64()*0.5))
+	}
+	for i := 1; i < n; i++ {
+		addEdge(i, rng.Intn(i))
+	}
+	// Self-loops: positive length, no displacement.
+	for k := 0; k < 1+n/8; k++ {
+		u := rng.Intn(n)
+		b.AddEdge(graph.NodeID(u), graph.NodeID(u), 0.05+rng.Float64()*0.3)
+	}
+	// Parallel edges: duplicate a tree edge with a different length, so
+	// both a shorter and a longer alternative exist between the same pair.
+	for k := 0; k < 1+n/8; k++ {
+		u := 1 + rng.Intn(n-1)
+		v := rng.Intn(u)
+		addEdge(u, v)
+		addEdge(u, v)
+	}
+	return b.MustBuild()
+}
+
 // RandomObjects places m objects at uniform positions on random edges.
 // When numAttrs > 0, each object gets that many random static attributes
 // in [0, 100).
