@@ -14,6 +14,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,11 +36,12 @@ func main() {
 		par     = flag.Int("parallel", 0, "run the pool throughput benchmark with this many workers instead of figures")
 		queries = flag.Int("queries", 96, "queries in the -parallel workload")
 		lms     = flag.Int("landmarks", 0, "ALT landmark count per environment (0 = default, negative disables)")
+		jsonOut = flag.String("json", "", "also write machine-readable results to this JSON file")
 	)
 	flag.Parse()
 
 	if *par > 0 {
-		if err := parallelBench(*scale, *par, *queries, *seed, *lms); err != nil {
+		if err := parallelBench(*scale, *par, *queries, *seed, *lms, *jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "skylinebench: parallel: %v\n", err)
 			os.Exit(1)
 		}
@@ -68,7 +70,9 @@ func main() {
 	start := time.Now()
 	want := strings.ToLower(*fig)
 	ran := false
+	var collected []experiments.Table
 	show := func(t experiments.Table) {
+		collected = append(collected, t)
 		if *csv {
 			fmt.Printf("# %s — %s\n%s\n", t.Figure, t.Title, t.CSV())
 			return
@@ -125,13 +129,65 @@ func main() {
 		fmt.Fprintf(os.Stderr, "skylinebench: unknown figure %q (want 4a 4b 4c 5 6q 6w ablations all)\n", *fig)
 		os.Exit(2)
 	}
-	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
+	elapsed := time.Since(start)
+	fmt.Printf("done in %v\n", elapsed.Round(time.Millisecond))
+	if *jsonOut != "" {
+		out := benchJSON{
+			Figure: want, Scale: cfg.Scale, Trials: cfg.Trials, Seed: cfg.Seed,
+			Quick: *quickQ, ElapsedSeconds: elapsed.Seconds(), Tables: collected,
+		}
+		if err := writeJSON(*jsonOut, out); err != nil {
+			fmt.Fprintf(os.Stderr, "skylinebench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+}
+
+// benchJSON is the machine-readable result document behind -json: the run
+// configuration plus every table produced, in the order printed.
+type benchJSON struct {
+	Figure         string              `json:"figure"`
+	Scale          float64             `json:"scale"`
+	Trials         int                 `json:"trials"`
+	Seed           int64               `json:"seed"`
+	Quick          bool                `json:"quick"`
+	ElapsedSeconds float64             `json:"elapsed_seconds"`
+	Tables         []experiments.Table `json:"tables"`
+}
+
+// parallelJSON is -json's document for the -parallel throughput bench.
+type parallelJSON struct {
+	Network         string  `json:"network"`
+	Nodes           int     `json:"nodes"`
+	Edges           int     `json:"edges"`
+	Queries         int     `json:"queries"`
+	Workers         int     `json:"workers"`
+	SerialSeconds   float64 `json:"serial_seconds"`
+	ParallelSeconds float64 `json:"parallel_seconds"`
+	SerialQPS       float64 `json:"serial_qps"`
+	ParallelQPS     float64 `json:"parallel_qps"`
+	Speedup         float64 `json:"speedup"`
+}
+
+func writeJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // parallelBench measures concurrent query throughput: the same mixed
 // CE/EDC/LBC workload answered serially on one engine and then through a
 // Pool of `workers` clones, reporting wall time, queries/s and speedup.
-func parallelBench(scale float64, workers, queries int, seed int64, landmarks int) error {
+func parallelBench(scale float64, workers, queries int, seed int64, landmarks int, jsonOut string) error {
 	if queries < 1 {
 		return fmt.Errorf("-queries must be at least 1 (got %d)", queries)
 	}
@@ -197,6 +253,19 @@ func parallelBench(scale float64, workers, queries int, seed int64, landmarks in
 	fmt.Printf("%-20s%14v%14.1f\n", fmt.Sprintf("pool (%d workers)", workers),
 		parallel.Round(time.Millisecond), qps(parallel))
 	fmt.Printf("speedup: %.2fx\n", serial.Seconds()/parallel.Seconds())
+	if jsonOut != "" {
+		out := parallelJSON{
+			Network: spec.Name, Nodes: spec.Nodes, Edges: spec.Edges,
+			Queries: queries, Workers: workers,
+			SerialSeconds: serial.Seconds(), ParallelSeconds: parallel.Seconds(),
+			SerialQPS: qps(serial), ParallelQPS: qps(parallel),
+			Speedup: serial.Seconds() / parallel.Seconds(),
+		}
+		if err := writeJSON(jsonOut, out); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonOut)
+	}
 	return nil
 }
 

@@ -1,0 +1,368 @@
+// Command skylineserve serves multi-source skyline queries over HTTP,
+// with the engine pool's runtime metrics and Go's profiling endpoints
+// alongside — the observability front end of the engine.
+//
+// The network is either read from a roadnet file (-net) or generated from
+// a paper preset (-preset); objects are generated at the given density.
+// Queries run on a Pool of engine clones, so concurrent requests are
+// served in parallel and cancelled requests abort their expansions.
+//
+// Endpoints:
+//
+//	GET /query?q=x,y&q=x,y[&alg=CE|EDC|LBC][&attrs=1][&alternate=1][&source=i][&phases=1]
+//	    Answer one skyline query; points snap to the nearest road.
+//	    phases=1 adds the per-phase work breakdown to the stats.
+//	GET /metrics      Pool metrics, Prometheus text exposition format.
+//	GET /healthz      Liveness probe with worker/occupancy counts.
+//	GET /debug/vars   expvar JSON, including the pool snapshot.
+//	GET /debug/pprof  Go profiling endpoints.
+//
+// Usage:
+//
+//	skylineserve -preset CA -omega 0.5 -addr :8080
+//	skylineserve -preset CA -smoke        # self-test: query + scrape, then exit
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"roadskyline"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "HTTP listen address")
+		netFile = flag.String("net", "", "roadnet file to load")
+		preset  = flag.String("preset", "CA", "paper preset when -net is not given: CA, AU or NA")
+		omega   = flag.Float64("omega", 0.5, "object density |D|/|E|")
+		attrs   = flag.Int("attrs", 0, "number of random non-spatial attributes per object")
+		seed    = flag.Int64("seed", 1, "random seed for generated objects")
+		workers = flag.Int("workers", 0, "pool workers (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 0, "admission queue depth beyond the workers (0 = 4x workers)")
+		slow    = flag.Duration("slow", 0, "log queries slower than this with their phase breakdown (0 disables)")
+		verbose = flag.Bool("v", false, "debug logging (per-request and per-trace-event records)")
+		smoke   = flag.Bool("smoke", false, "self-test: start, run one query and scrape /metrics over HTTP, then exit")
+	)
+	flag.Parse()
+
+	level := slog.LevelInfo
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	network, err := loadNetwork(*netFile, *preset)
+	if err != nil {
+		log.Error("loading network", "err", err)
+		os.Exit(1)
+	}
+	objects := network.GenerateObjects(*omega, *attrs, *seed)
+	eng, err := roadskyline.NewEngine(network, objects, roadskyline.EngineConfig{WarmCache: true})
+	if err != nil {
+		log.Error("building engine", "err", err)
+		os.Exit(1)
+	}
+	pool, err := roadskyline.NewPool(eng, roadskyline.PoolConfig{Workers: *workers, QueueDepth: *queue})
+	if err != nil {
+		log.Error("building pool", "err", err)
+		os.Exit(1)
+	}
+	defer pool.Close()
+
+	s := &server{net: network, pool: pool, log: log, slow: *slow}
+	expvar.Publish("roadskyline.pool", pool.ExpvarFunc())
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.Handle("/metrics", pool.MetricsHandler())
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Error("listening", "addr", *addr, "err", err)
+		os.Exit(1)
+	}
+	srv := &http.Server{Handler: mux}
+	log.Info("serving", "addr", ln.Addr().String(),
+		"nodes", network.NumNodes(), "edges", network.NumEdges(),
+		"objects", len(objects), "workers", pool.Workers())
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	if *smoke {
+		if err := runSmoke(log, ln.Addr().String()); err != nil {
+			log.Error("smoke test failed", "err", err)
+			os.Exit(1)
+		}
+		shutdown(srv, log)
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		log.Info("shutting down")
+		shutdown(srv, log)
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Error("serving", "err", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func shutdown(srv *http.Server, log *slog.Logger) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Error("shutdown", "err", err)
+	}
+}
+
+type server struct {
+	net  *roadskyline.Network
+	pool *roadskyline.Pool
+	log  *slog.Logger
+	slow time.Duration
+}
+
+// queryResponse is the /query JSON body. Durations inside Stats marshal
+// as nanoseconds (Go's default for time.Duration).
+type queryResponse struct {
+	Algorithm string            `json:"algorithm"`
+	Points    []responsePoint   `json:"points"`
+	Stats     roadskyline.Stats `json:"stats"`
+}
+
+type responsePoint struct {
+	ID        int32     `json:"id"`
+	X         float64   `json:"x"`
+	Y         float64   `json:"y"`
+	Distances []float64 `json:"distances"`
+	Attrs     []float64 `json:"attrs,omitempty"`
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	vals := r.URL.Query()
+
+	var locs []roadskyline.Location
+	for _, spec := range vals["q"] {
+		pt, err := parsePoint(spec)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("bad query point %q: %v", spec, err))
+			return
+		}
+		loc, err := s.net.NearestLocation(pt)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("snapping %q: %v", spec, err))
+			return
+		}
+		locs = append(locs, loc)
+	}
+	if len(locs) == 0 {
+		httpError(w, http.StatusBadRequest, "need at least one q=x,y query point")
+		return
+	}
+
+	alg, err := parseAlg(vals.Get("alg"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	source := 0
+	if v := vals.Get("source"); v != "" {
+		if source, err = strconv.Atoi(v); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("bad source %q", v))
+			return
+		}
+	}
+	q := roadskyline.Query{
+		Points:        locs,
+		Algorithm:     alg,
+		UseAttrs:      boolParam(vals.Get("attrs")),
+		Alternate:     boolParam(vals.Get("alternate")),
+		Source:        source,
+		CollectPhases: boolParam(vals.Get("phases")),
+	}
+	if s.slow > 0 || s.log.Enabled(r.Context(), slog.LevelDebug) {
+		q.Tracer = roadskyline.NewSlogTracer(s.log, s.slow)
+	}
+
+	res, err := s.pool.Skyline(r.Context(), q)
+	switch {
+	case err == nil:
+	case errors.Is(err, roadskyline.ErrPoolSaturated):
+		httpError(w, http.StatusServiceUnavailable, "pool saturated, retry later")
+		return
+	case errors.Is(err, roadskyline.ErrPoolClosed):
+		httpError(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return // client went away; nothing to answer
+	default:
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	out := queryResponse{Algorithm: alg.String(), Points: make([]responsePoint, len(res.Points)), Stats: res.Stats}
+	for i, p := range res.Points {
+		pt := s.net.PointOf(p.Object.Loc)
+		out.Points[i] = responsePoint{
+			ID: p.Object.ID, X: pt.X, Y: pt.Y,
+			Distances: p.Distances, Attrs: p.Object.Attrs,
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(out); err != nil {
+		s.log.Debug("writing response", "err", err)
+	}
+	s.log.Debug("query served", "alg", alg.String(), "points", len(locs),
+		"skyline", len(res.Points), "elapsed", time.Since(start))
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	m := s.pool.PoolMetrics()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":   "ok",
+		"workers":  m.Workers,
+		"inFlight": m.InFlight,
+		"served":   m.Served,
+	})
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+func parsePoint(spec string) (roadskyline.Point, error) {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 2 {
+		return roadskyline.Point{}, fmt.Errorf("want x,y")
+	}
+	x, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+	if err != nil {
+		return roadskyline.Point{}, err
+	}
+	y, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	if err != nil {
+		return roadskyline.Point{}, err
+	}
+	return roadskyline.Point{X: x, Y: y}, nil
+}
+
+func parseAlg(name string) (roadskyline.Algorithm, error) {
+	switch strings.ToUpper(name) {
+	case "", "LBC":
+		return roadskyline.LBCAlg, nil
+	case "CE":
+		return roadskyline.CEAlg, nil
+	case "EDC":
+		return roadskyline.EDCAlg, nil
+	}
+	return 0, fmt.Errorf("unknown algorithm %q (want CE, EDC or LBC)", name)
+}
+
+func boolParam(v string) bool {
+	b, err := strconv.ParseBool(v)
+	return err == nil && b
+}
+
+// runSmoke exercises the serving path end to end through real HTTP: a
+// liveness probe, one skyline query and a metrics scrape.
+func runSmoke(log *slog.Logger, addr string) error {
+	base := "http://" + addr
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	if _, err := fetch(client, base+"/healthz"); err != nil {
+		return err
+	}
+	body, err := fetch(client, base+"/query?q=0.2,0.3&q=0.7,0.7&alg=LBC&phases=1")
+	if err != nil {
+		return err
+	}
+	var res queryResponse
+	if err := json.Unmarshal(body, &res); err != nil {
+		return fmt.Errorf("decoding /query response: %w", err)
+	}
+	if len(res.Points) == 0 {
+		return fmt.Errorf("smoke query returned an empty skyline")
+	}
+	log.Info("smoke query ok", "skyline", len(res.Points),
+		"phases", len(res.Stats.Phases), "total", res.Stats.Total)
+
+	metrics, err := fetch(client, base+"/metrics")
+	if err != nil {
+		return err
+	}
+	for _, want := range []string{"roadskyline_pool_workers", "roadskyline_pool_queries_total{outcome=\"served\"} 1"} {
+		if !strings.Contains(string(metrics), want) {
+			return fmt.Errorf("/metrics missing %q", want)
+		}
+	}
+	log.Info("smoke metrics ok", "bytes", len(metrics))
+	return nil
+}
+
+func fetch(client *http.Client, url string) ([]byte, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s: %s", url, resp.Status, body)
+	}
+	return body, nil
+}
+
+func loadNetwork(path, preset string) (*roadskyline.Network, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return roadskyline.ReadNetwork(f)
+	}
+	switch preset {
+	case "CA":
+		return roadskyline.Generate(roadskyline.CA)
+	case "AU":
+		return roadskyline.Generate(roadskyline.AU)
+	case "NA":
+		return roadskyline.Generate(roadskyline.NA)
+	}
+	return nil, fmt.Errorf("unknown preset %q (want CA, AU or NA)", preset)
+}

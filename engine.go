@@ -3,12 +3,14 @@ package roadskyline
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"time"
 
 	"roadskyline/internal/core"
 	"roadskyline/internal/diskgraph"
 	"roadskyline/internal/geom"
 	"roadskyline/internal/graph"
+	"roadskyline/internal/obs"
 	"roadskyline/internal/rtree"
 	"roadskyline/internal/sp"
 )
@@ -67,6 +69,11 @@ type EngineConfig struct {
 	// back to the pure Euclidean heuristic of the paper; used by the
 	// landmark ablation.
 	NoLandmarks bool
+	// DiskLatency is the simulated cost per network page fault charged
+	// into Stats.IOTime and thus Stats.Total (zero means the default,
+	// 150 µs; pages live in memory, so the model restores the I/O share
+	// of response time the paper measures on real disks).
+	DiskLatency time.Duration
 }
 
 // Engine answers skyline queries over one network and one object set. It
@@ -112,6 +119,7 @@ func NewEngine(n *Network, objects []Object, cfg EngineConfig) (*Engine, error) 
 		Order:       order,
 		Dir:         cfg.DiskDir,
 		Landmarks:   landmarks,
+		DiskLatency: cfg.DiskLatency,
 	})
 	if err != nil {
 		return nil, err
@@ -158,6 +166,54 @@ type Query struct {
 	// is identical, only the work counters change). Ignored by CE, which
 	// uses Dijkstra wavefronts without a heuristic.
 	NoLandmarks bool
+	// Tracer receives phase-level span events, expansion progress ticks
+	// and skyline-point events as the query executes (see
+	// docs/OBSERVABILITY.md). Nil — the default — disables tracing with
+	// zero overhead; results and counters are identical either way. A
+	// tracer instance observes one query at a time: give each in-flight
+	// query its own (NewSlogTracer is cheap to construct per request).
+	Tracer Tracer
+	// CollectPhases populates Stats.Phases (the per-phase work breakdown)
+	// even when no Tracer is attached.
+	CollectPhases bool
+}
+
+// Tracer receives one query's trace events: phase spans, expansion
+// progress ticks and skyline-point events. See internal/obs for the
+// event contract; SlogTracer is a ready-made implementation.
+type Tracer = obs.Tracer
+
+// Phase identifies one instrumented algorithm stage (e.g. "ce.filter",
+// "lbc.probe").
+type Phase = obs.Phase
+
+// The instrumented phases of the three algorithms.
+const (
+	PhaseCEFilter  = obs.PhaseCEFilter
+	PhaseCERefine  = obs.PhaseCERefine
+	PhaseEDCSeed   = obs.PhaseEDCSeed
+	PhaseEDCWindow = obs.PhaseEDCWindow
+	PhaseEDCVerify = obs.PhaseEDCVerify
+	PhaseLBCNN     = obs.PhaseLBCNN
+	PhaseLBCProbe  = obs.PhaseLBCProbe
+)
+
+// PhaseStat is the accumulated cost of one algorithm phase across a
+// query: entry count, wall time, network pages faulted and nodes settled
+// while the phase was active.
+type PhaseStat = obs.PhaseStat
+
+// SlogTracer is a Tracer writing trace events to a structured logger,
+// with an optional slow-query log (a Warn record carrying the full phase
+// breakdown for queries over the threshold). Construct with
+// NewSlogTracer; one instance observes one query at a time.
+type SlogTracer = obs.SlogTracer
+
+// NewSlogTracer builds a SlogTracer over log (nil means slog.Default()).
+// Queries whose total time reaches slow are reported at Warn with their
+// per-phase breakdown; slow <= 0 disables the slow-query log.
+func NewSlogTracer(log *slog.Logger, slow time.Duration) *SlogTracer {
+	return obs.NewSlogTracer(log, slow)
 }
 
 // SkylinePoint is one skyline object with its network distances to the
@@ -176,6 +232,9 @@ type Stats struct {
 	// NetworkPages counts network-side disk pages faulted in (adjacency
 	// pages plus middle-layer pages).
 	NetworkPages int64
+	// NetworkGets counts logical network page requests; the buffer pools
+	// served NetworkGets - NetworkPages of them without a fault.
+	NetworkGets int64
 	// RTreeNodes counts object R-tree node visits.
 	RTreeNodes int64
 	// NodesExpanded counts network node settlements.
@@ -192,24 +251,42 @@ type Stats struct {
 	// skyline point was determined (the I/O share of the initial response
 	// time the paper reports).
 	InitialPages int64
-	// Total is the response time; Initial the time to the first skyline
-	// point.
+	// Total is the query's response time under the engine's simulated
+	// disk: measured CPU (wall) time plus IOTime, the modeled latency of
+	// the pages faulted (pages live in memory, so wall time alone would
+	// miss the I/O dominance the paper observes). Initial is the same
+	// through the first skyline point. Subtract IOTime (InitialIOTime)
+	// for the measured CPU share alone.
 	Total, Initial time.Duration
+	// IOTime and InitialIOTime are the simulated disk components of
+	// Total and Initial: pages faulted x EngineConfig's disk latency.
+	IOTime, InitialIOTime time.Duration
+	// Phases is the per-phase work breakdown (durations, pages, node
+	// settlements per algorithm stage) in first-entered order. Populated
+	// only when the query ran with a Tracer or CollectPhases; nil
+	// otherwise.
+	Phases []PhaseStat
 }
 
 // statsFromMetrics maps the internal cost counters onto the public Stats.
+// Every exported core.Metrics field must be mapped here (derived fields
+// via their transform); TestStatsParity enforces it by reflection.
 func statsFromMetrics(m core.Metrics) Stats {
 	return Stats{
 		Candidates:           m.Candidates,
 		NetworkPages:         m.NetworkPages,
+		NetworkGets:          m.NetworkGets,
 		RTreeNodes:           m.RTreeNodes,
 		NodesExpanded:        m.NodesExpanded,
 		DistanceComputations: m.DistanceComputations,
 		LandmarkWins:         m.LandmarkWins,
 		EuclidWins:           m.EuclidWins,
 		InitialPages:         m.InitialPages,
-		Total:                m.Total,
-		Initial:              m.Initial,
+		Total:                m.ResponseTime(),
+		Initial:              m.InitialResponseTime(),
+		IOTime:               m.IOTime,
+		InitialIOTime:        m.InitialIOTime,
+		Phases:               m.Phases,
 	}
 }
 
@@ -243,6 +320,8 @@ func (e *Engine) SkylineContext(ctx context.Context, q Query) (*Result, error) {
 		LBCAlternate:     q.Alternate,
 		LBCSource:        q.Source,
 		DisableLandmarks: q.NoLandmarks,
+		Tracer:           q.Tracer,
+		CollectPhases:    q.CollectPhases,
 	})
 	if err != nil {
 		return nil, err

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"roadskyline/internal/graph"
+	"roadskyline/internal/obs"
 	"roadskyline/internal/skyline"
 	"roadskyline/internal/sp"
 )
@@ -20,7 +21,7 @@ import (
 // objects that are not candidates and pruning candidates whose lower-bound
 // vector (known distances, plus the per-query last-visited distance for
 // unknown ones) is dominated by a reported skyline point.
-func ce(ctx context.Context, env *Env, q Query) (*Result, error) {
+func ce(ctx context.Context, env *Env, q Query, opts Options) (*Result, error) {
 	start := time.Now()
 	n := len(q.Points)
 	dims := env.vectorDims(n, q.UseAttrs)
@@ -33,6 +34,19 @@ func ce(ctx context.Context, env *Env, q Query) (*Result, error) {
 		}
 		searchers[i] = s
 	}
+	probe := newPhaseProbe(env, opts, AlgCE, n, start, func() int {
+		total := 0
+		for _, s := range searchers {
+			total += s.NodesExpanded()
+		}
+		return total
+	})
+	if fn := probe.progressFunc(); fn != nil {
+		for _, s := range searchers {
+			s.OnProgress(fn)
+		}
+	}
+	probe.begin(obs.PhaseCEFilter)
 	exhausted := make([]bool, n)
 	numExhausted := 0
 	lastDist := make([]float64, n) // distance of the last NN each query visited
@@ -120,9 +134,10 @@ func ce(ctx context.Context, env *Env, q Query) (*Result, error) {
 			Dists:  c.vec[:n:n],
 			Vec:    c.vec,
 		})
+		probe.point()
 		if m.Initial == 0 {
 			m.Initial = time.Since(start)
-			m.InitialPages = env.NetworkIO().Misses
+			m.InitialPages = env.pagesFaulted()
 		}
 		// Prune candidates the new skyline point already dominates.
 		for id2, c2 := range cands {
@@ -173,6 +188,11 @@ func ce(ctx context.Context, env *Env, q Query) (*Result, error) {
 		// Pick the next searcher that is still useful: not exhausted, and
 		// either admission is open or some candidate lacks its dimension.
 		stopped := stopAdmitting()
+		if stopped {
+			// The candidate set is closed: the paper's filtering phase is
+			// over and everything from here on is refinement.
+			probe.transition(obs.PhaseCEFilter, obs.PhaseCERefine)
+		}
 		i := -1
 		for probe := 0; probe < n; probe++ {
 			j := (cursor + probe) % n
@@ -283,6 +303,7 @@ func ce(ctx context.Context, env *Env, q Query) (*Result, error) {
 		m.NodesExpanded += s.NodesExpanded()
 	}
 	finishMetrics(env, &m, start)
+	probe.finish(&m)
 	res.Metrics = m
 	return res, nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"roadskyline/internal/geom"
 	"roadskyline/internal/graph"
+	"roadskyline/internal/obs"
 	"roadskyline/internal/rtree"
 	"roadskyline/internal/skyline"
 	"roadskyline/internal/sp"
@@ -58,6 +59,18 @@ func edc(ctx context.Context, env *Env, q Query, opts Options) (*Result, error) 
 			return nil, err
 		}
 		astars[i] = a
+	}
+	probe := newPhaseProbe(env, opts, AlgEDC, n, start, func() int {
+		total := 0
+		for _, a := range astars {
+			total += a.NodesExpanded()
+		}
+		return total
+	})
+	if fn := probe.progressFunc(); fn != nil {
+		for _, a := range astars {
+			a.OnProgress(fn)
+		}
 	}
 
 	res := &Result{}
@@ -165,9 +178,10 @@ func edc(ctx context.Context, env *Env, q Query, opts Options) (*Result, error) 
 				Dists:  vec[:n:n],
 				Vec:    vec,
 			})
+			probe.point()
 			if m.Initial == 0 {
 				m.Initial = time.Since(start)
-				m.InitialPages = env.NetworkIO().Misses
+				m.InitialPages = env.pagesFaulted()
 			}
 		}
 	}
@@ -180,12 +194,17 @@ func edc(ctx context.Context, env *Env, q Query, opts Options) (*Result, error) 
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		probe.begin(obs.PhaseEDCSeed)
 		seed, _, ok := seeds.Next()
+		probe.end()
 		if !ok {
 			break
 		}
 		id := graph.ObjectID(seed.ID)
-		if err := fetch(id); err != nil {
+		probe.begin(obs.PhaseEDCVerify)
+		err := fetch(id)
+		probe.end()
+		if err != nil {
 			return nil, err
 		}
 		pbar := candVec[id]
@@ -195,6 +214,7 @@ func edc(ctx context.Context, env *Env, q Query, opts Options) (*Result, error) 
 		// the candidate set (paper step 3). The R-tree descends on the
 		// spatial dimensions; attributes are checked exactly per entry.
 		var batch []graph.ObjectID
+		probe.begin(obs.PhaseEDCWindow)
 		env.ObjTree.SearchFunc(
 			func(r geom.Rect) bool {
 				for i, qp := range qPts {
@@ -212,17 +232,20 @@ func edc(ctx context.Context, env *Env, q Query, opts Options) (*Result, error) 
 				return true
 			},
 		)
+		probe.end()
 		// Compute network distances farthest-first: once the widest
 		// candidate has expanded the searchers, nearer candidates complete
 		// via the settled-endpoints shortcut without re-keying a frontier.
 		sort.Slice(batch, func(a, b int) bool {
 			return maxEuclid(env, qPts, batch[a]) > maxEuclid(env, qPts, batch[b])
 		})
+		probe.begin(obs.PhaseEDCVerify)
 		for _, oid := range batch {
 			if err := fetch(oid); err != nil {
 				return nil, err
 			}
 		}
+		probe.end()
 		determine(pbar)
 	}
 
@@ -246,9 +269,10 @@ func edc(ctx context.Context, env *Env, q Query, opts Options) (*Result, error) 
 				Dists:  vec[:n:n],
 				Vec:    vec,
 			})
+			probe.point()
 			if m.Initial == 0 {
 				m.Initial = time.Since(start)
-				m.InitialPages = env.NetworkIO().Misses
+				m.InitialPages = env.pagesFaulted()
 			}
 		}
 	}
@@ -256,6 +280,7 @@ func edc(ctx context.Context, env *Env, q Query, opts Options) (*Result, error) 
 	dropDominatedDuplicates(res)
 	collectSearcherStats(&m, astars)
 	finishMetrics(env, &m, start)
+	probe.finish(&m)
 	res.Metrics = m
 	return res, nil
 }

@@ -238,6 +238,11 @@ func (e *Env) NetworkIO() storage.Stats {
 	return storage.Stats{Gets: a.Gets + b.Gets, Misses: a.Misses + b.Misses}
 }
 
+// pagesFaulted is the running network-page fault count since the last
+// ResetIO — the phase probes and initial-response snapshots sample it at
+// their boundaries.
+func (e *Env) pagesFaulted() int64 { return e.NetworkIO().Misses }
+
 // vectorDims returns the skyline vector length for a query with n points.
 func (e *Env) vectorDims(n int, useAttrs bool) int {
 	if useAttrs {

@@ -7,6 +7,7 @@ import (
 
 	"roadskyline/internal/geom"
 	"roadskyline/internal/graph"
+	"roadskyline/internal/obs"
 	"roadskyline/internal/skyline"
 	"roadskyline/internal/sp"
 )
@@ -38,6 +39,7 @@ type LBCIterator struct {
 	confirmed map[graph.ObjectID]bool
 	lb        []float64
 
+	probe    *phaseProbe
 	metrics  Metrics
 	finished bool
 }
@@ -87,6 +89,18 @@ func NewLBCIterator(ctx context.Context, env *Env, q Query, opts Options) (*LBCI
 		}
 		it.astars[i] = a
 	}
+	it.probe = newPhaseProbe(env, opts, AlgLBC, it.n, it.start, func() int {
+		total := 0
+		for _, a := range it.astars {
+			total += a.NodesExpanded()
+		}
+		return total
+	})
+	if fn := it.probe.progressFunc(); fn != nil {
+		for _, a := range it.astars {
+			a.OnProgress(fn)
+		}
+	}
 	if opts.LBCAlternate {
 		it.sources = make([]int, it.n)
 		for i := range it.sources {
@@ -123,7 +137,9 @@ func (it *LBCIterator) Next() (SkylinePoint, bool, error) {
 		si := it.cursor
 		it.cursor = (it.cursor + 1) % len(it.sources)
 
+		it.probe.begin(obs.PhaseLBCNN)
 		cand, ok, err := it.streams[si].next()
+		it.probe.end()
 		if err != nil {
 			return SkylinePoint{}, false, err
 		}
@@ -138,14 +154,17 @@ func (it *LBCIterator) Next() (SkylinePoint, bool, error) {
 		}
 		it.processed[cand.id] = true
 
+		it.probe.begin(obs.PhaseLBCProbe)
 		point, isSkyline, err := it.check(it.sources[si], cand)
+		it.probe.end()
 		if err != nil {
 			return SkylinePoint{}, false, err
 		}
 		if isSkyline {
+			it.probe.point()
 			if it.metrics.Initial == 0 {
 				it.metrics.Initial = time.Since(it.start)
-				it.metrics.InitialPages = it.env.NetworkIO().Misses
+				it.metrics.InitialPages = it.env.pagesFaulted()
 			}
 			return point, true, nil
 		}
@@ -223,6 +242,7 @@ func (it *LBCIterator) Metrics() Metrics {
 		}
 		collectSearcherStats(&it.metrics, it.astars)
 		finishMetrics(it.env, &it.metrics, it.start)
+		it.probe.finish(&it.metrics)
 	}
 	return it.metrics
 }

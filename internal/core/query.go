@@ -7,6 +7,7 @@ import (
 
 	"roadskyline/internal/geom"
 	"roadskyline/internal/graph"
+	"roadskyline/internal/obs"
 	"roadskyline/internal/sp"
 )
 
@@ -83,6 +84,11 @@ type Metrics struct {
 	// pre-first-result phase.
 	IOTime        time.Duration
 	InitialIOTime time.Duration
+	// Phases is the per-phase breakdown of the query's work (durations,
+	// network pages, node settlements per algorithm stage), in the order
+	// the phases were first entered. It is populated only when the query
+	// ran with a Tracer or Options.CollectPhases; nil otherwise.
+	Phases []obs.PhaseStat
 }
 
 // ResponseTime is the total response time under the simulated disk
@@ -152,6 +158,14 @@ type Options struct {
 	// the environment's landmark (ALT) table; used by the landmark
 	// ablation. No effect when the environment was built without a table.
 	DisableLandmarks bool
+	// Tracer receives phase-level span events, expansion progress ticks
+	// and skyline-point events as the query runs. Nil disables tracing
+	// entirely (the zero-overhead default); results and the existing
+	// counters are identical either way.
+	Tracer obs.Tracer
+	// CollectPhases computes the per-phase breakdown (Metrics.Phases)
+	// even without a Tracer attached.
+	CollectPhases bool
 }
 
 // newAStar builds one A* searcher for a query point with opts applied:
@@ -205,7 +219,7 @@ func Run(ctx context.Context, env *Env, q Query, alg Algorithm, opts Options) (*
 	env.ResetIO()
 	switch alg {
 	case AlgCE:
-		return ce(ctx, env, q)
+		return ce(ctx, env, q, opts)
 	case AlgEDC:
 		return edc(ctx, env, q, opts)
 	case AlgLBC:

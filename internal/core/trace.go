@@ -1,0 +1,141 @@
+package core
+
+import (
+	"time"
+
+	"roadskyline/internal/obs"
+)
+
+// phaseProbe attributes one query's work to algorithm phases: it forwards
+// span events to the query's Tracer and accumulates the per-phase
+// breakdown (durations, network pages, node settlements) that ends up in
+// Metrics.Phases. Page counts come from the environment's I/O counters
+// snapshotted at phase boundaries; node counts from a caller-supplied
+// probe over the query's searchers.
+//
+// A nil *phaseProbe is the disabled state: every method returns
+// immediately, so the algorithms call begin/end/point unconditionally and
+// the cost with tracing off is one nil check per phase boundary.
+type phaseProbe struct {
+	tr    obs.Tracer // nil when only collecting the breakdown
+	env   *Env
+	nodes func() int // running settlement total across the query's searchers
+	start time.Time
+
+	active bool
+	cur    obs.Phase
+	t0     time.Time
+	pages0 int64
+	nodes0 int
+
+	stats  []obs.PhaseStat
+	idx    map[obs.Phase]int
+	points int
+}
+
+// newPhaseProbe returns nil when opts enable neither tracing nor phase
+// collection. It emits the QueryStart event.
+func newPhaseProbe(env *Env, opts Options, alg Algorithm, numPoints int, start time.Time, nodes func() int) *phaseProbe {
+	if opts.Tracer == nil && !opts.CollectPhases {
+		return nil
+	}
+	pp := &phaseProbe{
+		tr:    opts.Tracer,
+		env:   env,
+		nodes: nodes,
+		start: start,
+		idx:   make(map[obs.Phase]int, 4),
+	}
+	if pp.tr != nil {
+		pp.tr.QueryStart(alg.String(), numPoints)
+	}
+	return pp
+}
+
+// begin enters a phase, closing any phase still open.
+func (pp *phaseProbe) begin(p obs.Phase) {
+	if pp == nil {
+		return
+	}
+	if pp.active {
+		pp.end()
+	}
+	pp.active, pp.cur = true, p
+	pp.t0 = time.Now()
+	pp.pages0 = pp.env.pagesFaulted()
+	pp.nodes0 = pp.nodes()
+	if pp.tr != nil {
+		pp.tr.PhaseStart(p)
+	}
+}
+
+// end leaves the current phase, attributing the elapsed time and the page
+// and settlement deltas to it. A no-op when no phase is open.
+func (pp *phaseProbe) end() {
+	if pp == nil || !pp.active {
+		return
+	}
+	pp.active = false
+	d := time.Since(pp.t0)
+	pages := pp.env.pagesFaulted() - pp.pages0
+	nodes := pp.nodes() - pp.nodes0
+	i, ok := pp.idx[pp.cur]
+	if !ok {
+		i = len(pp.stats)
+		pp.idx[pp.cur] = i
+		pp.stats = append(pp.stats, obs.PhaseStat{Phase: pp.cur})
+	}
+	ps := &pp.stats[i]
+	ps.Count++
+	ps.Duration += d
+	ps.NetworkPages += pages
+	ps.NodesExpanded += nodes
+	if pp.tr != nil {
+		pp.tr.PhaseEnd(pp.cur, d, pages, nodes)
+	}
+}
+
+// transition moves from one phase to another only when `from` is the
+// phase currently open; CE uses it for the single filter→refine flip
+// without tracking the state itself.
+func (pp *phaseProbe) transition(from, to obs.Phase) {
+	if pp == nil || !pp.active || pp.cur != from {
+		return
+	}
+	pp.end()
+	pp.begin(to)
+}
+
+// point emits the skyline-point event for the next ordinal.
+func (pp *phaseProbe) point() {
+	if pp == nil {
+		return
+	}
+	if pp.tr != nil {
+		pp.tr.Point(pp.points, time.Since(pp.start))
+	}
+	pp.points++
+}
+
+// progressFunc returns the settlement-tick callback to install on the
+// query's searchers, or nil when no tracer is attached (the breakdown
+// needs no ticks).
+func (pp *phaseProbe) progressFunc() func(int) {
+	if pp == nil || pp.tr == nil {
+		return nil
+	}
+	return func(int) { pp.tr.Progress(pp.nodes()) }
+}
+
+// finish closes any open phase, stores the breakdown in the metrics and
+// emits QueryEnd. Call it after finishMetrics so the total is final.
+func (pp *phaseProbe) finish(m *Metrics) {
+	if pp == nil {
+		return
+	}
+	pp.end()
+	m.Phases = pp.stats
+	if pp.tr != nil {
+		pp.tr.QueryEnd(m.Total)
+	}
+}

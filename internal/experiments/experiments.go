@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"time"
 
 	"roadskyline/internal/core"
 	"roadskyline/internal/diskgraph"
@@ -48,6 +49,14 @@ type Config struct {
 	// landmark ablation compares per-query instead, via
 	// core.Options.DisableLandmarks, so one environment serves both arms.
 	Landmarks int
+	// DiskLatency is the simulated cost per network page fault charged
+	// into the response-time figures (0 = core.DefaultDiskLatency). The
+	// reduced Quick configuration raises it to a rotating-disk value:
+	// shrinking the networks shrinks page counts much faster than CPU
+	// work, and without a disk-like latency the response-time figures
+	// would measure mostly CPU jitter instead of the paper's I/O-bound
+	// regime.
+	DiskLatency time.Duration
 }
 
 // Default returns the paper's experimental configuration.
@@ -71,6 +80,7 @@ func Quick() Config {
 	c.Trials = 2
 	c.QValues = []int{2, 4, 8, 15}
 	c.Omegas = []float64{0.05, 0.5, 2.0}
+	c.DiskLatency = 2 * time.Millisecond
 	return c
 }
 
@@ -212,7 +222,12 @@ func (l *Lab) Env(spec gen.Spec, omega float64, bufferBytes int, order diskgraph
 		return nil, err
 	}
 	objs := gen.Objects(g, omega, 0, l.cfg.Seed+int64(omega*1000))
-	env, err := core.NewEnv(g, objs, core.EnvConfig{BufferBytes: bufferBytes, Order: order, Landmarks: l.cfg.Landmarks})
+	env, err := core.NewEnv(g, objs, core.EnvConfig{
+		BufferBytes: bufferBytes,
+		Order:       order,
+		Landmarks:   l.cfg.Landmarks,
+		DiskLatency: l.cfg.DiskLatency,
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+const numWaitBuckets = 6
+
+// WaitBuckets are the upper bounds (inclusive) of the queue-wait
+// histogram, Prometheus-style: an observation lands in the first bucket
+// whose bound it does not exceed, and past the last bound in the
+// implicit +Inf overflow bucket.
+var WaitBuckets = [numWaitBuckets]time.Duration{
+	100 * time.Microsecond,
+	time.Millisecond,
+	10 * time.Millisecond,
+	100 * time.Millisecond,
+	time.Second,
+	10 * time.Second,
+}
+
+// Histogram is a fixed-bucket duration histogram safe for concurrent
+// observation: one atomic add per Observe, no locks. Buckets are
+// non-cumulative internally and cumulated at snapshot time to match the
+// Prometheus exposition convention.
+type Histogram struct {
+	counts [numWaitBuckets + 1]atomic.Uint64 // one per bucket plus +Inf overflow
+	count  atomic.Uint64
+	sum    atomic.Int64 // nanoseconds
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	i := 0
+	for i < numWaitBuckets && d > WaitBuckets[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram. Buckets are
+// cumulative counts aligned with WaitBuckets; Count includes the +Inf
+// overflow, so Count >= Buckets[len-1].
+type HistogramSnapshot struct {
+	Buckets []uint64
+	Count   uint64
+	Sum     time.Duration
+}
+
+// Snapshot copies the histogram. Concurrent Observes may straddle the
+// copy; each bucket is individually consistent, so the skew between Sum,
+// Count and the buckets is at most the in-flight observations.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Buckets: make([]uint64, numWaitBuckets)}
+	var cum uint64
+	for i := range WaitBuckets {
+		cum += h.counts[i].Load()
+		s.Buckets[i] = cum
+	}
+	s.Sum = time.Duration(h.sum.Load())
+	s.Count = h.count.Load()
+	return s
+}

@@ -1,0 +1,194 @@
+// Package obs is the engine's observability layer: phase-level query
+// tracing and lock-free runtime metrics primitives.
+//
+// The paper's evaluation (Section 6) is entirely work accounting — page
+// accesses, candidate counts, response time split into initial and total.
+// The Metrics struct in internal/core reproduces the end-of-query totals;
+// this package adds the *where*: a Tracer receives span events as the
+// algorithms move through their phases (CE's filtering vs. refinement,
+// EDC's Euclidean-skyline / window-query / A*-verification stages, LBC's
+// NN-stream pulls and per-candidate dominance probes), plus expansion
+// progress ticks from the shortest-path searchers. The same events also
+// yield the per-phase breakdown (durations, page and node counters)
+// surfaced in query statistics.
+//
+// Tracing is strictly opt-in: a nil Tracer costs one pointer check per
+// phase boundary and nothing per settled node, and never changes results
+// or the existing counters.
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Phase identifies one instrumented stage of a query algorithm. The
+// string values are stable identifiers used in logs, metrics and the
+// phase breakdown; they are namespaced by algorithm.
+type Phase string
+
+const (
+	// PhaseCEFilter is CE's filtering phase: round-robin Dijkstra
+	// expansion until the candidate set is closed (no unseen object can
+	// be a skyline point).
+	PhaseCEFilter Phase = "ce.filter"
+	// PhaseCERefine is CE's refinement phase: completing the candidates'
+	// distance vectors and pruning dominated ones.
+	PhaseCERefine Phase = "ce.refine"
+	// PhaseEDCSeed is EDC's Euclidean-skyline stage: pulling the next
+	// seed from the best-first Euclidean skyline stream.
+	PhaseEDCSeed Phase = "edc.euclid_seed"
+	// PhaseEDCWindow is EDC's window-query stage: the R-tree range scan
+	// under a seed's shifted vector that admits new candidates.
+	PhaseEDCWindow Phase = "edc.window"
+	// PhaseEDCVerify is EDC's A*-verification stage: computing exact
+	// network distance vectors for seeds and window candidates.
+	PhaseEDCVerify Phase = "edc.verify"
+	// PhaseLBCNN is LBC's nearest-neighbor stage: pulling the next
+	// network NN from a source's IER stream (Euclidean heads confirmed
+	// by A* distances).
+	PhaseLBCNN Phase = "lbc.nn"
+	// PhaseLBCProbe is LBC's dominance-probe stage: advancing the
+	// cheapest path-distance-lower-bound session until the candidate is
+	// dominated or fully resolved.
+	PhaseLBCProbe Phase = "lbc.probe"
+)
+
+// PhaseStat is the accumulated cost of one phase across a query: how
+// often the algorithm entered it, the wall time spent inside, and the
+// network pages faulted and nodes settled while it was active.
+type PhaseStat struct {
+	Phase Phase
+	// Count is the number of times the phase was entered (for example,
+	// one lbc.probe per candidate).
+	Count int
+	// Duration is the total wall time spent inside the phase.
+	Duration time.Duration
+	// NetworkPages is the number of network disk pages faulted while the
+	// phase was active.
+	NetworkPages int64
+	// NodesExpanded is the number of network nodes settled while the
+	// phase was active.
+	NodesExpanded int
+}
+
+// Tracer receives the event stream of one query. Implementations must be
+// cheap: events fire from the algorithms' inner loops. A Tracer instance
+// observes a single query at a time; give each in-flight query its own
+// (the engine serializes queries, so reusing one tracer per engine or per
+// pool worker is fine).
+//
+// The zero-overhead contract: when the query's Tracer is nil none of
+// these methods is invoked and no per-event work is done.
+type Tracer interface {
+	// QueryStart fires once, before any expansion, with the algorithm
+	// name ("CE", "EDC", "LBC") and the number of query points.
+	QueryStart(alg string, numPoints int)
+	// PhaseStart fires when the algorithm enters a phase.
+	PhaseStart(p Phase)
+	// PhaseEnd fires when the algorithm leaves a phase, with the time
+	// spent and the network pages / node settlements attributed to it.
+	PhaseEnd(p Phase, d time.Duration, pages int64, nodes int)
+	// Progress fires roughly every few dozen node settlements with the
+	// query's running settlement total — a cheap liveness tick for
+	// long expansions.
+	Progress(nodesExpanded int)
+	// Point fires when the ordinal-th skyline point (0-based) is
+	// determined, elapsed after query start.
+	Point(ordinal int, elapsed time.Duration)
+	// QueryEnd fires once after the last phase with the query's total
+	// wall time.
+	QueryEnd(total time.Duration)
+}
+
+// EventKind tags a recorded trace event.
+type EventKind uint8
+
+const (
+	KindQueryStart EventKind = iota
+	KindPhaseStart
+	KindPhaseEnd
+	KindProgress
+	KindPoint
+	KindQueryEnd
+)
+
+// String returns the kind's stable name.
+func (k EventKind) String() string {
+	switch k {
+	case KindQueryStart:
+		return "query.start"
+	case KindPhaseStart:
+		return "phase.start"
+	case KindPhaseEnd:
+		return "phase.end"
+	case KindProgress:
+		return "progress"
+	case KindPoint:
+		return "point"
+	case KindQueryEnd:
+		return "query.end"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(k))
+	}
+}
+
+// Event is one recorded trace event (see Recorder).
+type Event struct {
+	Kind  EventKind
+	Phase Phase         // phase events
+	Alg   string        // query.start
+	N     int           // query.start: |Q|; progress: nodes; point: ordinal; phase.end: nodes
+	Pages int64         // phase.end
+	D     time.Duration // phase.end, point, query.end
+}
+
+// Recorder is a Tracer that appends every event to an in-memory slice.
+// It backs the golden phase-sequence tests and is handy for ad-hoc
+// debugging; it is not safe for concurrent use.
+type Recorder struct {
+	Events []Event
+}
+
+func (r *Recorder) QueryStart(alg string, numPoints int) {
+	r.Events = append(r.Events, Event{Kind: KindQueryStart, Alg: alg, N: numPoints})
+}
+
+func (r *Recorder) PhaseStart(p Phase) {
+	r.Events = append(r.Events, Event{Kind: KindPhaseStart, Phase: p})
+}
+
+func (r *Recorder) PhaseEnd(p Phase, d time.Duration, pages int64, nodes int) {
+	r.Events = append(r.Events, Event{Kind: KindPhaseEnd, Phase: p, D: d, Pages: pages, N: nodes})
+}
+
+func (r *Recorder) Progress(nodesExpanded int) {
+	r.Events = append(r.Events, Event{Kind: KindProgress, N: nodesExpanded})
+}
+
+func (r *Recorder) Point(ordinal int, elapsed time.Duration) {
+	r.Events = append(r.Events, Event{Kind: KindPoint, N: ordinal, D: elapsed})
+}
+
+func (r *Recorder) QueryEnd(total time.Duration) {
+	r.Events = append(r.Events, Event{Kind: KindQueryEnd, D: total})
+}
+
+// Signature compresses the recorded events into the query's phase
+// signature: the ordered phase names with consecutive repeats collapsed
+// ("ce.filter ce.refine", "edc.euclid_seed edc.verify edc.window ...").
+// Progress and point events are skipped, so the signature is stable
+// across machines for a fixed network and query.
+func (r *Recorder) Signature() string {
+	var parts []string
+	for _, e := range r.Events {
+		if e.Kind != KindPhaseStart {
+			continue
+		}
+		if len(parts) == 0 || parts[len(parts)-1] != string(e.Phase) {
+			parts = append(parts, string(e.Phase))
+		}
+	}
+	return strings.Join(parts, " ")
+}

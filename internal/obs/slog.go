@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+	"time"
+)
+
+// SlogTracer is a ready-made Tracer that writes trace events to a
+// structured logger. Per-event records (phase spans, progress ticks,
+// skyline points) go out at Debug; the end-of-query summary at Info; and
+// when the query's total time reaches the slow threshold, a Warn record
+// with the full per-phase breakdown — the slow-query log.
+//
+// Like every Tracer, one instance observes one query at a time: it keeps
+// per-query phase accumulators between QueryStart and QueryEnd. Create
+// one per request (they are two small allocations), or reuse one per
+// pool worker.
+type SlogTracer struct {
+	log  *slog.Logger
+	slow time.Duration
+
+	alg    string
+	points int
+	phases map[Phase]*PhaseStat
+	order  []Phase
+}
+
+// NewSlogTracer builds a tracer over log. When slow is positive, queries
+// whose total time reaches it are reported at Warn with their phase
+// breakdown; zero disables the slow-query log. A nil logger means
+// slog.Default().
+func NewSlogTracer(log *slog.Logger, slow time.Duration) *SlogTracer {
+	if log == nil {
+		log = slog.Default()
+	}
+	return &SlogTracer{log: log, slow: slow}
+}
+
+func (t *SlogTracer) QueryStart(alg string, numPoints int) {
+	t.alg, t.points = alg, numPoints
+	t.phases = make(map[Phase]*PhaseStat, 4)
+	t.order = t.order[:0]
+	t.log.Debug("skyline query start", "alg", alg, "points", numPoints)
+}
+
+func (t *SlogTracer) PhaseStart(p Phase) {
+	if t.log.Enabled(context.Background(), slog.LevelDebug) {
+		t.log.Debug("phase start", "alg", t.alg, "phase", string(p))
+	}
+}
+
+func (t *SlogTracer) PhaseEnd(p Phase, d time.Duration, pages int64, nodes int) {
+	ps := t.phases[p]
+	if ps == nil {
+		ps = &PhaseStat{Phase: p}
+		t.phases[p] = ps
+		t.order = append(t.order, p)
+	}
+	ps.Count++
+	ps.Duration += d
+	ps.NetworkPages += pages
+	ps.NodesExpanded += nodes
+	if t.log.Enabled(context.Background(), slog.LevelDebug) {
+		t.log.Debug("phase end", "alg", t.alg, "phase", string(p),
+			"dur", d, "pages", pages, "nodes", nodes)
+	}
+}
+
+func (t *SlogTracer) Progress(nodesExpanded int) {
+	if t.log.Enabled(context.Background(), slog.LevelDebug) {
+		t.log.Debug("expansion progress", "alg", t.alg, "nodes", nodesExpanded)
+	}
+}
+
+func (t *SlogTracer) Point(ordinal int, elapsed time.Duration) {
+	if t.log.Enabled(context.Background(), slog.LevelDebug) {
+		t.log.Debug("skyline point", "alg", t.alg, "ordinal", ordinal, "elapsed", elapsed)
+	}
+}
+
+func (t *SlogTracer) QueryEnd(total time.Duration) {
+	t.log.Info("skyline query done", "alg", t.alg, "points", t.points, "total", total)
+	if t.slow <= 0 || total < t.slow {
+		return
+	}
+	attrs := []any{"alg", t.alg, "points", t.points, "total", total, "threshold", t.slow}
+	for _, p := range t.order {
+		ps := t.phases[p]
+		attrs = append(attrs, string(p), slog.GroupValue(
+			slog.Int("count", ps.Count),
+			slog.Duration("dur", ps.Duration),
+			slog.Int64("pages", ps.NetworkPages),
+			slog.Int("nodes", ps.NodesExpanded),
+		))
+	}
+	t.log.Warn("slow skyline query", attrs...)
+}

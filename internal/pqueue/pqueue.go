@@ -7,6 +7,8 @@
 // variant (Indexed) when true decrease-key is required.
 package pqueue
 
+import "cmp"
+
 // Item is an element with a priority.
 type Item[T any] struct {
 	Value T
@@ -96,18 +98,23 @@ func (q *Queue[T]) down(i int) {
 	}
 }
 
-// Indexed is a min-heap over comparable handles with true decrease-key
+// Indexed is a min-heap over ordered handles with true decrease-key
 // support. It is used by the shortest-path wavefronts where each graph node
 // appears at most once in the frontier and its tentative distance only
 // decreases.
-type Indexed[ID comparable] struct {
+//
+// Equal keys are ordered by id, making Pop order a function of the heap's
+// contents alone rather than of insertion order. The A* searcher re-keys
+// its frontier by iterating a map, so without the tie-break identical
+// queries could expand nodes in different orders from run to run.
+type Indexed[ID cmp.Ordered] struct {
 	keys  []float64 // heap-ordered keys
 	ids   []ID      // heap-ordered node ids
 	where map[ID]int
 }
 
 // NewIndexed returns an empty indexed heap with capacity hint n.
-func NewIndexed[ID comparable](n int) *Indexed[ID] {
+func NewIndexed[ID cmp.Ordered](n int) *Indexed[ID] {
 	return &Indexed[ID]{
 		keys:  make([]float64, 0, n),
 		ids:   make([]ID, 0, n),
@@ -199,10 +206,19 @@ func (h *Indexed[ID]) swap(i, j int) {
 	h.where[h.ids[j]] = j
 }
 
+// less orders heap slots by (key, id); the id tie-break keeps Pop
+// deterministic when tentative distances collide.
+func (h *Indexed[ID]) less(i, j int) bool {
+	if h.keys[i] != h.keys[j] {
+		return h.keys[i] < h.keys[j]
+	}
+	return h.ids[i] < h.ids[j]
+}
+
 func (h *Indexed[ID]) up(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
-		if h.keys[parent] <= h.keys[i] {
+		if !h.less(i, parent) {
 			break
 		}
 		h.swap(parent, i)
@@ -215,10 +231,10 @@ func (h *Indexed[ID]) down(i int) {
 	for {
 		l, r := 2*i+1, 2*i+2
 		smallest := i
-		if l < n && h.keys[l] < h.keys[smallest] {
+		if l < n && h.less(l, smallest) {
 			smallest = l
 		}
-		if r < n && h.keys[r] < h.keys[smallest] {
+		if r < n && h.less(r, smallest) {
 			smallest = r
 		}
 		if smallest == i {

@@ -50,6 +50,9 @@ type AStar struct {
 	landmarkWins int
 	euclidWins   int
 	nbuf         []diskgraph.Neighbor
+	// progress, when set, fires with the searcher's settlement total at
+	// the cancellation-check stride (see OnProgress).
+	progress func(nodesExpanded int)
 }
 
 type frontierEntry struct {
@@ -113,6 +116,13 @@ func (a *AStar) UseHeuristicSource(hs HeuristicSource) { a.hs = hs }
 // NodesExpanded returns the number of nodes settled so far across all
 // sessions.
 func (a *AStar) NodesExpanded() int { return a.nodesExpanded }
+
+// OnProgress installs a callback fired with the searcher's running
+// settlement count every cancelCheckEvery settlements — the expansion
+// progress tick of the observability layer. It shares the cancellation
+// check's stride so the hot loop gains no extra branch; a nil callback
+// (the default) costs nothing.
+func (a *AStar) OnProgress(fn func(nodesExpanded int)) { a.progress = fn }
 
 // BoundWins returns how many heuristic evaluations were won by the
 // installed heuristic source versus the Euclidean bound. Both are zero
@@ -185,7 +195,14 @@ func (a *AStar) NewSession(dest graph.Location, destPt geom.Point) *Session {
 		s.finish()
 		return s
 	}
-	// Re-key the shared frontier with this destination's heuristic.
+	// Re-key the shared frontier with this destination's heuristic, in
+	// node-id order: pushing in map iteration order would make heap
+	// tie-breaking — and with it the expansion order and every work
+	// counter — vary from run to run on equal f-keys.
+	// Re-key the shared frontier with this destination's heuristic. Map
+	// iteration order is random, but the heap's (key, id) ordering makes
+	// the expansion order independent of push order, so identical queries
+	// always expand identically.
 	for id, fe := range a.frontier {
 		s.heap.Push(id, fe.g+s.h(id, fe.pt))
 	}
@@ -260,6 +277,9 @@ func (s *Session) Advance() (plb float64, done bool, err error) {
 	if a.nodesExpanded%cancelCheckEvery == cancelCheckEvery-1 {
 		if err := a.ctx.Err(); err != nil {
 			return 0, false, err
+		}
+		if a.progress != nil {
+			a.progress(a.nodesExpanded)
 		}
 	}
 	u, _ := s.heap.Pop()

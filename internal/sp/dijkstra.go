@@ -41,6 +41,9 @@ type Dijkstra struct {
 	nodesExpanded int
 	nbuf          []diskgraph.Neighbor
 	obuf          []middlelayer.ObjRef
+	// progress, when set, fires with the settlement total at the
+	// cancellation-check stride (see OnProgress).
+	progress func(nodesExpanded int)
 }
 
 // NewDijkstra creates a wavefront rooted at src. The context bounds the
@@ -82,6 +85,12 @@ func NewDijkstra(ctx context.Context, net Net, src graph.Location) (*Dijkstra, e
 
 // NodesExpanded returns the number of nodes settled so far.
 func (d *Dijkstra) NodesExpanded() int { return d.nodesExpanded }
+
+// OnProgress installs a callback fired with the wavefront's running
+// settlement count every cancelCheckEvery settlements — the expansion
+// progress tick of the observability layer. It shares the cancellation
+// check's stride; a nil callback (the default) costs nothing.
+func (d *Dijkstra) OnProgress(fn func(nodesExpanded int)) { d.progress = fn }
 
 func (d *Dijkstra) improveObject(id graph.ObjectID, dist float64) {
 	if best, ok := d.objBest[id]; ok && best <= dist {
@@ -137,6 +146,9 @@ func (d *Dijkstra) expandOne() error {
 	if d.nodesExpanded%cancelCheckEvery == 0 {
 		if err := d.ctx.Err(); err != nil {
 			return err
+		}
+		if d.progress != nil {
+			d.progress(d.nodesExpanded)
 		}
 	}
 	var err error

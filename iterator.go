@@ -40,9 +40,12 @@ func (e *Engine) SkylineIterContext(ctx context.Context, q Query) (*SkylineItera
 		pts[i] = graph.Location{Edge: graph.EdgeID(p.Edge), Offset: p.Offset}
 	}
 	it, err := core.NewLBCIterator(ctx, e.env, core.Query{Points: pts, UseAttrs: q.UseAttrs}, core.Options{
-		ColdCache:    !e.cfg.WarmCache,
-		LBCAlternate: q.Alternate,
-		LBCSource:    q.Source,
+		ColdCache:        !e.cfg.WarmCache,
+		LBCAlternate:     q.Alternate,
+		LBCSource:        q.Source,
+		DisableLandmarks: q.NoLandmarks,
+		Tracer:           q.Tracer,
+		CollectPhases:    q.CollectPhases,
 	})
 	if err != nil {
 		return nil, err

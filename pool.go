@@ -6,6 +6,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"roadskyline/internal/obs"
 )
 
 // ErrPoolClosed is returned by pool queries after Close.
@@ -36,11 +40,65 @@ type PoolConfig struct {
 // All methods are safe for concurrent use. The source engine passed to
 // NewPool is not retained and stays free for serial use.
 type Pool struct {
-	workers chan *Engine  // idle clones; capacity = Workers
-	queue   chan struct{} // admission tokens; capacity = Workers+QueueDepth
+	workers chan *poolWorker // idle clones; capacity = Workers
+	queue   chan struct{}    // admission tokens; capacity = Workers+QueueDepth
 	size    int
 	closed  chan struct{}
 	once    sync.Once
+
+	all []*poolWorker // every worker, immutable after NewPool; for snapshots
+	met poolCounters
+}
+
+// poolWorker pairs an engine clone with its lifetime buffer statistics.
+// Only the goroutine that checked the worker out runs queries on it, but
+// PoolMetrics reads the counters while workers are checked out, hence
+// atomics.
+type poolWorker struct {
+	eng     *Engine
+	id      int
+	queries atomic.Uint64
+	gets    atomic.Int64
+	misses  atomic.Int64
+}
+
+// record folds one completed query's buffer traffic into the worker's
+// lifetime totals.
+func (w *poolWorker) record(s Stats) {
+	w.queries.Add(1)
+	w.gets.Add(s.NetworkGets)
+	w.misses.Add(s.NetworkPages)
+}
+
+// poolCounters is the pool's runtime instrumentation: submission outcome
+// counters, occupancy gauges and the queue-wait histogram. All lock-free;
+// queries pay a handful of atomic adds each.
+type poolCounters struct {
+	submitted atomic.Uint64
+	served    atomic.Uint64
+	saturated atomic.Uint64
+	cancelled atomic.Uint64
+	closed    atomic.Uint64
+	inFlight  atomic.Int64
+	waiting   atomic.Int64
+	queueWait obs.Histogram
+}
+
+// finish classifies a finished submission by its final error, keeping the
+// invariant submitted = served + saturated + cancelled + closed once the
+// pool is quiescent. Query-level errors (validation and the like) count as
+// served: a worker processed the request.
+func (c *poolCounters) finish(err error) {
+	switch {
+	case errors.Is(err, ErrPoolSaturated):
+		c.saturated.Add(1)
+	case errors.Is(err, ErrPoolClosed):
+		c.closed.Add(1)
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		c.cancelled.Add(1)
+	default:
+		c.served.Add(1)
+	}
 }
 
 // NewPool builds a pool of cfg.Workers clones of e.
@@ -55,13 +113,16 @@ func NewPool(e *Engine, cfg PoolConfig) (*Pool, error) {
 		cfg.QueueDepth = 4 * cfg.Workers
 	}
 	p := &Pool{
-		workers: make(chan *Engine, cfg.Workers),
+		workers: make(chan *poolWorker, cfg.Workers),
 		queue:   make(chan struct{}, cfg.Workers+cfg.QueueDepth),
 		size:    cfg.Workers,
 		closed:  make(chan struct{}),
+		all:     make([]*poolWorker, cfg.Workers),
 	}
 	for i := 0; i < cfg.Workers; i++ {
-		p.workers <- e.Clone()
+		w := &poolWorker{eng: e.Clone(), id: i}
+		p.all[i] = w
+		p.workers <- w
 	}
 	return p, nil
 }
@@ -77,7 +138,7 @@ func (p *Pool) Close() {
 
 // acquire admits the caller through the bounded queue (failing fast with
 // ErrPoolSaturated when it is full) and then waits for an idle worker.
-func (p *Pool) acquire(ctx context.Context) (*Engine, error) {
+func (p *Pool) acquire(ctx context.Context) (*poolWorker, error) {
 	select {
 	case p.queue <- struct{}{}:
 	default:
@@ -88,21 +149,21 @@ func (p *Pool) acquire(ctx context.Context) (*Engine, error) {
 		}
 		return nil, ErrPoolSaturated
 	}
-	eng, err := p.wait(ctx)
+	w, err := p.wait(ctx)
 	if err != nil {
 		<-p.queue
 	}
-	return eng, err
+	return w, err
 }
 
 // acquireWait is acquire without the saturation fast-fail: the caller is
 // willing to block until a worker frees up (batch submission owns its
 // backlog). It bypasses the admission queue entirely.
-func (p *Pool) acquireWait(ctx context.Context) (*Engine, error) {
+func (p *Pool) acquireWait(ctx context.Context) (*poolWorker, error) {
 	return p.wait(ctx)
 }
 
-func (p *Pool) wait(ctx context.Context) (*Engine, error) {
+func (p *Pool) wait(ctx context.Context) (*poolWorker, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -111,9 +172,14 @@ func (p *Pool) wait(ctx context.Context) (*Engine, error) {
 		return nil, ErrPoolClosed
 	default:
 	}
+	t0 := time.Now()
+	p.met.waiting.Add(1)
+	defer p.met.waiting.Add(-1)
 	select {
-	case eng := <-p.workers:
-		return eng, nil
+	case w := <-p.workers:
+		p.met.queueWait.Observe(time.Since(t0))
+		p.met.inFlight.Add(1)
+		return w, nil
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	case <-p.closed:
@@ -121,8 +187,9 @@ func (p *Pool) wait(ctx context.Context) (*Engine, error) {
 	}
 }
 
-func (p *Pool) release(eng *Engine, admitted bool) {
-	p.workers <- eng
+func (p *Pool) release(w *poolWorker, admitted bool) {
+	p.met.inFlight.Add(-1)
+	p.workers <- w
 	if admitted {
 		<-p.queue
 	}
@@ -133,12 +200,23 @@ func (p *Pool) release(eng *Engine, admitted bool) {
 // and the admission queue is full it fails fast with ErrPoolSaturated.
 // Cancellation both abandons the wait and aborts a running expansion.
 func (p *Pool) Skyline(ctx context.Context, q Query) (*Result, error) {
-	eng, err := p.acquire(ctx)
+	p.met.submitted.Add(1)
+	res, err := p.skyline(ctx, q)
+	p.met.finish(err)
+	return res, err
+}
+
+func (p *Pool) skyline(ctx context.Context, q Query) (*Result, error) {
+	w, err := p.acquire(ctx)
 	if err != nil {
 		return nil, err
 	}
-	defer p.release(eng, true)
-	return eng.SkylineContext(ctx, q)
+	defer p.release(w, true)
+	res, err := w.eng.SkylineContext(ctx, q)
+	if res != nil {
+		w.record(res.Stats)
+	}
+	return res, err
 }
 
 // SkylineBatch answers queries[i] into results[i] and errs[i], fanning the
@@ -154,13 +232,19 @@ func (p *Pool) SkylineBatch(ctx context.Context, queries []Query) (results []*Re
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			eng, err := p.acquireWait(ctx)
+			p.met.submitted.Add(1)
+			w, err := p.acquireWait(ctx)
 			if err != nil {
 				errs[i] = err
+				p.met.finish(err)
 				return
 			}
-			defer p.release(eng, false)
-			results[i], errs[i] = eng.SkylineContext(ctx, queries[i])
+			defer p.release(w, false)
+			results[i], errs[i] = w.eng.SkylineContext(ctx, queries[i])
+			if results[i] != nil {
+				w.record(results[i].Stats)
+			}
+			p.met.finish(errs[i])
 		}(i)
 	}
 	wg.Wait()
@@ -173,26 +257,30 @@ func (p *Pool) SkylineBatch(ctx context.Context, queries []Query) (results []*Re
 // automatically) or the worker leaks. Admission follows the same rules as
 // Skyline, including ErrPoolSaturated.
 func (p *Pool) SkylineIter(ctx context.Context, q Query) (*PoolIterator, error) {
-	eng, err := p.acquire(ctx)
+	p.met.submitted.Add(1)
+	w, err := p.acquire(ctx)
 	if err != nil {
+		p.met.finish(err)
 		return nil, err
 	}
-	it, err := eng.SkylineIterContext(ctx, q)
+	it, err := w.eng.SkylineIterContext(ctx, q)
 	if err != nil {
-		p.release(eng, true)
+		p.release(w, true)
+		p.met.finish(err)
 		return nil, err
 	}
-	return &PoolIterator{pool: p, eng: eng, it: it}, nil
+	return &PoolIterator{pool: p, w: w, it: it}, nil
 }
 
 // PoolIterator streams skyline points from a pool worker. It is not safe
 // for concurrent use; hand it to one consumer.
 type PoolIterator struct {
-	pool  *Pool
-	eng   *Engine
-	it    *SkylineIterator
-	stats Stats
-	done  bool
+	pool    *Pool
+	w       *poolWorker
+	it      *SkylineIterator
+	stats   Stats
+	lastErr error
+	done    bool
 }
 
 // Next returns the next skyline point; ok is false when the skyline is
@@ -204,6 +292,7 @@ func (pi *PoolIterator) Next() (SkylinePoint, bool, error) {
 	}
 	pt, ok, err := pi.it.Next()
 	if err != nil || !ok {
+		pi.lastErr = err
 		pi.Close()
 		return SkylinePoint{}, false, err
 	}
@@ -220,13 +309,16 @@ func (pi *PoolIterator) Stats() Stats {
 }
 
 // Close finalizes the iteration and returns the worker to the pool. It is
-// idempotent and safe after exhaustion.
+// idempotent and safe after exhaustion. The submission counts as cancelled
+// when the iteration last failed with a context error, served otherwise.
 func (pi *PoolIterator) Close() {
 	if pi.done {
 		return
 	}
 	pi.done = true
 	pi.stats = pi.it.Stats()
-	pi.pool.release(pi.eng, true)
-	pi.eng, pi.it = nil, nil
+	pi.w.record(pi.stats)
+	pi.pool.met.finish(pi.lastErr)
+	pi.pool.release(pi.w, true)
+	pi.w, pi.it = nil, nil
 }

@@ -1,0 +1,78 @@
+package roadskyline
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// MetricsHandler returns an http.Handler serving the pool's metrics in
+// the Prometheus text exposition format (version 0.0.4), which is also
+// readable as plain text. Mount it wherever the process serves HTTP:
+//
+//	http.Handle("/metrics", pool.MetricsHandler())
+func (p *Pool) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, _ *http.Request) {
+		rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writePoolMetrics(rw, p.PoolMetrics())
+	})
+}
+
+// ExpvarFunc returns an expvar.Func that publishes the pool's metrics
+// snapshot as JSON, for processes that prefer /debug/vars over
+// Prometheus scraping:
+//
+//	expvar.Publish("roadskyline.pool", pool.ExpvarFunc())
+func (p *Pool) ExpvarFunc() expvar.Func {
+	return expvar.Func(func() any { return p.PoolMetrics() })
+}
+
+// writePoolMetrics renders one snapshot in Prometheus text format. Metric
+// families appear in a fixed order so scrapes diff cleanly.
+func writePoolMetrics(w io.Writer, m PoolMetrics) {
+	gauge := func(name, help string, v int) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	gauge("roadskyline_pool_workers", "Engine clones in the pool.", m.Workers)
+	gauge("roadskyline_pool_in_flight", "Queries holding a worker right now.", m.InFlight)
+	gauge("roadskyline_pool_waiting", "Submissions waiting for an idle worker.", m.Waiting)
+
+	fmt.Fprintf(w, "# HELP roadskyline_pool_submitted_total Queries handed to the pool.\n")
+	fmt.Fprintf(w, "# TYPE roadskyline_pool_submitted_total counter\n")
+	fmt.Fprintf(w, "roadskyline_pool_submitted_total %d\n", m.Submitted)
+
+	fmt.Fprintf(w, "# HELP roadskyline_pool_queries_total Finished submissions by outcome; outcomes sum to submitted once quiescent.\n")
+	fmt.Fprintf(w, "# TYPE roadskyline_pool_queries_total counter\n")
+	fmt.Fprintf(w, "roadskyline_pool_queries_total{outcome=%q} %d\n", "served", m.Served)
+	fmt.Fprintf(w, "roadskyline_pool_queries_total{outcome=%q} %d\n", "saturated", m.Saturated)
+	fmt.Fprintf(w, "roadskyline_pool_queries_total{outcome=%q} %d\n", "cancelled", m.Cancelled)
+	fmt.Fprintf(w, "roadskyline_pool_queries_total{outcome=%q} %d\n", "closed", m.Closed)
+
+	fmt.Fprintf(w, "# HELP roadskyline_pool_queue_wait_seconds Time from submission to worker checkout.\n")
+	fmt.Fprintf(w, "# TYPE roadskyline_pool_queue_wait_seconds histogram\n")
+	for i, b := range QueueWaitBounds() {
+		if i < len(m.QueueWait.Buckets) {
+			fmt.Fprintf(w, "roadskyline_pool_queue_wait_seconds_bucket{le=%q} %d\n", fmt.Sprintf("%g", b.Seconds()), m.QueueWait.Buckets[i])
+		}
+	}
+	fmt.Fprintf(w, "roadskyline_pool_queue_wait_seconds_bucket{le=%q} %d\n", "+Inf", m.QueueWait.Count)
+	fmt.Fprintf(w, "roadskyline_pool_queue_wait_seconds_sum %g\n", m.QueueWait.Sum.Seconds())
+	fmt.Fprintf(w, "roadskyline_pool_queue_wait_seconds_count %d\n", m.QueueWait.Count)
+
+	fmt.Fprintf(w, "# HELP roadskyline_pool_worker_queries_total Queries completed per worker.\n")
+	fmt.Fprintf(w, "# TYPE roadskyline_pool_worker_queries_total counter\n")
+	for _, ws := range m.WorkerStats {
+		fmt.Fprintf(w, "roadskyline_pool_worker_queries_total{worker=\"%d\"} %d\n", ws.Worker, ws.Queries)
+	}
+	fmt.Fprintf(w, "# HELP roadskyline_pool_worker_buffer_gets_total Logical network page requests per worker.\n")
+	fmt.Fprintf(w, "# TYPE roadskyline_pool_worker_buffer_gets_total counter\n")
+	for _, ws := range m.WorkerStats {
+		fmt.Fprintf(w, "roadskyline_pool_worker_buffer_gets_total{worker=\"%d\"} %d\n", ws.Worker, ws.BufferGets)
+	}
+	fmt.Fprintf(w, "# HELP roadskyline_pool_worker_buffer_misses_total Network page faults per worker; 1 - misses/gets is the buffer hit rate.\n")
+	fmt.Fprintf(w, "# TYPE roadskyline_pool_worker_buffer_misses_total counter\n")
+	for _, ws := range m.WorkerStats {
+		fmt.Fprintf(w, "roadskyline_pool_worker_buffer_misses_total{worker=\"%d\"} %d\n", ws.Worker, ws.BufferMisses)
+	}
+}

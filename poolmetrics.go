@@ -1,0 +1,109 @@
+package roadskyline
+
+import (
+	"time"
+
+	"roadskyline/internal/obs"
+)
+
+// WaitHistogram is a point-in-time copy of the pool's queue-wait
+// histogram: cumulative bucket counts aligned with QueueWaitBounds, plus
+// the total observation count (including the +Inf overflow) and sum.
+type WaitHistogram = obs.HistogramSnapshot
+
+// QueueWaitBounds returns the upper bounds (inclusive) of the queue-wait
+// histogram buckets, Prometheus-style: WaitHistogram.Buckets[i] counts
+// the waits no longer than QueueWaitBounds()[i].
+func QueueWaitBounds() []time.Duration {
+	b := make([]time.Duration, len(obs.WaitBuckets))
+	copy(b, obs.WaitBuckets[:])
+	return b
+}
+
+// WorkerStats is one worker's lifetime buffer-pool traffic: logical
+// network page requests and the faults among them, accumulated from the
+// Stats of every query the worker completed.
+type WorkerStats struct {
+	// Worker is the worker's index, stable for the pool's lifetime.
+	Worker int
+	// Queries is the number of queries the worker completed with a result
+	// (including progressive iterations).
+	Queries uint64
+	// BufferGets and BufferMisses total the workers' queries' NetworkGets
+	// and NetworkPages.
+	BufferGets   int64
+	BufferMisses int64
+}
+
+// HitRate returns the worker's buffer hit rate in [0, 1]: the fraction of
+// network page requests its buffer pools served without a fault. Zero
+// when the worker has not requested any pages yet.
+func (w WorkerStats) HitRate() float64 {
+	if w.BufferGets == 0 {
+		return 0
+	}
+	return 1 - float64(w.BufferMisses)/float64(w.BufferGets)
+}
+
+// PoolMetrics is a point-in-time snapshot of a pool's runtime metrics.
+// The outcome counters classify every submission (Skyline, each batch
+// query, SkylineIter) by how it ended, so once the pool is quiescent
+//
+//	Submitted = Served + Saturated + Cancelled + Closed
+//
+// holds exactly; while queries are in flight, Submitted may lead the sum
+// by the queries not yet finished.
+type PoolMetrics struct {
+	// Workers is the pool's worker count (constant).
+	Workers int
+	// InFlight is the number of queries holding a worker right now.
+	InFlight int
+	// Waiting is the number of submissions blocked waiting for an idle
+	// worker right now.
+	Waiting int
+	// Submitted counts every query handed to the pool.
+	Submitted uint64
+	// Served counts submissions a worker completed — successfully or with
+	// a query-level error (the worker still did the work).
+	Served uint64
+	// Saturated counts submissions rejected fast with ErrPoolSaturated.
+	Saturated uint64
+	// Cancelled counts submissions that ended with a context error,
+	// whether while waiting for a worker or mid-query.
+	Cancelled uint64
+	// Closed counts submissions that failed with ErrPoolClosed.
+	Closed uint64
+	// QueueWait is the distribution of time from submission to worker
+	// checkout, recorded for submissions that obtained a worker.
+	QueueWait WaitHistogram
+	// WorkerStats holds per-worker buffer traffic, indexed by worker.
+	WorkerStats []WorkerStats
+}
+
+// PoolMetrics snapshots the pool's runtime metrics. It is safe to call
+// concurrently with queries; the counters are individually consistent and
+// the cross-counter skew is bounded by the queries in flight during the
+// snapshot.
+func (p *Pool) PoolMetrics() PoolMetrics {
+	m := PoolMetrics{
+		Workers:     p.size,
+		InFlight:    int(p.met.inFlight.Load()),
+		Waiting:     int(p.met.waiting.Load()),
+		Submitted:   p.met.submitted.Load(),
+		Served:      p.met.served.Load(),
+		Saturated:   p.met.saturated.Load(),
+		Cancelled:   p.met.cancelled.Load(),
+		Closed:      p.met.closed.Load(),
+		QueueWait:   p.met.queueWait.Snapshot(),
+		WorkerStats: make([]WorkerStats, len(p.all)),
+	}
+	for i, w := range p.all {
+		m.WorkerStats[i] = WorkerStats{
+			Worker:       w.id,
+			Queries:      w.queries.Load(),
+			BufferGets:   w.gets.Load(),
+			BufferMisses: w.misses.Load(),
+		}
+	}
+	return m
+}
