@@ -36,6 +36,7 @@ func main() {
 		par     = flag.Int("parallel", 0, "run the pool throughput benchmark with this many workers instead of figures")
 		queries = flag.Int("queries", 96, "queries in the -parallel workload")
 		lms     = flag.Int("landmarks", 0, "ALT landmark count per environment (0 = default, negative disables)")
+		dcache  = flag.Int("distcache", 0, "run the distance-cache ablation with this many cache entries instead of figures")
 		jsonOut = flag.String("json", "", "also write machine-readable results to this JSON file")
 	)
 	flag.Parse()
@@ -43,6 +44,13 @@ func main() {
 	if *par > 0 {
 		if err := parallelBench(*scale, *par, *queries, *seed, *lms, *jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "skylinebench: parallel: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *dcache > 0 {
+		if err := distCacheBench(*scale, *dcache, *queries, *seed, *lms, *jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "skylinebench: distcache: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -260,6 +268,127 @@ func parallelBench(scale float64, workers, queries int, seed int64, landmarks in
 			SerialSeconds: serial.Seconds(), ParallelSeconds: parallel.Seconds(),
 			SerialQPS: qps(serial), ParallelQPS: qps(parallel),
 			Speedup: serial.Seconds() / parallel.Seconds(),
+		}
+		if err := writeJSON(jsonOut, out); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonOut)
+	}
+	return nil
+}
+
+// distCacheJSON is -json's document for the -distcache ablation bench.
+type distCacheJSON struct {
+	Network          string  `json:"network"`
+	Nodes            int     `json:"nodes"`
+	Edges            int     `json:"edges"`
+	Queries          int     `json:"queries"`
+	HotPointSets     int     `json:"hot_point_sets"`
+	CacheEntries     int     `json:"cache_entries"`
+	OffSeconds       float64 `json:"off_seconds"`
+	OnSeconds        float64 `json:"on_seconds"`
+	OffNodesExpanded int     `json:"off_nodes_expanded"`
+	OnNodesExpanded  int     `json:"on_nodes_expanded"`
+	ExpansionRatio   float64 `json:"expansion_ratio"`
+	HitRate          float64 `json:"hit_rate"`
+	Speedup          float64 `json:"speedup"`
+}
+
+// distCacheBench measures the cross-query distance cache on the workload it
+// targets: a small set of hot query-point sets asked over and over (the
+// repeated-location pattern of a live service), rotating CE, EDC and LBC.
+// The same workload runs on two warm-cache engines — without and with the
+// cache — and the report compares node expansions, wall time and hit rate.
+// Both engines run warm (WarmCache: true): the cache is bypassed in
+// cold-cache paper mode, so the published figures are unaffected either way.
+func distCacheBench(scale float64, entries, queries int, seed int64, landmarks int, jsonOut string) error {
+	if queries < 1 {
+		return fmt.Errorf("-queries must be at least 1 (got %d)", queries)
+	}
+	spec := roadskyline.CA
+	if scale > 0 && scale != 1 {
+		spec.Nodes = int(float64(spec.Nodes) * scale)
+		if spec.Nodes < 100 {
+			spec.Nodes = 100
+		}
+		spec.Edges = int(float64(spec.Edges) * scale)
+		if spec.Edges < spec.Nodes-1 {
+			spec.Edges = spec.Nodes - 1
+		}
+	}
+	spec.Seed = seed
+	n, err := roadskyline.Generate(spec)
+	if err != nil {
+		return err
+	}
+	objs := n.GenerateObjects(0.5, 0, seed)
+
+	// A handful of hot point sets cycled across the whole workload: every
+	// set repeats queries/hotSets times, so the cache — keyed by quantized
+	// query-point location — can serve all but the first round.
+	const hotSets = 8
+	hot := make([][]roadskyline.Location, hotSets)
+	for i := range hot {
+		hot[i] = n.GenerateQueryPoints(4, 0.1, seed+int64(i))
+	}
+	algs := []roadskyline.Algorithm{roadskyline.CEAlg, roadskyline.EDCAlg, roadskyline.LBCAlg}
+	work := make([]roadskyline.Query, queries)
+	for i := range work {
+		work[i] = roadskyline.Query{Points: hot[i%hotSets], Algorithm: algs[i%len(algs)]}
+	}
+
+	run := func(cacheEntries int) (time.Duration, int, *roadskyline.Engine, error) {
+		eng, err := roadskyline.NewEngine(n, objs, roadskyline.EngineConfig{
+			WarmCache:   true,
+			Landmarks:   landmarks,
+			NoLandmarks: landmarks < 0,
+			DistCache:   roadskyline.DistCacheConfig{Entries: cacheEntries},
+		})
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		nodes := 0
+		start := time.Now()
+		for i, q := range work {
+			res, err := eng.Skyline(q)
+			if err != nil {
+				return 0, 0, nil, fmt.Errorf("query %d: %w", i, err)
+			}
+			nodes += res.Stats.NodesExpanded
+		}
+		return time.Since(start), nodes, eng, nil
+	}
+
+	fmt.Printf("distance-cache ablation on %s (%d nodes, %d edges), %d queries over %d hot point sets\n",
+		spec.Name, spec.Nodes, spec.Edges, queries, hotSets)
+	offWall, offNodes, _, err := run(0)
+	if err != nil {
+		return err
+	}
+	onWall, onNodes, onEng, err := run(entries)
+	if err != nil {
+		return err
+	}
+	cs := onEng.DistCacheStats()
+
+	ratio := 0.0
+	if onNodes > 0 {
+		ratio = float64(offNodes) / float64(onNodes)
+	}
+	fmt.Printf("%-24s%14s%16s\n", "", "wall", "nodes expanded")
+	fmt.Printf("%-24s%14v%16d\n", "cache off", offWall.Round(time.Millisecond), offNodes)
+	fmt.Printf("%-24s%14v%16d\n", fmt.Sprintf("cache on (%d entries)", entries),
+		onWall.Round(time.Millisecond), onNodes)
+	fmt.Printf("expansion ratio: %.2fx fewer, hit rate %.0f%% (%d hits / %d lookups), speedup %.2fx\n",
+		ratio, 100*cs.HitRate(), cs.Hits, cs.Hits+cs.Misses, offWall.Seconds()/onWall.Seconds())
+	if jsonOut != "" {
+		out := distCacheJSON{
+			Network: spec.Name, Nodes: spec.Nodes, Edges: spec.Edges,
+			Queries: queries, HotPointSets: hotSets, CacheEntries: entries,
+			OffSeconds: offWall.Seconds(), OnSeconds: onWall.Seconds(),
+			OffNodesExpanded: offNodes, OnNodesExpanded: onNodes,
+			ExpansionRatio: ratio, HitRate: cs.HitRate(),
+			Speedup: offWall.Seconds() / onWall.Seconds(),
 		}
 		if err := writeJSON(jsonOut, out); err != nil {
 			return err

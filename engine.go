@@ -8,6 +8,7 @@ import (
 
 	"roadskyline/internal/core"
 	"roadskyline/internal/diskgraph"
+	"roadskyline/internal/distcache"
 	"roadskyline/internal/geom"
 	"roadskyline/internal/graph"
 	"roadskyline/internal/obs"
@@ -74,7 +75,33 @@ type EngineConfig struct {
 	// 150 µs; pages live in memory, so the model restores the I/O share
 	// of response time the paper measures on real disks).
 	DiskLatency time.Duration
+	// DistCache sizes the cross-query cache of shortest-path wavefronts.
+	// The zero value disables it (the paper's recompute-everything
+	// behavior). The cache only serves warm-cache engines: without
+	// WarmCache every query simulates a cold run, and reusing a wavefront
+	// would skip the page faults those figures measure. Like the landmark
+	// table it is shared across Clone()s and by all workers of a Pool.
+	DistCache DistCacheConfig
 }
+
+// DistCacheConfig sizes the cross-query network-distance cache (see
+// docs/CACHING.md).
+type DistCacheConfig struct {
+	// Entries caps the number of cached wavefronts — one per (searcher
+	// kind, heuristic flavor, source location). Zero or negative disables
+	// the cache.
+	Entries int
+	// Quantum is the source-offset quantization: sources on the same edge
+	// whose offsets fall in the same Quantum-wide bucket share one cache
+	// slot (only an exact source match is ever reused — the bucket just
+	// bounds key cardinality). Zero means the default (1e-3 distance
+	// units).
+	Quantum float64
+}
+
+// DistCacheStats reports the cross-query distance cache's counters; see
+// Engine.DistCacheStats.
+type DistCacheStats = distcache.Stats
 
 // Engine answers skyline queries over one network and one object set. It
 // owns the simulated storage stack: Hilbert-clustered adjacency pages, the
@@ -120,6 +147,10 @@ func NewEngine(n *Network, objects []Object, cfg EngineConfig) (*Engine, error) 
 		Dir:         cfg.DiskDir,
 		Landmarks:   landmarks,
 		DiskLatency: cfg.DiskLatency,
+		DistCache: distcache.Config{
+			Entries: cfg.DistCache.Entries,
+			Quantum: cfg.DistCache.Quantum,
+		},
 	})
 	if err != nil {
 		return nil, err
@@ -138,6 +169,13 @@ func (e *Engine) Clone() *Engine {
 
 // Network returns the engine's network.
 func (e *Engine) Network() *Network { return e.net }
+
+// DistCacheStats snapshots the cross-query distance cache's global
+// counters. The cache is shared across clones (and across a Pool's
+// workers), so the counters aggregate every user of the underlying cache;
+// per-query lookups are in Stats.DistCacheHits/DistCacheMisses. All fields
+// are zero on an engine without a cache.
+func (e *Engine) DistCacheStats() DistCacheStats { return e.env.DistCache.Stats() }
 
 // NumObjects returns the number of indexed objects.
 func (e *Engine) NumObjects() int { return len(e.objs) }
@@ -166,6 +204,11 @@ type Query struct {
 	// is identical, only the work counters change). Ignored by CE, which
 	// uses Dijkstra wavefronts without a heuristic.
 	NoLandmarks bool
+	// NoDistCache makes this query neither consult nor feed the engine's
+	// cross-query distance cache (per-query ablation; the result is
+	// identical, only the work counters change). No effect on engines
+	// without a cache.
+	NoDistCache bool
 	// Tracer receives phase-level span events, expansion progress ticks
 	// and skyline-point events as the query executes (see
 	// docs/OBSERVABILITY.md). Nil — the default — disables tracing with
@@ -251,6 +294,13 @@ type Stats struct {
 	// skyline point was determined (the I/O share of the initial response
 	// time the paper reports).
 	InitialPages int64
+	// DistCacheHits and DistCacheMisses count this query's lookups in the
+	// cross-query distance cache, one per searcher built (so hits+misses
+	// is usually the number of query points). Both stay zero when the
+	// engine has no cache, the query set NoDistCache, or the engine runs
+	// cold-cache (paper mode), where the cache is bypassed.
+	DistCacheHits   int
+	DistCacheMisses int
 	// Total is the query's response time under the engine's simulated
 	// disk: measured CPU (wall) time plus IOTime, the modeled latency of
 	// the pages faulted (pages live in memory, so wall time alone would
@@ -282,6 +332,8 @@ func statsFromMetrics(m core.Metrics) Stats {
 		LandmarkWins:         m.LandmarkWins,
 		EuclidWins:           m.EuclidWins,
 		InitialPages:         m.InitialPages,
+		DistCacheHits:        m.DistCacheHits,
+		DistCacheMisses:      m.DistCacheMisses,
 		Total:                m.ResponseTime(),
 		Initial:              m.InitialResponseTime(),
 		IOTime:               m.IOTime,
@@ -320,6 +372,7 @@ func (e *Engine) SkylineContext(ctx context.Context, q Query) (*Result, error) {
 		LBCAlternate:     q.Alternate,
 		LBCSource:        q.Source,
 		DisableLandmarks: q.NoLandmarks,
+		DisableDistCache: q.NoDistCache,
 		Tracer:           q.Tracer,
 		CollectPhases:    q.CollectPhases,
 	})

@@ -16,6 +16,7 @@ import (
 // set (sometimes attributed) and a query-point set.
 type fuzzTrial struct {
 	seed int64
+	n    *Network
 	eng  *Engine
 	objs []Object
 	pts  []Location
@@ -77,7 +78,7 @@ func newFuzzTrial(t *testing.T, seed int64) *fuzzTrial {
 	for _, i := range idx {
 		want[int32(i)] = dists[i]
 	}
-	return &fuzzTrial{seed: seed, eng: eng, objs: objs, pts: pts, use: use, want: want}
+	return &fuzzTrial{seed: seed, n: n, eng: eng, objs: objs, pts: pts, use: use, want: want}
 }
 
 // queries enumerates every algorithm and LBC mode for the trial: CE, EDC,

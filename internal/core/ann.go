@@ -105,16 +105,16 @@ func AggregateNN(ctx context.Context, env *Env, points []graph.Location, k int, 
 	for i, p := range points {
 		qPts[i] = env.G.Point(p)
 	}
+	var m Metrics
 	astars := make([]*sp.AStar, n)
+	cacheHits := make([]bool, n)
 	for i, p := range points {
-		a, err := newAStar(ctx, env, opts, p, qPts[i])
+		a, hit, err := newAStar(ctx, env, opts, p, qPts[i], &m)
 		if err != nil {
 			return nil, err
 		}
-		astars[i] = a
+		astars[i], cacheHits[i] = a, hit
 	}
-
-	var m Metrics
 	// best holds the k best exact results as a max-heap (negated keys).
 	best := pqueue.New[AggNeighbor](k)
 	threshold := func() float64 {
@@ -210,6 +210,7 @@ func AggregateNN(ctx context.Context, env *Env, points []graph.Location, k int, 
 		nb, _ := best.Pop()
 		res.Neighbors[i] = nb
 	}
+	putAStarStates(env, opts, astars, cacheHits)
 	collectSearcherStats(&m, astars)
 	finishMetrics(env, &m, start)
 	res.Metrics = m

@@ -26,13 +26,16 @@ func ce(ctx context.Context, env *Env, q Query, opts Options) (*Result, error) {
 	n := len(q.Points)
 	dims := env.vectorDims(n, q.UseAttrs)
 
+	res := &Result{}
+	var m Metrics
 	searchers := make([]*sp.Dijkstra, n)
+	cacheHits := make([]bool, n)
 	for i, p := range q.Points {
-		s, err := sp.NewDijkstra(ctx, env, p)
+		s, hit, err := newDijkstra(ctx, env, opts, p, &m)
 		if err != nil {
 			return nil, err
 		}
-		searchers[i] = s
+		searchers[i], cacheHits[i] = s, hit
 	}
 	probe := newPhaseProbe(env, opts, AlgCE, n, start, func() int {
 		total := 0
@@ -71,8 +74,6 @@ func ce(ctx context.Context, env *Env, q Query, opts Options) (*Result, error) {
 		resolved[id] = true
 	}
 
-	res := &Result{}
-	var m Metrics
 	var skyVecs [][]float64
 
 	// minAttrs is the component-wise minimum attribute vector over D: the
@@ -299,6 +300,7 @@ func ce(ctx context.Context, env *Env, q Query, opts Options) (*Result, error) {
 	}
 
 	dropDominatedDuplicates(res)
+	putDijkstraStates(env, opts, searchers, cacheHits)
 	for _, s := range searchers {
 		m.NodesExpanded += s.NodesExpanded()
 	}

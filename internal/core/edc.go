@@ -13,6 +13,33 @@ import (
 	"roadskyline/internal/sp"
 )
 
+// euclidVec fills buf with e's full Euclidean vector: distances to the
+// query points, then the object's static attributes when useAttrs is set.
+// It returns buf, which the caller owns until its next euclidVec call with
+// the same buffer — callers that retain the vector (or interleave it with
+// rectLowerBoundVec scoring) must use distinct buffers or copy.
+func euclidVec(env *Env, useAttrs bool, qPts []geom.Point, buf []float64, e rtree.Entry) []float64 {
+	p := e.Point()
+	for i, qp := range qPts {
+		buf[i] = p.Dist(qp)
+	}
+	env.fillAttrs(buf, len(qPts), graph.ObjectID(e.ID), useAttrs)
+	return buf
+}
+
+// rectLowerBoundVec fills buf with r's lower-bound vector: minimum possible
+// distances to the query points, with attribute dimensions bounded below by
+// zero. Buffer ownership follows euclidVec.
+func rectLowerBoundVec(qPts []geom.Point, buf []float64, r geom.Rect) []float64 {
+	for i, qp := range qPts {
+		buf[i] = r.MinDist(qp)
+	}
+	for i := len(qPts); i < len(buf); i++ {
+		buf[i] = 0
+	}
+	return buf
+}
+
 // maxEuclid returns an object's largest Euclidean distance to any query
 // point, the sort key for farthest-first distance computation.
 func maxEuclid(env *Env, qPts []geom.Point, id graph.ObjectID) float64 {
@@ -52,13 +79,16 @@ func edc(ctx context.Context, env *Env, q Query, opts Options) (*Result, error) 
 		qPts[i] = env.G.Point(p)
 	}
 
+	res := &Result{}
+	var m Metrics
 	astars := make([]*sp.AStar, n)
+	cacheHits := make([]bool, n)
 	for i, p := range q.Points {
-		a, err := newAStar(ctx, env, opts, p, qPts[i])
+		a, hit, err := newAStar(ctx, env, opts, p, qPts[i], &m)
 		if err != nil {
 			return nil, err
 		}
-		astars[i] = a
+		astars[i], cacheHits[i] = a, hit
 	}
 	probe := newPhaseProbe(env, opts, AlgEDC, n, start, func() int {
 		total := 0
@@ -73,8 +103,6 @@ func edc(ctx context.Context, env *Env, q Query, opts Options) (*Result, error) 
 		}
 	}
 
-	res := &Result{}
-	var m Metrics
 	var shifted [][]float64 // p-bar vectors of processed seeds
 	var skyVecs [][]float64 // vectors of reported skyline points
 	fetched := make(map[graph.ObjectID]bool)
@@ -82,25 +110,14 @@ func edc(ctx context.Context, env *Env, q Query, opts Options) (*Result, error) 
 
 	// eVec computes the full Euclidean vector of an object (distances plus
 	// attributes); lbVec the lower-bound vector of a rectangle (attribute
-	// dimensions bounded below by zero).
-	scratch := make([]float64, dims)
-	eVec := func(e rtree.Entry) []float64 {
-		p := e.Point()
-		for i, qp := range qPts {
-			scratch[i] = p.Dist(qp)
-		}
-		env.fillAttrs(scratch, n, graph.ObjectID(e.ID), q.UseAttrs)
-		return scratch
-	}
-	lbVec := func(r geom.Rect) []float64 {
-		for i, qp := range qPts {
-			scratch[i] = r.MinDist(qp)
-		}
-		for i := n; i < dims; i++ {
-			scratch[i] = 0
-		}
-		return scratch
-	}
+	// dimensions bounded below by zero). Each closure reuses its own
+	// buffer: the best-first traversal interleaves rect and entry scoring,
+	// so a single shared scratch slice would let a rect's lower-bound
+	// vector clobber an entry vector the caller is still comparing.
+	eBuf := make([]float64, dims)
+	lbBuf := make([]float64, dims)
+	eVec := func(e rtree.Entry) []float64 { return euclidVec(env, q.UseAttrs, qPts, eBuf, e) }
+	lbVec := func(r geom.Rect) []float64 { return rectLowerBoundVec(qPts, lbBuf, r) }
 	sum := func(v []float64) float64 {
 		s := 0.0
 		for _, x := range v {
@@ -154,8 +171,17 @@ func edc(ctx context.Context, env *Env, q Query, opts Options) (*Result, error) 
 
 	// determine resolves every candidate whose network vector fits under
 	// pbar: report it when nothing fetched dominates it, discard otherwise.
+	// Candidates resolve in id order — each outcome is order-independent
+	// (every candidate is compared against the full fetched set), but map
+	// order would make the report order jitter from run to run.
 	determine := func(pbar []float64) {
-		for id, vec := range candVec {
+		ids := make([]graph.ObjectID, 0, len(candVec))
+		for id := range candVec {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		for _, id := range ids {
+			vec := candVec[id]
 			if !skyline.DominatesOrEqual(vec, pbar) {
 				continue
 			}
@@ -251,8 +277,17 @@ func edc(ctx context.Context, env *Env, q Query, opts Options) (*Result, error) 
 
 	// No more seeds: every unfetched object is beyond some shifted vector,
 	// hence dominated-or-equal by a fetched one. The remaining candidates
-	// resolve by comparison within the fetched set.
-	for id, vec := range candVec {
+	// resolve by comparison within the fetched set. Resolve in id order:
+	// the outcome per candidate is order-independent (each is compared
+	// against the full fetched set), but map order would make the tail of
+	// res.Skyline jitter from run to run.
+	remaining := make([]graph.ObjectID, 0, len(candVec))
+	for id := range candVec {
+		remaining = append(remaining, id)
+	}
+	sort.Slice(remaining, func(a, b int) bool { return remaining[a] < remaining[b] })
+	for _, id := range remaining {
+		vec := candVec[id]
 		dominated := skyline.DominatedBy(vec, skyVecs)
 		if !dominated {
 			for id2, vec2 := range candVec {
@@ -278,6 +313,7 @@ func edc(ctx context.Context, env *Env, q Query, opts Options) (*Result, error) 
 	}
 
 	dropDominatedDuplicates(res)
+	putAStarStates(env, opts, astars, cacheHits)
 	collectSearcherStats(&m, astars)
 	finishMetrics(env, &m, start)
 	probe.finish(&m)

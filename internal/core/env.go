@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"roadskyline/internal/diskgraph"
+	"roadskyline/internal/distcache"
 	"roadskyline/internal/geom"
 	"roadskyline/internal/graph"
 	"roadskyline/internal/landmark"
@@ -38,6 +39,11 @@ type Env struct {
 	// Landmarks is the ALT lower-bound table (nil when disabled). It is
 	// immutable after NewEnv and shared across clones.
 	Landmarks *landmark.Table
+	// DistCache is the cross-query cache of shortest-path wavefronts (nil
+	// when disabled). Like the landmark table it is shared across clones —
+	// the cache is internally synchronized and its entries immutable, so a
+	// pool's workers feed and consult one cache.
+	DistCache *distcache.Cache
 
 	numAttrs    int
 	bufferBytes int
@@ -71,6 +77,13 @@ type EnvConfig struct {
 	// means DefaultLandmarks; a negative value disables the table (queries
 	// fall back to the pure Euclidean heuristic, the paper's setup).
 	Landmarks int
+	// DistCache sizes the cross-query wavefront cache. The zero value
+	// (Entries 0) disables it, keeping the paper's recompute-everything
+	// behavior. The cache is only consulted by warm-cache queries: under
+	// Options.ColdCache every query must start from an empty buffer pool,
+	// and reusing a wavefront would skip the page faults the paper's
+	// figures measure.
+	DistCache distcache.Config
 }
 
 // DefaultLandmarks is the landmark count used when EnvConfig.Landmarks is
@@ -165,6 +178,7 @@ func NewEnv(g *graph.Graph, objects []graph.Object, cfg EnvConfig) (*Env, error)
 		Layer:       layer,
 		ObjTree:     rtree.BulkLoad(entries, cfg.RTreeFanout),
 		Landmarks:   lmTable,
+		DistCache:   distcache.New(cfg.DistCache),
 		numAttrs:    numAttrs,
 		bufferBytes: cfg.BufferBytes,
 		diskLatency: cfg.DiskLatency,
@@ -172,11 +186,12 @@ func NewEnv(g *graph.Graph, objects []graph.Object, cfg EnvConfig) (*Env, error)
 }
 
 // Clone returns an independent query environment over the same immutable
-// data: the graph, object table, R-tree structure, landmark table and page
-// files are shared; buffer pools and every statistics counter (network page
-// pools and the R-tree node-visit counter) are per-clone. Clones may serve
-// queries concurrently: the landmark table is read-only after construction,
-// so the struct-copied pointer needs no synchronization.
+// data: the graph, object table, R-tree structure, landmark table, distance
+// cache and page files are shared; buffer pools and every statistics counter
+// (network page pools and the R-tree node-visit counter) are per-clone.
+// Clones may serve queries concurrently: the landmark table is read-only
+// after construction and the distance cache synchronizes internally, so the
+// struct-copied pointers need no further synchronization.
 func (e *Env) Clone() *Env {
 	c := *e
 	c.Store = e.Store.Clone(e.bufferBytes)

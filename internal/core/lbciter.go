@@ -39,9 +39,11 @@ type LBCIterator struct {
 	confirmed map[graph.ObjectID]bool
 	lb        []float64
 
-	probe    *phaseProbe
-	metrics  Metrics
-	finished bool
+	probe     *phaseProbe
+	metrics   Metrics
+	cacheHits []bool
+	finished  bool
+	lastErr   error
 }
 
 // NewLBCIterator validates the query and prepares the incremental LBC
@@ -82,12 +84,13 @@ func NewLBCIterator(ctx context.Context, env *Env, q Query, opts Options) (*LBCI
 		it.qPts[i] = env.G.Point(p)
 	}
 	it.astars = make([]*sp.AStar, it.n)
+	it.cacheHits = make([]bool, it.n)
 	for i, p := range q.Points {
-		a, err := newAStar(ctx, env, opts, p, it.qPts[i])
+		a, hit, err := newAStar(ctx, env, opts, p, it.qPts[i], &it.metrics)
 		if err != nil {
 			return nil, err
 		}
-		it.astars[i] = a
+		it.astars[i], it.cacheHits[i] = a, hit
 	}
 	it.probe = newPhaseProbe(env, opts, AlgLBC, it.n, it.start, func() int {
 		total := 0
@@ -122,13 +125,19 @@ func NewLBCIterator(ctx context.Context, env *Env, q Query, opts Options) (*LBCI
 }
 
 // Next determines and returns the next skyline point. ok is false when the
-// skyline is exhausted.
+// skyline is exhausted or the iterator has been closed; exhaustion
+// finalizes the iterator (see Close). After a failed Next, later calls
+// keep returning the same error.
 func (it *LBCIterator) Next() (SkylinePoint, bool, error) {
+	if it.finished {
+		return SkylinePoint{}, false, it.lastErr
+	}
 	for it.remaining > 0 {
 		// The A* searchers check cancellation every K settlements; the
 		// per-candidate check here covers candidates that resolve without
 		// expansion (settled-endpoints shortcut).
 		if err := it.ctx.Err(); err != nil {
+			it.lastErr = err
 			return SkylinePoint{}, false, err
 		}
 		for it.done[it.cursor] {
@@ -141,6 +150,7 @@ func (it *LBCIterator) Next() (SkylinePoint, bool, error) {
 		cand, ok, err := it.streams[si].next()
 		it.probe.end()
 		if err != nil {
+			it.lastErr = err
 			return SkylinePoint{}, false, err
 		}
 		if !ok {
@@ -158,6 +168,7 @@ func (it *LBCIterator) Next() (SkylinePoint, bool, error) {
 		point, isSkyline, err := it.check(it.sources[si], cand)
 		it.probe.end()
 		if err != nil {
+			it.lastErr = err
 			return SkylinePoint{}, false, err
 		}
 		if isSkyline {
@@ -169,6 +180,7 @@ func (it *LBCIterator) Next() (SkylinePoint, bool, error) {
 			return point, true, nil
 		}
 	}
+	it.finalize()
 	return SkylinePoint{}, false, nil
 }
 
@@ -231,18 +243,54 @@ func (it *LBCIterator) check(src int, cand srcCand) (SkylinePoint, bool, error) 
 	}, true, nil
 }
 
-// Metrics finalizes and returns the iterator's cost counters. Call it once
-// after the final Next; repeated calls return the finalized snapshot.
-func (it *LBCIterator) Metrics() Metrics {
-	if !it.finished {
-		it.finished = true
-		it.metrics.Candidates = len(it.confirmed)
-		for _, s := range it.streams {
-			it.metrics.DistanceComputations += s.confirmed
-		}
-		collectSearcherStats(&it.metrics, it.astars)
-		finishMetrics(it.env, &it.metrics, it.start)
-		it.probe.finish(&it.metrics)
+// accumulate folds the iteration-dependent counters into m.
+func (it *LBCIterator) accumulate(m *Metrics) {
+	m.Candidates = len(it.confirmed)
+	for _, s := range it.streams {
+		m.DistanceComputations += s.confirmed
 	}
-	return it.metrics
+	collectSearcherStats(m, it.astars)
+}
+
+// finalize freezes the metrics, closes the trace, feeds the distance cache
+// and releases the searchers and NN streams. It runs once; Next calls it on
+// exhaustion and Close calls it on abandonment.
+func (it *LBCIterator) finalize() {
+	if it.finished {
+		return
+	}
+	it.finished = true
+	it.accumulate(&it.metrics)
+	// Only a cleanly finished iteration feeds the cache: the wavefronts of
+	// a cancelled or failed query are released without being stored.
+	if it.lastErr == nil {
+		putAStarStates(it.env, it.opts, it.astars, it.cacheHits)
+	}
+	finishMetrics(it.env, &it.metrics, it.start)
+	it.probe.finish(&it.metrics)
+	it.astars = nil
+	it.streams = nil
+	it.remaining = 0
+}
+
+// Close finalizes an iterator that is being abandoned before exhaustion:
+// metrics freeze where the iteration stopped, the trace's query span ends,
+// the searchers and NN streams are released, and a subsequent query on the
+// same environment starts from clean counters. Close is idempotent and
+// unnecessary (but harmless) after Next has reported exhaustion. After
+// Close, Next reports exhaustion.
+func (it *LBCIterator) Close() { it.finalize() }
+
+// Metrics returns the iterator's cost counters: the frozen final metrics
+// once the iterator is exhausted or closed, otherwise a live snapshot of
+// the work performed so far (phase breakdowns are only computed at
+// finalization).
+func (it *LBCIterator) Metrics() Metrics {
+	if it.finished {
+		return it.metrics
+	}
+	m := it.metrics
+	it.accumulate(&m)
+	finishMetrics(it.env, &m, it.start)
+	return m
 }

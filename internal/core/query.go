@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"roadskyline/internal/distcache"
 	"roadskyline/internal/geom"
 	"roadskyline/internal/graph"
 	"roadskyline/internal/obs"
@@ -75,6 +76,13 @@ type Metrics struct {
 	// InitialPages is the number of network pages faulted before the first
 	// skyline point was determined.
 	InitialPages int64
+	// DistCacheHits and DistCacheMisses count this query's lookups in the
+	// cross-query distance cache — one lookup per searcher the query
+	// builds. Both are zero when the cache is disabled, ablated via
+	// Options.DisableDistCache, or inactive because the query runs
+	// ColdCache (paper mode).
+	DistCacheHits   int
+	DistCacheMisses int
 	// Total is the measured CPU (wall) time of the query.
 	Total time.Duration
 	// Initial is the measured CPU time until the first skyline point.
@@ -158,6 +166,11 @@ type Options struct {
 	// the environment's landmark (ALT) table; used by the landmark
 	// ablation. No effect when the environment was built without a table.
 	DisableLandmarks bool
+	// DisableDistCache makes this query neither consult nor feed the
+	// environment's cross-query distance cache; used by the cache
+	// ablation. ColdCache queries bypass the cache regardless (see
+	// EnvConfig.DistCache).
+	DisableDistCache bool
 	// Tracer receives phase-level span events, expansion progress ticks
 	// and skyline-point events as the query runs. Nil disables tracing
 	// entirely (the zero-overhead default); results and the existing
@@ -168,13 +181,60 @@ type Options struct {
 	CollectPhases bool
 }
 
-// newAStar builds one A* searcher for a query point with opts applied:
-// the heuristic is zeroed for the directional-expansion ablation, and the
-// environment's landmark table is attached otherwise (unless ablated).
-func newAStar(ctx context.Context, env *Env, opts Options, p graph.Location, pt geom.Point) (*sp.AStar, error) {
-	a, err := sp.NewAStar(ctx, env, p, pt)
-	if err != nil {
-		return nil, err
+// distCacheFor returns the cross-query distance cache this query may use,
+// or nil. ColdCache queries bypass the cache: they must start from empty
+// buffer pools, and resuming a cached wavefront would skip the page faults
+// the paper-mode figures measure.
+func distCacheFor(env *Env, opts Options) *distcache.Cache {
+	if opts.ColdCache || opts.DisableDistCache {
+		return nil
+	}
+	return env.DistCache
+}
+
+// A* cache flavors: wavefronts expanded under different heuristic
+// configurations are cached separately so an ablation run never resumes
+// state expanded under the configuration it is ablating (distances would
+// still be exact, but expansion and heuristic-win counters would mix
+// configurations).
+const (
+	flavorEuclid uint8 = iota
+	flavorNoHeur
+	flavorLandmarks
+)
+
+// astarFlavor encodes the heuristic configuration an A* searcher runs with
+// under opts.
+func astarFlavor(env *Env, opts Options) uint8 {
+	switch {
+	case opts.DisableAStarHeuristic:
+		return flavorNoHeur
+	case env.HeuristicSource(opts) != nil:
+		return flavorLandmarks
+	default:
+		return flavorEuclid
+	}
+}
+
+// newAStar builds one A* searcher for a query point with opts applied: the
+// heuristic is zeroed for the directional-expansion ablation, and the
+// environment's landmark table is attached otherwise (unless ablated). When
+// the distance cache holds a wavefront for p it is resumed instead of
+// seeding afresh; hit reports which happened, and the lookup is counted in
+// m.
+func newAStar(ctx context.Context, env *Env, opts Options, p graph.Location, pt geom.Point, m *Metrics) (a *sp.AStar, hit bool, err error) {
+	if c := distCacheFor(env, opts); c != nil {
+		if st, ok := c.Get(distcache.KindAStar, astarFlavor(env, opts), p); ok {
+			a, hit = sp.NewAStarFrom(ctx, env, st, pt), true
+			m.DistCacheHits++
+		} else {
+			m.DistCacheMisses++
+		}
+	}
+	if a == nil {
+		if a, err = sp.NewAStar(ctx, env, p, pt); err != nil {
+			return nil, false, err
+		}
 	}
 	if opts.DisableAStarHeuristic {
 		a.DisableHeuristic()
@@ -182,7 +242,53 @@ func newAStar(ctx context.Context, env *Env, opts Options, p graph.Location, pt 
 	if hs := env.HeuristicSource(opts); hs != nil {
 		a.UseHeuristicSource(hs)
 	}
-	return a, nil
+	return a, hit, nil
+}
+
+// newDijkstra builds one Dijkstra wavefront for a query point, resuming a
+// cached wavefront when the distance cache holds one for p.
+func newDijkstra(ctx context.Context, env *Env, opts Options, p graph.Location, m *Metrics) (*sp.Dijkstra, bool, error) {
+	if c := distCacheFor(env, opts); c != nil {
+		if st, ok := c.Get(distcache.KindDijkstra, 0, p); ok {
+			m.DistCacheHits++
+			return sp.NewDijkstraFrom(ctx, env, st), true, nil
+		}
+		m.DistCacheMisses++
+	}
+	d, err := sp.NewDijkstra(ctx, env, p)
+	return d, false, err
+}
+
+// putAStarStates stores each searcher's final wavefront in the distance
+// cache on successful query completion. A searcher that resumed a cached
+// wavefront and settled nothing new is skipped — its snapshot would equal
+// the entry it came from.
+func putAStarStates(env *Env, opts Options, astars []*sp.AStar, hits []bool) {
+	c := distCacheFor(env, opts)
+	if c == nil {
+		return
+	}
+	flavor := astarFlavor(env, opts)
+	for i, a := range astars {
+		if a == nil || (hits[i] && a.NodesExpanded() == 0) {
+			continue
+		}
+		c.Put(distcache.KindAStar, flavor, a.Snapshot())
+	}
+}
+
+// putDijkstraStates is putAStarStates for CE's Dijkstra wavefronts.
+func putDijkstraStates(env *Env, opts Options, ds []*sp.Dijkstra, hits []bool) {
+	c := distCacheFor(env, opts)
+	if c == nil {
+		return
+	}
+	for i, d := range ds {
+		if d == nil || (hits[i] && d.NodesExpanded() == 0) {
+			continue
+		}
+		c.Put(distcache.KindDijkstra, 0, d.Snapshot())
+	}
 }
 
 // collectSearcherStats folds the per-searcher counters into the metrics.

@@ -10,6 +10,7 @@ import (
 	"roadskyline/internal/bruteforce"
 	"roadskyline/internal/geom"
 	"roadskyline/internal/graph"
+	"roadskyline/internal/rtree"
 	"roadskyline/internal/testnet"
 )
 
@@ -283,5 +284,77 @@ func TestRunCancelledContext(t *testing.T) {
 	}
 	if _, err := AggregateNN(ctx, env, q.Points, 1, AggSum, Options{}); !errors.Is(err, context.Canceled) {
 		t.Errorf("AggregateNN err = %v, want context.Canceled", err)
+	}
+}
+
+// TestEDCVectorBuffersIndependent is the regression test for the EDC
+// scratch-buffer aliasing hazard: entry scoring and rectangle lower-bound
+// scoring used to share one scratch slice, so interleaving them — exactly
+// what the best-first traversal does when it scores a leaf entry, descends
+// into a sibling subtree, and compares against the earlier entry vector —
+// silently clobbered the earlier vector. Entry and rect vectors now fill
+// separate buffers; this test interleaves the two scorers and checks the
+// first result survives the second call.
+func TestEDCVectorBuffersIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := testnet.RandomGraph(rng, 40)
+	objs := testnet.RandomObjects(rng, g, 10, 2)
+	env := newTestEnv(t, g, objs)
+	locs := testnet.RandomLocations(rng, g, 3)
+	qPts := make([]geom.Point, len(locs))
+	for i, l := range locs {
+		qPts[i] = g.Point(l)
+	}
+	dims := env.vectorDims(len(qPts), true)
+
+	// The same closure pair edc builds for its best-first traversal.
+	eBuf := make([]float64, dims)
+	lbBuf := make([]float64, dims)
+	eVec := func(e rtree.Entry) []float64 { return euclidVec(env, true, qPts, eBuf, e) }
+	lbVec := func(r geom.Rect) []float64 { return rectLowerBoundVec(qPts, lbBuf, r) }
+
+	entry := rtree.Entry{Rect: geom.RectFromPoint(g.Point(objs[0].Loc)), ID: int32(objs[0].ID)}
+	rect := geom.RectFromPoints(geom.Point{X: -50, Y: -50}, geom.Point{X: 50, Y: 50})
+
+	v := eVec(entry)
+	want := append([]float64(nil), v...)
+	// Pin the entry vector's contents independently of the helper.
+	p := entry.Point()
+	for i, qp := range qPts {
+		if v[i] != p.Dist(qp) {
+			t.Fatalf("entry vec dim %d = %v, want Euclidean %v", i, v[i], p.Dist(qp))
+		}
+	}
+	for i, a := range objs[0].Attrs {
+		if v[len(qPts)+i] != a {
+			t.Fatalf("entry vec attr dim %d = %v, want %v", i, v[len(qPts)+i], a)
+		}
+	}
+
+	lb := lbVec(rect) // with shared scratch this overwrote v in place
+	for i := range want {
+		if v[i] != want[i] {
+			t.Fatalf("rect scoring clobbered entry vector: dim %d changed %v -> %v", i, want[i], v[i])
+		}
+	}
+	for i, qp := range qPts {
+		if lb[i] != rect.MinDist(qp) {
+			t.Fatalf("rect lb dim %d = %v, want %v", i, lb[i], rect.MinDist(qp))
+		}
+	}
+	for i := len(qPts); i < dims; i++ {
+		if lb[i] != 0 {
+			t.Fatalf("rect lb attr dim %d = %v, want 0", i, lb[i])
+		}
+	}
+
+	// And the reverse interleaving: an entry score must not disturb a rect
+	// lower-bound vector being held across it.
+	lbWant := append([]float64(nil), lb...)
+	_ = eVec(rtree.Entry{Rect: geom.RectFromPoint(g.Point(objs[1].Loc)), ID: int32(objs[1].ID)})
+	for i := range lbWant {
+		if lb[i] != lbWant[i] {
+			t.Fatalf("entry scoring clobbered rect vector: dim %d changed %v -> %v", i, lbWant[i], lb[i])
+		}
 	}
 }

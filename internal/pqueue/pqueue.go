@@ -192,6 +192,15 @@ func (h *Indexed[ID]) Pop() (ID, float64) {
 	return id, key
 }
 
+// Each calls fn for every queued (id, key) pair in unspecified (heap)
+// order. fn must not mutate the heap. It is used to snapshot wavefront
+// frontiers for the cross-query distance cache.
+func (h *Indexed[ID]) Each(fn func(id ID, key float64)) {
+	for i, id := range h.ids {
+		fn(id, h.keys[i])
+	}
+}
+
 // Reset empties the heap, keeping allocations.
 func (h *Indexed[ID]) Reset() {
 	h.ids = h.ids[:0]

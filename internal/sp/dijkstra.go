@@ -31,6 +31,7 @@ type ObjectHit struct {
 type Dijkstra struct {
 	ctx      context.Context
 	net      Net
+	src      graph.Location
 	settled  map[graph.NodeID]float64
 	frontier *pqueue.Indexed[graph.NodeID]
 
@@ -56,6 +57,7 @@ func NewDijkstra(ctx context.Context, net Net, src graph.Location) (*Dijkstra, e
 	d := &Dijkstra{
 		ctx:      ctx,
 		net:      net,
+		src:      src,
 		settled:  make(map[graph.NodeID]float64),
 		frontier: pqueue.NewIndexed[graph.NodeID](64),
 		objBest:  make(map[graph.ObjectID]float64),
@@ -85,6 +87,9 @@ func NewDijkstra(ctx context.Context, net Net, src graph.Location) (*Dijkstra, e
 
 // NodesExpanded returns the number of nodes settled so far.
 func (d *Dijkstra) NodesExpanded() int { return d.nodesExpanded }
+
+// Source returns the wavefront's source location.
+func (d *Dijkstra) Source() graph.Location { return d.src }
 
 // OnProgress installs a callback fired with the wavefront's running
 // settlement count every cancelCheckEvery settlements — the expansion

@@ -1,0 +1,124 @@
+package sp
+
+import (
+	"context"
+	"maps"
+	"slices"
+
+	"roadskyline/internal/distcache"
+	"roadskyline/internal/geom"
+	"roadskyline/internal/graph"
+	"roadskyline/internal/pqueue"
+)
+
+// This file connects the resumable searchers to the cross-query distance
+// cache: Snapshot captures a wavefront's state at query completion, and the
+// NewDijkstraFrom/NewAStarFrom constructors rebuild a searcher from a
+// cached snapshot instead of seeding a fresh wavefront.
+//
+// Resuming is sound because a wavefront between expansion steps is fully
+// described by (settled, frontier): settled distances are exact, and every
+// frontier entry is the best tentative distance through a settled neighbor.
+// That invariant does not depend on the heuristic that ordered the
+// expansion, so a snapshot taken under one admissible consistent heuristic
+// restores correctly under any other — the heuristic only re-keys the
+// frontier per session. The distance cache still keys snapshots by
+// heuristic flavor so ablation counters (landmark vs Euclidean wins,
+// expansion totals) stay comparable within a configuration.
+
+// Snapshot captures the wavefront's resumable state. The returned maps are
+// fresh copies: the snapshot stays valid after the searcher keeps
+// expanding, as the cache requires of its immutable entries.
+func (d *Dijkstra) Snapshot() *distcache.State {
+	st := &distcache.State{
+		Src:      d.src,
+		Settled:  maps.Clone(d.settled),
+		Frontier: make(map[graph.NodeID]distcache.Frontier, d.frontier.Len()),
+		ObjBest:  maps.Clone(d.objBest),
+	}
+	d.frontier.Each(func(id graph.NodeID, key float64) {
+		st.Frontier[id] = distcache.Frontier{G: key}
+	})
+	return st
+}
+
+// NewDijkstraFrom rebuilds a wavefront from a cached snapshot, copying the
+// snapshot's maps so the shared cache entry stays immutable. The restored
+// wavefront reports every reachable object again from the start (the
+// snapshot carries tentative object distances, not the reported set), so a
+// new query sees exactly the stream a fresh searcher would produce —
+// without re-settling the snapshot's nodes.
+func NewDijkstraFrom(ctx context.Context, net Net, st *distcache.State) *Dijkstra {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	d := &Dijkstra{
+		ctx:      ctx,
+		net:      net,
+		src:      st.Src,
+		settled:  maps.Clone(st.Settled),
+		frontier: pqueue.NewIndexed[graph.NodeID](len(st.Frontier) + 16),
+		objBest:  maps.Clone(st.ObjBest),
+		objDone:  make(map[graph.ObjectID]bool, len(st.ObjBest)),
+		objHeap:  pqueue.New[graph.ObjectID](len(st.ObjBest) + 16),
+	}
+	for id, fe := range st.Frontier {
+		d.frontier.Push(id, fe.G)
+	}
+	// The object heap has no id tie-break, so push in id order to keep the
+	// reporting order of equal-distance objects identical from run to run.
+	ids := make([]graph.ObjectID, 0, len(st.ObjBest))
+	for id := range st.ObjBest {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	for _, id := range ids {
+		d.objHeap.Push(id, st.ObjBest[id])
+	}
+	return d
+}
+
+// Snapshot captures the searcher's resumable state: the settled set, the
+// frontier with its coordinates, and the predecessor tree (so Path keeps
+// working across a restore). The returned maps are fresh copies.
+func (a *AStar) Snapshot() *distcache.State {
+	st := &distcache.State{
+		Src:      a.src,
+		Settled:  maps.Clone(a.settled),
+		Frontier: make(map[graph.NodeID]distcache.Frontier, len(a.frontier)),
+		Parent:   maps.Clone(a.parent),
+	}
+	for id, fe := range a.frontier {
+		st.Frontier[id] = distcache.Frontier{G: fe.g, Pt: fe.pt}
+	}
+	return st
+}
+
+// NewAStarFrom rebuilds a searcher from a cached snapshot, copying the
+// snapshot's maps so the shared cache entry stays immutable. srcPt must be
+// the planar position of st.Src (callers have it from the query point, as
+// with NewAStar). DisableHeuristic/UseHeuristicSource apply as usual before
+// the first session.
+func NewAStarFrom(ctx context.Context, net Net, st *distcache.State, srcPt geom.Point) *AStar {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	a := &AStar{
+		ctx:      ctx,
+		net:      net,
+		src:      st.Src,
+		srcPt:    srcPt,
+		settled:  maps.Clone(st.Settled),
+		frontier: make(map[graph.NodeID]frontierEntry, len(st.Frontier)),
+		// Copy into a fresh map rather than maps.Clone: a snapshot with a
+		// nil Parent must still restore to a writable map for Advance.
+		parent: make(map[graph.NodeID]graph.NodeID, len(st.Parent)),
+	}
+	for id, p := range st.Parent {
+		a.parent[id] = p
+	}
+	for id, fe := range st.Frontier {
+		a.frontier[id] = frontierEntry{g: fe.G, pt: fe.Pt}
+	}
+	return a
+}

@@ -13,7 +13,10 @@ import (
 // render the first answers while the rest are still being determined.
 //
 // The iterator owns the engine's storage counters until it is exhausted or
-// abandoned; do not interleave other queries on the same engine.
+// closed; do not interleave other queries on the same engine while it is
+// live. Call Close when abandoning an iteration before exhaustion so the
+// engine's metrics and trace finalize and the searcher state is released;
+// a fully drained iterator finalizes itself.
 type SkylineIterator struct {
 	eng *Engine
 	it  *core.LBCIterator
@@ -44,6 +47,7 @@ func (e *Engine) SkylineIterContext(ctx context.Context, q Query) (*SkylineItera
 		LBCAlternate:     q.Alternate,
 		LBCSource:        q.Source,
 		DisableLandmarks: q.NoLandmarks,
+		DisableDistCache: q.NoDistCache,
 		Tracer:           q.Tracer,
 		CollectPhases:    q.CollectPhases,
 	})
@@ -67,8 +71,16 @@ func (s *SkylineIterator) Next() (SkylinePoint, bool, error) {
 	}, true, nil
 }
 
-// Stats finalizes and returns the query's cost counters; call after the
-// last Next (or when abandoning the iteration).
+// Close finalizes an iteration abandoned before exhaustion: the query's
+// metrics and trace close where the stream stopped, searcher state is
+// released, and the next query on the engine starts from clean counters.
+// It is idempotent, and unnecessary (but harmless) after Next has reported
+// exhaustion. After Close, Next reports exhaustion and Stats returns the
+// frozen counters.
+func (s *SkylineIterator) Close() { s.it.Close() }
+
+// Stats returns the query's cost counters: frozen finals once the iterator
+// is exhausted or closed, otherwise a live snapshot of the work so far.
 func (s *SkylineIterator) Stats() Stats {
 	return statsFromMetrics(s.it.Metrics())
 }

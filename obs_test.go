@@ -306,6 +306,18 @@ func TestStatsParity(t *testing.T) {
 			t.Errorf("Stats.%s = %v, want %v: field dropped in statsFromMetrics?", name, got.Interface(), want)
 		}
 	}
+	// Reverse direction: a Stats field with no core.Metrics counterpart is
+	// dead — statsFromMetrics can never populate it — so adding one must
+	// fail here until the underlying counter exists.
+	metricsFields := make(map[string]bool, mt.NumField())
+	for i := 0; i < mt.NumField(); i++ {
+		metricsFields[mt.Field(i).Name] = true
+	}
+	for i := 0; i < st.NumField(); i++ {
+		if name := st.Field(i).Name; !metricsFields[name] {
+			t.Errorf("Stats.%s has no core.Metrics counterpart: dead field", name)
+		}
+	}
 }
 
 // TestPoolMetricsReconcile is the instrumentation acceptance test: under
@@ -465,6 +477,14 @@ func TestPoolMetricsHandler(t *testing.T) {
 		`roadskyline_pool_queue_wait_seconds_bucket{le="+Inf"} 2`,
 		"roadskyline_pool_queue_wait_seconds_count 2",
 		`roadskyline_pool_worker_queries_total{worker="0"} 2`,
+		// The distance-cache families are always exposed; this engine has
+		// no cache, so the counters read zero.
+		"# TYPE roadskyline_distcache_lookups_total counter",
+		`roadskyline_distcache_lookups_total{result="hit"} 0`,
+		`roadskyline_distcache_lookups_total{result="miss"} 0`,
+		"roadskyline_distcache_stores_total 0",
+		"roadskyline_distcache_evictions_total 0",
+		"roadskyline_distcache_entries 0",
 	} {
 		if !strings.Contains(string(body), want) {
 			t.Errorf("/metrics missing %q\n%s", want, body)

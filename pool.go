@@ -316,6 +316,10 @@ func (pi *PoolIterator) Close() {
 		return
 	}
 	pi.done = true
+	// Finalize the underlying iterator before the final snapshot: metrics
+	// freeze, the trace's query span ends, and a cleanly finished
+	// iteration feeds the distance cache.
+	pi.it.Close()
 	pi.stats = pi.it.Stats()
 	pi.w.record(pi.stats)
 	pi.pool.met.finish(pi.lastErr)

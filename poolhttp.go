@@ -75,4 +75,16 @@ func writePoolMetrics(w io.Writer, m PoolMetrics) {
 	for _, ws := range m.WorkerStats {
 		fmt.Fprintf(w, "roadskyline_pool_worker_buffer_misses_total{worker=\"%d\"} %d\n", ws.Worker, ws.BufferMisses)
 	}
+
+	fmt.Fprintf(w, "# HELP roadskyline_distcache_lookups_total Distance-cache lookups by result, shared across all workers.\n")
+	fmt.Fprintf(w, "# TYPE roadskyline_distcache_lookups_total counter\n")
+	fmt.Fprintf(w, "roadskyline_distcache_lookups_total{result=%q} %d\n", "hit", m.DistCache.Hits)
+	fmt.Fprintf(w, "roadskyline_distcache_lookups_total{result=%q} %d\n", "miss", m.DistCache.Misses)
+	fmt.Fprintf(w, "# HELP roadskyline_distcache_stores_total Wavefront snapshots stored in the distance cache.\n")
+	fmt.Fprintf(w, "# TYPE roadskyline_distcache_stores_total counter\n")
+	fmt.Fprintf(w, "roadskyline_distcache_stores_total %d\n", m.DistCache.Stores)
+	fmt.Fprintf(w, "# HELP roadskyline_distcache_evictions_total Distance-cache entries displaced by capacity.\n")
+	fmt.Fprintf(w, "# TYPE roadskyline_distcache_evictions_total counter\n")
+	fmt.Fprintf(w, "roadskyline_distcache_evictions_total %d\n", m.DistCache.Evictions)
+	gauge("roadskyline_distcache_entries", "Wavefront snapshots resident in the distance cache.", m.DistCache.Entries)
 }

@@ -78,6 +78,11 @@ type PoolMetrics struct {
 	QueueWait WaitHistogram
 	// WorkerStats holds per-worker buffer traffic, indexed by worker.
 	WorkerStats []WorkerStats
+	// DistCache is the cross-query distance cache's global counters. The
+	// cache is shared by every worker (like the landmark table), so these
+	// are pool-wide totals, not per-worker; all zeros when the source
+	// engine was built without a cache.
+	DistCache DistCacheStats
 }
 
 // PoolMetrics snapshots the pool's runtime metrics. It is safe to call
@@ -96,6 +101,8 @@ func (p *Pool) PoolMetrics() PoolMetrics {
 		Closed:      p.met.closed.Load(),
 		QueueWait:   p.met.queueWait.Snapshot(),
 		WorkerStats: make([]WorkerStats, len(p.all)),
+		// Any worker sees the shared cache; the first is as good as all.
+		DistCache: p.all[0].eng.DistCacheStats(),
 	}
 	for i, w := range p.all {
 		m.WorkerStats[i] = WorkerStats{
