@@ -10,6 +10,8 @@
 //	skylinebench -scale 0.2       # all figures on 20%-size networks
 //	skylinebench -fig ablations   # the design-choice ablations
 //	skylinebench -parallel 8      # pool throughput: serial vs 8 workers
+//	skylinebench -trajectory -json BENCH_5.json       # record the regression baseline
+//	skylinebench -compare BENCH_5.json                # gate: fail on regression vs baseline
 package main
 
 import (
@@ -38,8 +40,26 @@ func main() {
 		lms     = flag.Int("landmarks", 0, "ALT landmark count per environment (0 = default, negative disables)")
 		dcache  = flag.Int("distcache", 0, "run the distance-cache ablation with this many cache entries instead of figures")
 		jsonOut = flag.String("json", "", "also write machine-readable results to this JSON file")
+		traj    = flag.Bool("trajectory", false, "run the deterministic regression workload instead of figures (the BENCH_5.json trajectory)")
+		compare = flag.String("compare", "", "trajectory baseline JSON to gate against: run the trajectory workload and exit non-zero on regression (implies -trajectory)")
+		thresh  = flag.Float64("threshold", 0.10, "allowed relative growth in the trajectory's deterministic work counters before -compare fails")
+		tthresh = flag.Float64("time-threshold", 0.50, "allowed relative growth in the trajectory's response times before -compare fails")
 	)
 	flag.Parse()
+
+	if *traj || *compare != "" {
+		// The trajectory pins its own scale so the committed baseline and
+		// CI runs agree without coordinating flags; -scale still overrides.
+		tscale := trajectoryScale
+		if flagSet("scale") {
+			tscale = *scale
+		}
+		if err := trajectoryMain(tscale, *seed, *lms, *jsonOut, *compare, *thresh, *tthresh); err != nil {
+			fmt.Fprintf(os.Stderr, "skylinebench: trajectory: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *par > 0 {
 		if err := parallelBench(*scale, *par, *queries, *seed, *lms, *jsonOut); err != nil {
@@ -199,18 +219,7 @@ func parallelBench(scale float64, workers, queries int, seed int64, landmarks in
 	if queries < 1 {
 		return fmt.Errorf("-queries must be at least 1 (got %d)", queries)
 	}
-	spec := roadskyline.CA
-	if scale > 0 && scale != 1 {
-		spec.Nodes = int(float64(spec.Nodes) * scale)
-		if spec.Nodes < 100 {
-			spec.Nodes = 100
-		}
-		spec.Edges = int(float64(spec.Edges) * scale)
-		if spec.Edges < spec.Nodes-1 {
-			spec.Edges = spec.Nodes - 1
-		}
-	}
-	spec.Seed = seed
+	spec := scaleSpec(roadskyline.CA, scale, seed)
 	fmt.Printf("pool throughput on %s (%d nodes, %d edges), %d queries, %d workers\n",
 		spec.Name, spec.Nodes, spec.Edges, queries, workers)
 	n, err := roadskyline.Generate(spec)
@@ -305,18 +314,7 @@ func distCacheBench(scale float64, entries, queries int, seed int64, landmarks i
 	if queries < 1 {
 		return fmt.Errorf("-queries must be at least 1 (got %d)", queries)
 	}
-	spec := roadskyline.CA
-	if scale > 0 && scale != 1 {
-		spec.Nodes = int(float64(spec.Nodes) * scale)
-		if spec.Nodes < 100 {
-			spec.Nodes = 100
-		}
-		spec.Edges = int(float64(spec.Edges) * scale)
-		if spec.Edges < spec.Nodes-1 {
-			spec.Edges = spec.Nodes - 1
-		}
-	}
-	spec.Seed = seed
+	spec := scaleSpec(roadskyline.CA, scale, seed)
 	n, err := roadskyline.Generate(spec)
 	if err != nil {
 		return err

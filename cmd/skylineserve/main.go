@@ -12,8 +12,13 @@
 //	GET /query?q=x,y&q=x,y[&alg=CE|EDC|LBC][&attrs=1][&alternate=1][&source=i][&phases=1]
 //	    Answer one skyline query; points snap to the nearest road.
 //	    phases=1 adds the per-phase work breakdown to the stats.
-//	GET /metrics      Pool metrics, Prometheus text exposition format.
+//	GET /metrics      Pool metrics, Prometheus text exposition format,
+//	    including the per-algorithm/outcome query duration histograms.
 //	GET /healthz      Liveness probe with worker/occupancy counts.
+//	GET /debug/queries[?alg=&outcome=&slowest=&limit=&format=text]
+//	    The query flight recorder's retained per-query records (JSON by
+//	    default): sampled traffic plus the slowest and every failed query,
+//	    with full per-phase breakdowns.
 //	GET /debug/vars   expvar JSON, including the pool snapshot.
 //	GET /debug/pprof  Go profiling endpoints.
 //
@@ -55,15 +60,19 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed for generated objects")
 		workers = flag.Int("workers", 0, "pool workers (0 = GOMAXPROCS)")
 		queue   = flag.Int("queue", 0, "admission queue depth beyond the workers (0 = 4x workers)")
-		slow    = flag.Duration("slow", 0, "log queries slower than this with their phase breakdown (0 disables)")
-		verbose = flag.Bool("v", false, "debug logging (per-request and per-trace-event records)")
-		smoke   = flag.Bool("smoke", false, "self-test: start, run one query and scrape /metrics over HTTP, then exit")
+		slow    = flag.Duration("slow-query", time.Second, "log queries slower than this with their phase breakdown at Warn (default 1s; 0 disables)")
+		logLvl  = flag.String("log-level", "info", "log level: debug (per-request and per-trace-event records), info, warn or error")
+		flight  = flag.Int("flight", 512, "flight recorder retention: per-query records kept in each of the sampled and errored reservoirs (0 disables /debug/queries)")
+		flSlow  = flag.Int("flight-slow", 32, "flight recorder slowest-query reservoir size")
+		flEvery = flag.Int("flight-sample", 1, "flight recorder sampling stride: record every k-th query in the sampled reservoir (slow and errored queries are always kept)")
+		smoke   = flag.Bool("smoke", false, "self-test: start, run one query and scrape /metrics and /debug/queries over HTTP, then exit")
 	)
 	flag.Parse()
 
-	level := slog.LevelInfo
-	if *verbose {
-		level = slog.LevelDebug
+	level, err := parseLogLevel(*logLvl)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
@@ -73,7 +82,14 @@ func main() {
 		os.Exit(1)
 	}
 	objects := network.GenerateObjects(*omega, *attrs, *seed)
-	eng, err := roadskyline.NewEngine(network, objects, roadskyline.EngineConfig{WarmCache: true})
+	eng, err := roadskyline.NewEngine(network, objects, roadskyline.EngineConfig{
+		WarmCache: true,
+		FlightRecorder: roadskyline.FlightRecorderConfig{
+			Size:        *flight,
+			SlowN:       *flSlow,
+			SampleEvery: *flEvery,
+		},
+	})
 	if err != nil {
 		log.Error("building engine", "err", err)
 		os.Exit(1)
@@ -92,6 +108,7 @@ func main() {
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.Handle("/metrics", pool.MetricsHandler())
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.Handle("/debug/queries", pool.FlightHandler())
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -295,6 +312,20 @@ func boolParam(v string) bool {
 	return err == nil && b
 }
 
+func parseLogLevel(name string) (slog.Level, error) {
+	switch strings.ToLower(name) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown -log-level %q (want debug, info, warn or error)", name)
+}
+
 // runSmoke exercises the serving path end to end through real HTTP: a
 // liveness probe, one skyline query and a metrics scrape.
 func runSmoke(log *slog.Logger, addr string) error {
@@ -322,12 +353,37 @@ func runSmoke(log *slog.Logger, addr string) error {
 	if err != nil {
 		return err
 	}
-	for _, want := range []string{"roadskyline_pool_workers", "roadskyline_pool_queries_total{outcome=\"served\"} 1"} {
+	for _, want := range []string{
+		"roadskyline_pool_workers",
+		"roadskyline_pool_queries_total{outcome=\"served\"} 1",
+		"roadskyline_query_duration_seconds_bucket{alg=\"LBC\",outcome=\"served\",le=\"+Inf\"} 1",
+		"roadskyline_flight_queries_total{outcome=\"served\"} 1",
+	} {
 		if !strings.Contains(string(metrics), want) {
 			return fmt.Errorf("/metrics missing %q", want)
 		}
 	}
 	log.Info("smoke metrics ok", "bytes", len(metrics))
+
+	body, err = fetch(client, base+"/debug/queries?slowest=10")
+	if err != nil {
+		return err
+	}
+	var flights struct {
+		Enabled bool                       `json:"enabled"`
+		Seen    uint64                     `json:"seen"`
+		Records []roadskyline.FlightRecord `json:"records"`
+	}
+	if err := json.Unmarshal(body, &flights); err != nil {
+		return fmt.Errorf("decoding /debug/queries response: %w", err)
+	}
+	if !flights.Enabled || flights.Seen == 0 || len(flights.Records) == 0 {
+		return fmt.Errorf("/debug/queries did not retain the smoke query: %s", body)
+	}
+	if len(flights.Records[0].Phases) == 0 {
+		return fmt.Errorf("/debug/queries record lacks the phase breakdown: %s", body)
+	}
+	log.Info("smoke flight recorder ok", "seen", flights.Seen, "retained", len(flights.Records))
 	return nil
 }
 

@@ -2,6 +2,7 @@ package roadskyline
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log/slog"
 	"time"
@@ -82,7 +83,26 @@ type EngineConfig struct {
 	// would skip the page faults those figures measure. Like the landmark
 	// table it is shared across Clone()s and by all workers of a Pool.
 	DistCache DistCacheConfig
+	// FlightRecorder sizes the query flight recorder: a bounded in-memory
+	// log of per-query cost records (see docs/OBSERVABILITY.md). The zero
+	// value disables it (the zero-overhead default). Like the distance
+	// cache it is shared across Clone()s and by all workers of a Pool;
+	// recorded queries always carry the per-phase breakdown
+	// (Stats.Phases), as if CollectPhases were set.
+	FlightRecorder FlightRecorderConfig
 }
+
+// FlightRecorderConfig sizes the engine's query flight recorder:
+// Size bounds the sampled ring and the errored/cancelled reservoir
+// (zero disables the recorder), SlowN the slowest-query reservoir
+// (default 16), SampleEvery the sampling stride of the ring (default 1,
+// every query).
+type FlightRecorderConfig = obs.FlightConfig
+
+// FlightRecord is one retained per-query cost record of the flight
+// recorder: query shape and flags, outcome, response times, per-phase
+// breakdown and work counters.
+type FlightRecord = obs.FlightRecord
 
 // DistCacheConfig sizes the cross-query network-distance cache (see
 // docs/CACHING.md).
@@ -112,10 +132,11 @@ type DistCacheStats = distcache.Stats
 // one Clone per goroutine, or a Pool, which manages a fixed set of clones
 // behind a bounded work queue.
 type Engine struct {
-	net  *Network
-	env  *core.Env
-	objs []Object
-	cfg  EngineConfig
+	net    *Network
+	env    *core.Env
+	objs   []Object
+	cfg    EngineConfig
+	flight *obs.FlightRecorder // shared across Clone()s; nil when disabled
 }
 
 // NewEngine indexes objects over the network. Object IDs are assigned
@@ -155,7 +176,13 @@ func NewEngine(n *Network, objects []Object, cfg EngineConfig) (*Engine, error) 
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{net: n, env: env, objs: kept, cfg: cfg}, nil
+	return &Engine{
+		net:    n,
+		env:    env,
+		objs:   kept,
+		cfg:    cfg,
+		flight: obs.NewFlightRecorder(cfg.FlightRecorder),
+	}, nil
 }
 
 // Clone returns an independent engine over the same network and objects:
@@ -176,6 +203,60 @@ func (e *Engine) Network() *Network { return e.net }
 // per-query lookups are in Stats.DistCacheHits/DistCacheMisses. All fields
 // are zero on an engine without a cache.
 func (e *Engine) DistCacheStats() DistCacheStats { return e.env.DistCache.Stats() }
+
+// FlightRecords returns the flight recorder's retained per-query records,
+// newest first: the union of the sampled stream, the slowest-N reservoir
+// and every errored/cancelled query. The recorder is shared across clones
+// (and across a Pool's workers), so records from every user of the
+// underlying engine appear. Nil when the recorder is disabled.
+func (e *Engine) FlightRecords() []FlightRecord { return e.flight.Records() }
+
+// recordFlight files one finished query with the flight recorder,
+// classifying the outcome from err and the abandoned flag the way the
+// Pool's counters do (context errors are "cancelled", other errors
+// "error"). A no-op when the recorder is disabled.
+func (e *Engine) recordFlight(alg string, q Query, m core.Metrics, elapsed time.Duration, err error, abandoned bool) {
+	if e.flight == nil {
+		return
+	}
+	outcome := obs.OutcomeServed
+	errStr := ""
+	switch {
+	case err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)):
+		outcome, errStr = obs.OutcomeCancelled, err.Error()
+	case err != nil:
+		outcome, errStr = obs.OutcomeError, err.Error()
+	case abandoned:
+		outcome = obs.OutcomeAbandoned
+	}
+	total := m.ResponseTime()
+	if total == 0 {
+		// The query never reached an algorithm's finalization (e.g. a
+		// validation error); account the wall time the caller saw.
+		total = elapsed
+	}
+	e.flight.Record(obs.FlightRecord{
+		Alg:             alg,
+		NumPoints:       len(q.Points),
+		UseAttrs:        q.UseAttrs,
+		Alternate:       q.Alternate,
+		Source:          q.Source,
+		NoLandmarks:     q.NoLandmarks,
+		NoDistCache:     q.NoDistCache,
+		Outcome:         outcome,
+		Err:             errStr,
+		Total:           total,
+		Initial:         m.InitialResponseTime(),
+		Phases:          m.Phases,
+		Candidates:      m.Candidates,
+		NodesExpanded:   m.NodesExpanded,
+		NetworkPages:    m.NetworkPages,
+		NetworkGets:     m.NetworkGets,
+		RTreeNodes:      m.RTreeNodes,
+		DistCacheHits:   m.DistCacheHits,
+		DistCacheMisses: m.DistCacheMisses,
+	})
+}
 
 // NumObjects returns the number of indexed objects.
 func (e *Engine) NumObjects() int { return len(e.objs) }
@@ -361,13 +442,15 @@ func (e *Engine) Skyline(q Query) (*Result, error) {
 // context returns immediately.
 func (e *Engine) SkylineContext(ctx context.Context, q Query) (*Result, error) {
 	if len(q.Points) == 0 {
-		return nil, fmt.Errorf("roadskyline: query needs at least one point")
+		err := fmt.Errorf("roadskyline: query needs at least one point")
+		e.recordFlight(q.Algorithm.String(), q, core.Metrics{}, 0, err, false)
+		return nil, err
 	}
 	pts := make([]graph.Location, len(q.Points))
 	for i, p := range q.Points {
 		pts[i] = graph.Location{Edge: graph.EdgeID(p.Edge), Offset: p.Offset}
 	}
-	res, err := core.Run(ctx, e.env, core.Query{Points: pts, UseAttrs: q.UseAttrs}, q.Algorithm.core(), core.Options{
+	opts := core.Options{
 		ColdCache:        !e.cfg.WarmCache,
 		LBCAlternate:     q.Alternate,
 		LBCSource:        q.Source,
@@ -375,10 +458,26 @@ func (e *Engine) SkylineContext(ctx context.Context, q Query) (*Result, error) {
 		DisableDistCache: q.NoDistCache,
 		Tracer:           q.Tracer,
 		CollectPhases:    q.CollectPhases,
-	})
+	}
+	var start time.Time
+	if e.flight != nil {
+		// Recorded queries always carry the phase breakdown; the counters
+		// and results are identical with it on (TestTracerEquivalence).
+		opts.CollectPhases = true
+		start = time.Now()
+	}
+	res, err := core.Run(ctx, e.env, core.Query{Points: pts, UseAttrs: q.UseAttrs}, q.Algorithm.core(), opts)
 	if err != nil {
+		// A non-nil res carries the metrics of the work performed before
+		// the abort; the flight recorder accounts them.
+		var m core.Metrics
+		if res != nil {
+			m = res.Metrics
+		}
+		e.recordFlight(q.Algorithm.String(), q, m, time.Since(start), err, false)
 		return nil, err
 	}
+	e.recordFlight(q.Algorithm.String(), q, res.Metrics, time.Since(start), nil, false)
 	out := &Result{
 		Points: make([]SkylinePoint, len(res.Skyline)),
 		Stats:  statsFromMetrics(res.Metrics),

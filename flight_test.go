@@ -1,0 +1,501 @@
+package roadskyline
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// flightTestEngine is poolTestEngine with the flight recorder on: same
+// network and objects, so results are comparable, plus bounded retention
+// big enough that nothing is evicted during a stress run.
+func flightTestEngine(t *testing.T) (*Engine, *Network) {
+	t.Helper()
+	n, err := Generate(NetworkSpec{Name: "pool", Nodes: 300, Edges: 390,
+		NumObstacles: 2, ObstacleSize: 0.15, Jitter: 0.3, MaxStretch: 0.2, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(n, n.GenerateObjects(0.4, 1, 17), EngineConfig{
+		FlightRecorder: FlightRecorderConfig{Size: 4096, SlowN: 32},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, n
+}
+
+// TestFlightRecorderPoolReconcile churns a flight-enabled pool with mixed
+// completions, cancellations, saturations and abandoned iterators, then
+// demands the recorder's outcome counts reconcile exactly with the pool's
+// submission counters (the identities documented in internal/obs/flight.go).
+// Run under -race.
+func TestFlightRecorderPoolReconcile(t *testing.T) {
+	eng, n := flightTestEngine(t)
+	pool, err := NewPool(eng, PoolConfig{Workers: 2, QueueDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	queries := mixedQueries(n)
+
+	const goroutines, rounds = 8, 12
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				q := queries[(g*rounds+r)%len(queries)]
+				switch r % 4 {
+				case 0:
+					pool.Skyline(context.Background(), q)
+				case 1:
+					// Deadlines from 1µs to ~1ms: some expire while waiting
+					// for a worker, some mid-expansion, some never.
+					d := time.Duration(1+g*137+r*29) * time.Microsecond
+					ctx, cancel := context.WithTimeout(context.Background(), d)
+					pool.Skyline(ctx, q)
+					cancel()
+				case 2:
+					if it, err := pool.SkylineIter(context.Background(), q); err == nil {
+						it.Next()
+						it.Close() // abandoned unless Next already exhausted it
+					}
+				case 3:
+					// A query-level validation error: the worker serves it,
+					// the recorder files it as an error.
+					pool.Skyline(context.Background(), Query{Algorithm: q.Algorithm})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// One more submission after Close lands in the closed bucket.
+	pool.Close()
+	if _, err := pool.Skyline(context.Background(), queries[0]); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("err after close = %v, want ErrPoolClosed", err)
+	}
+
+	m := pool.PoolMetrics()
+	if want := uint64(goroutines*rounds + 1); m.Submitted != want {
+		t.Fatalf("Submitted = %d, want %d", m.Submitted, want)
+	}
+	fo := m.FlightOutcomes
+	if m.FlightSeen != m.Submitted {
+		t.Errorf("FlightSeen = %d, want Submitted %d (every submission must leave exactly one record): outcomes %v",
+			m.FlightSeen, m.Submitted, fo)
+	}
+	if got := fo["served"] + fo["error"] + fo["abandoned"]; got != m.Served {
+		t.Errorf("served %d + error %d + abandoned %d = %d, want Pool.Served %d",
+			fo["served"], fo["error"], fo["abandoned"], got, m.Served)
+	}
+	if fo["cancelled"] != m.Cancelled {
+		t.Errorf("recorder cancelled = %d, want Pool.Cancelled %d", fo["cancelled"], m.Cancelled)
+	}
+	if fo["saturated"] != m.Saturated {
+		t.Errorf("recorder saturated = %d, want Pool.Saturated %d", fo["saturated"], m.Saturated)
+	}
+	if fo["closed"] != m.Closed {
+		t.Errorf("recorder closed = %d, want Pool.Closed %d", fo["closed"], m.Closed)
+	}
+	if fo["error"] == 0 {
+		t.Error("workload included validation errors but none were recorded")
+	}
+	if fo["closed"] == 0 {
+		t.Error("post-close submission not recorded as closed")
+	}
+
+	// The duration histograms see the same population as the outcome
+	// counters.
+	var durTotal uint64
+	for _, d := range m.Durations {
+		durTotal += d.Hist.Count
+	}
+	if durTotal != m.FlightSeen {
+		t.Errorf("duration histograms count %d, want FlightSeen %d", durTotal, m.FlightSeen)
+	}
+
+	// Retention held everything (Size 4096 >> workload), so the records
+	// themselves are auditable: every served record has a phase breakdown.
+	recs := pool.FlightRecords()
+	if uint64(len(recs)) != m.FlightSeen {
+		t.Errorf("retained %d records, want all %d", len(recs), m.FlightSeen)
+	}
+	for _, r := range recs {
+		if r.Outcome == "served" && len(r.Phases) == 0 {
+			t.Errorf("served record #%d (%s) has no phase breakdown", r.Seq, r.Alg)
+			break
+		}
+	}
+}
+
+// promSample is one parsed exposition sample line.
+type promSample struct {
+	name   string
+	labels string
+	value  float64
+}
+
+// parseExposition parses a Prometheus text-format body: HELP/TYPE
+// declarations and samples, failing the test on any malformed line.
+func parseExposition(t *testing.T, body string) (types map[string]string, helps map[string]bool, samples []promSample) {
+	t.Helper()
+	types, helps = map[string]string{}, map[string]bool{}
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			f := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if len(f) != 2 || f[1] == "" {
+				t.Fatalf("malformed HELP line: %q", line)
+			}
+			helps[f[0]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(f) != 2 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			types[f[0]] = f[1]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // comment
+		}
+		var s promSample
+		rest := line
+		if i := strings.IndexByte(line, '{'); i >= 0 {
+			j := strings.LastIndexByte(line, '}')
+			if j < i {
+				t.Fatalf("unbalanced braces: %q", line)
+			}
+			s.name, s.labels, rest = line[:i], line[i+1:j], line[j+1:]
+		} else {
+			f := strings.SplitN(line, " ", 2)
+			if len(f) != 2 {
+				t.Fatalf("malformed sample: %q", line)
+			}
+			s.name, rest = f[0], f[1]
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		s.value = v
+		samples = append(samples, s)
+	}
+	return types, helps, samples
+}
+
+// promFamily maps a sample name to its metric family: histogram samples
+// use the _bucket/_sum/_count suffixes of the declared family name.
+func promFamily(name string, types map[string]string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base := strings.TrimSuffix(name, suf); base != name && types[base] == "histogram" {
+			return base
+		}
+	}
+	return name
+}
+
+// labelsSansLe strips the le="..." pair from a bucket sample's labels,
+// leaving the series key.
+func labelsSansLe(t *testing.T, labels string) (series, le string) {
+	t.Helper()
+	var kept []string
+	for _, pair := range strings.Split(labels, ",") {
+		if v, ok := strings.CutPrefix(pair, "le="); ok {
+			le = strings.Trim(v, `"`)
+			continue
+		}
+		kept = append(kept, pair)
+	}
+	if le == "" {
+		t.Fatalf("bucket sample without le label: %q", labels)
+	}
+	return strings.Join(kept, ","), le
+}
+
+// TestMetricsExpositionWellFormed is the parser-level guard on the
+// /metrics endpoint: after a mixed workload on a flight-enabled pool it
+// re-parses the full exposition and asserts, for every family, that HELP
+// and TYPE are declared, histogram buckets are monotone non-decreasing
+// with Count >= the last bounded bucket, and counters are non-negative.
+func TestMetricsExpositionWellFormed(t *testing.T) {
+	eng, n := flightTestEngine(t)
+	pool, err := NewPool(eng, PoolConfig{Workers: 2, QueueDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	for i, q := range mixedQueries(n) {
+		if i%5 == 4 {
+			// Mix in errors and cancellations so those label values render.
+			pool.Skyline(context.Background(), Query{Algorithm: q.Algorithm})
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			pool.Skyline(ctx, q)
+			continue
+		}
+		if _, err := pool.Skyline(context.Background(), q); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	srv := httptest.NewServer(pool.MetricsHandler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	types, helps, samples := parseExposition(t, string(raw))
+
+	if len(samples) == 0 {
+		t.Fatal("no samples in exposition")
+	}
+	for fam, typ := range types {
+		if typ != "counter" && typ != "gauge" && typ != "histogram" {
+			t.Errorf("family %s has unknown type %q", fam, typ)
+		}
+	}
+
+	// Every sample belongs to a family with both HELP and TYPE; counter
+	// and histogram values never go negative.
+	seenFam := map[string]bool{}
+	for _, s := range samples {
+		fam := promFamily(s.name, types)
+		seenFam[fam] = true
+		if !helps[fam] {
+			t.Errorf("sample %s: family %s has no # HELP", s.name, fam)
+		}
+		if types[fam] == "" {
+			t.Errorf("sample %s: family %s has no # TYPE", s.name, fam)
+		}
+		if types[fam] != "gauge" && s.value < 0 {
+			t.Errorf("%s %s: negative %s value %g", s.name, s.labels, types[fam], s.value)
+		}
+	}
+	// And no family is declared without samples — except histograms,
+	// whose unlabeled families always render at least the +Inf bucket.
+	for fam := range types {
+		if !seenFam[fam] && types[fam] != "histogram" {
+			t.Errorf("family %s declared but has no samples", fam)
+		}
+	}
+
+	// Histogram shape: per series, buckets monotone non-decreasing in
+	// exposition order, +Inf bucket == _count, _count >= last bounded
+	// bucket.
+	type hstate struct {
+		last    float64
+		bounded float64
+		inf     float64
+		hasInf  bool
+	}
+	hists := map[string]*hstate{}
+	counts := map[string]float64{}
+	for _, s := range samples {
+		fam := promFamily(s.name, types)
+		if types[fam] != "histogram" {
+			continue
+		}
+		switch {
+		case strings.HasSuffix(s.name, "_bucket"):
+			series, le := labelsSansLe(t, s.labels)
+			key := fam + "|" + series
+			st := hists[key]
+			if st == nil {
+				st = &hstate{}
+				hists[key] = st
+			}
+			if s.value < st.last {
+				t.Errorf("%s{%s}: bucket le=%q value %g < previous %g (not cumulative)",
+					fam, series, le, s.value, st.last)
+			}
+			st.last = s.value
+			if le == "+Inf" {
+				st.inf, st.hasInf = s.value, true
+			} else {
+				st.bounded = s.value
+			}
+		case strings.HasSuffix(s.name, "_count"):
+			counts[fam+"|"+s.labels] = s.value
+		}
+	}
+	if len(hists) == 0 {
+		t.Fatal("no histogram series in exposition")
+	}
+	for key, st := range hists {
+		if !st.hasInf {
+			t.Errorf("histogram series %s has no +Inf bucket", key)
+			continue
+		}
+		cnt, ok := counts[key]
+		if !ok {
+			t.Errorf("histogram series %s has no _count sample", key)
+			continue
+		}
+		if cnt < st.bounded {
+			t.Errorf("histogram series %s: count %g < last bounded bucket %g", key, cnt, st.bounded)
+		}
+		if st.inf != cnt {
+			t.Errorf("histogram series %s: +Inf bucket %g != count %g", key, st.inf, cnt)
+		}
+	}
+
+	// The duration family rendered real series for this workload.
+	found := false
+	for key := range hists {
+		if strings.HasPrefix(key, "roadskyline_query_duration_seconds|") &&
+			strings.Contains(key, `outcome="served"`) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no served roadskyline_query_duration_seconds series; series: %v", keysOf(hists))
+	}
+}
+
+func keysOf[V any](m map[string]*V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestFlightHandler exercises /debug/queries end to end: slowest-N with
+// phase breakdowns, algorithm and outcome filters, the text rendering,
+// parameter validation, and the recorder-disabled response.
+func TestFlightHandler(t *testing.T) {
+	eng, n := flightTestEngine(t)
+	pool, err := NewPool(eng, PoolConfig{Workers: 2, QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	for _, q := range mixedQueries(n) {
+		if _, err := pool.Skyline(context.Background(), q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One validation error for the outcome filter.
+	pool.Skyline(context.Background(), Query{Algorithm: CEAlg})
+
+	srv := httptest.NewServer(pool.FlightHandler())
+	defer srv.Close()
+	get := func(query string) flightResponse {
+		t.Helper()
+		resp, err := http.Get(srv.URL + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", query, resp.StatusCode)
+		}
+		var fr flightResponse
+		if err := json.NewDecoder(resp.Body).Decode(&fr); err != nil {
+			t.Fatalf("GET %s: %v", query, err)
+		}
+		return fr
+	}
+
+	// slowest=10: ten records, total-time descending, each with phases.
+	fr := get("?slowest=10")
+	if !fr.Enabled || fr.Seen != 25 {
+		t.Fatalf("Enabled=%v Seen=%d, want enabled with 25 queries", fr.Enabled, fr.Seen)
+	}
+	if len(fr.Records) != 10 {
+		t.Fatalf("slowest=10 returned %d records", len(fr.Records))
+	}
+	for i, r := range fr.Records {
+		if i > 0 && r.Total > fr.Records[i-1].Total {
+			t.Errorf("slowest not descending at %d: %v > %v", i, r.Total, fr.Records[i-1].Total)
+		}
+		if len(r.Phases) == 0 {
+			t.Errorf("slowest record #%d (%s) has no phase breakdown", r.Seq, r.Alg)
+		}
+	}
+
+	// Algorithm filter is case-insensitive; outcome filter is exact.
+	for _, r := range get("?alg=lbc").Records {
+		if r.Alg != "LBC" {
+			t.Errorf("alg=lbc returned %s record", r.Alg)
+		}
+	}
+	errRecs := get("?outcome=error").Records
+	if len(errRecs) != 1 || errRecs[0].Err == "" {
+		t.Errorf("outcome=error returned %d records, want the 1 validation error", len(errRecs))
+	}
+	if got := len(get("?limit=3").Records); got != 3 {
+		t.Errorf("limit=3 returned %d records", got)
+	}
+
+	// Bad parameters are a 400, not a panic or a silent default.
+	for _, bad := range []string{"?slowest=x", "?slowest=-1", "?limit=0"} {
+		resp, err := http.Get(srv.URL + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET %s: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+
+	// format=text renders the human view with per-phase lines.
+	resp, err := http.Get(srv.URL + "?format=text&slowest=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"flight recorder: 25 queries seen", "outcome=served", "phase "} {
+		if !strings.Contains(string(text), want) {
+			t.Errorf("text rendering missing %q:\n%s", want, text)
+		}
+	}
+
+	// A pool without a recorder reports disabled with empty records.
+	plainEng, _ := poolTestEngine(t)
+	plainPool, err := NewPool(plainEng, PoolConfig{Workers: 1, QueueDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plainPool.Close()
+	srv2 := httptest.NewServer(plainPool.FlightHandler())
+	defer srv2.Close()
+	resp2, err := http.Get(srv2.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var off flightResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&off); err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if off.Enabled || off.Seen != 0 || off.Records == nil || len(off.Records) != 0 {
+		t.Errorf("disabled recorder response = %+v, want enabled=false, seen=0, records=[]", off)
+	}
+}

@@ -49,6 +49,19 @@ func ce(ctx context.Context, env *Env, q Query, opts Options) (*Result, error) {
 			s.OnProgress(fn)
 		}
 	}
+	// fail finalizes the metrics gathered so far and returns them alongside
+	// the error, so observers (the flight recorder, slow-query logs) can
+	// account the work a cancelled or failed query performed. The distance
+	// cache is deliberately not fed on this path.
+	fail := func(err error) (*Result, error) {
+		for _, s := range searchers {
+			m.NodesExpanded += s.NodesExpanded()
+		}
+		finishMetrics(env, &m, start)
+		probe.finish(&m)
+		return &Result{Metrics: m}, err
+	}
+
 	probe.begin(obs.PhaseCEFilter)
 	exhausted := make([]bool, n)
 	numExhausted := 0
@@ -168,7 +181,7 @@ func ce(ctx context.Context, env *Env, q Query, opts Options) (*Result, error) {
 		// settlement, so it re-checks at the same stride.
 		if rounds++; rounds%64 == 0 {
 			if err := ctx.Err(); err != nil {
-				return nil, err
+				return fail(err)
 			}
 		}
 		if len(cands) == 0 && stopAdmitting() {
@@ -233,7 +246,7 @@ func ce(ctx context.Context, env *Env, q Query, opts Options) (*Result, error) {
 
 		hit, ok, err := searchers[i].NextObject()
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		if !ok {
 			exhausted[i] = true

@@ -103,6 +103,17 @@ func edc(ctx context.Context, env *Env, q Query, opts Options) (*Result, error) 
 		}
 	}
 
+	// fail finalizes the metrics gathered so far and returns them alongside
+	// the error, so observers (the flight recorder, slow-query logs) can
+	// account the work a cancelled or failed query performed. The distance
+	// cache is deliberately not fed on this path.
+	fail := func(err error) (*Result, error) {
+		collectSearcherStats(&m, astars)
+		finishMetrics(env, &m, start)
+		probe.finish(&m)
+		return &Result{Metrics: m}, err
+	}
+
 	var shifted [][]float64 // p-bar vectors of processed seeds
 	var skyVecs [][]float64 // vectors of reported skyline points
 	fetched := make(map[graph.ObjectID]bool)
@@ -218,7 +229,7 @@ func edc(ctx context.Context, env *Env, q Query, opts Options) (*Result, error) 
 		// distances resolve via the settled-endpoints shortcut (no
 		// expansion at all) cannot starve cancellation.
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return fail(err)
 		}
 		probe.begin(obs.PhaseEDCSeed)
 		seed, _, ok := seeds.Next()
@@ -231,7 +242,7 @@ func edc(ctx context.Context, env *Env, q Query, opts Options) (*Result, error) 
 		err := fetch(id)
 		probe.end()
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		pbar := candVec[id]
 		shifted = append(shifted, pbar)
@@ -268,7 +279,7 @@ func edc(ctx context.Context, env *Env, q Query, opts Options) (*Result, error) 
 		probe.begin(obs.PhaseEDCVerify)
 		for _, oid := range batch {
 			if err := fetch(oid); err != nil {
-				return nil, err
+				return fail(err)
 			}
 		}
 		probe.end()

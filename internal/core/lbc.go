@@ -39,7 +39,12 @@ func lbc(ctx context.Context, env *Env, q Query, opts Options) (*Result, error) 
 	for {
 		p, ok, err := it.Next()
 		if err != nil {
-			return nil, err
+			// Next already finalized the iterator; Close is an idempotent
+			// safety net. The frozen metrics account the work the failed
+			// query performed, for observers like the flight recorder.
+			it.Close()
+			res.Metrics = it.Metrics()
+			return res, err
 		}
 		if !ok {
 			break

@@ -309,6 +309,13 @@ func collectSearcherStats(m *Metrics, astars []*sp.AStar) {
 // expansion loops of all three algorithms and returns ctx.Err(). An
 // already-cancelled context returns immediately without touching the
 // environment. A nil context means context.Background().
+//
+// On error the Result may still be non-nil: once an algorithm's searchers
+// are running, a failed or cancelled query returns a *Result whose Metrics
+// account the work performed up to the abort (with an empty or partial
+// Skyline that must not be used as an answer). Callers that only care
+// about success can keep treating a non-nil error as "no result"; cost
+// observers read res.Metrics when res != nil.
 func Run(ctx context.Context, env *Env, q Query, alg Algorithm, opts Options) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()

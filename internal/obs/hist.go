@@ -1,17 +1,17 @@
 package obs
 
 import (
+	"fmt"
+	"sort"
 	"sync/atomic"
 	"time"
 )
 
-const numWaitBuckets = 6
-
-// WaitBuckets are the upper bounds (inclusive) of the queue-wait
-// histogram, Prometheus-style: an observation lands in the first bucket
-// whose bound it does not exceed, and past the last bound in the
-// implicit +Inf overflow bucket.
-var WaitBuckets = [numWaitBuckets]time.Duration{
+// WaitBuckets are the default upper bounds (inclusive) of the pool's
+// queue-wait histogram, Prometheus-style: an observation lands in the
+// first bucket whose bound it does not exceed, and past the last bound in
+// the implicit +Inf overflow bucket.
+var WaitBuckets = []time.Duration{
 	100 * time.Microsecond,
 	time.Millisecond,
 	10 * time.Millisecond,
@@ -20,20 +20,70 @@ var WaitBuckets = [numWaitBuckets]time.Duration{
 	10 * time.Second,
 }
 
+// DurationBuckets are the default upper bounds of the per-query duration
+// histograms: roughly logarithmic from half a millisecond (a warm
+// in-memory query) to ten seconds (a pathological paper-scale expansion).
+var DurationBuckets = []time.Duration{
+	500 * time.Microsecond,
+	time.Millisecond,
+	2500 * time.Microsecond,
+	5 * time.Millisecond,
+	10 * time.Millisecond,
+	25 * time.Millisecond,
+	50 * time.Millisecond,
+	100 * time.Millisecond,
+	250 * time.Millisecond,
+	500 * time.Millisecond,
+	time.Second,
+	2500 * time.Millisecond,
+	5 * time.Second,
+	10 * time.Second,
+}
+
 // Histogram is a fixed-bucket duration histogram safe for concurrent
-// observation: one atomic add per Observe, no locks. Buckets are
-// non-cumulative internally and cumulated at snapshot time to match the
-// Prometheus exposition convention.
+// observation: one atomic add per Observe, no locks. Bucket bounds are
+// supplied at construction; counts are non-cumulative internally and
+// cumulated at snapshot time to match the Prometheus exposition
+// convention. Construct with NewHistogram (the zero value has no buckets
+// and panics on Observe).
 type Histogram struct {
-	counts [numWaitBuckets + 1]atomic.Uint64 // one per bucket plus +Inf overflow
+	bounds []time.Duration
+	counts []atomic.Uint64 // one per bound plus the +Inf overflow
 	count  atomic.Uint64
 	sum    atomic.Int64 // nanoseconds
+}
+
+// NewHistogram builds a histogram over the given bucket upper bounds
+// (inclusive). The bounds are copied and must be strictly increasing and
+// positive; nil or empty means WaitBuckets.
+func NewHistogram(bounds []time.Duration) *Histogram {
+	if len(bounds) == 0 {
+		bounds = WaitBuckets
+	}
+	b := make([]time.Duration, len(bounds))
+	copy(b, bounds)
+	if !sort.SliceIsSorted(b, func(i, j int) bool { return b[i] < b[j] }) || b[0] <= 0 {
+		panic(fmt.Sprintf("obs: histogram bounds must be positive and strictly increasing: %v", b))
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] == b[i-1] {
+			panic(fmt.Sprintf("obs: duplicate histogram bound %v", b[i]))
+		}
+	}
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Bounds returns a copy of the histogram's bucket upper bounds.
+func (h *Histogram) Bounds() []time.Duration {
+	b := make([]time.Duration, len(h.bounds))
+	copy(b, h.bounds)
+	return b
 }
 
 // Observe records one duration.
 func (h *Histogram) Observe(d time.Duration) {
 	i := 0
-	for i < numWaitBuckets && d > WaitBuckets[i] {
+	for i < len(h.bounds) && d > h.bounds[i] {
 		i++
 	}
 	h.counts[i].Add(1)
@@ -42,9 +92,10 @@ func (h *Histogram) Observe(d time.Duration) {
 }
 
 // HistogramSnapshot is a point-in-time copy of a Histogram. Buckets are
-// cumulative counts aligned with WaitBuckets; Count includes the +Inf
+// cumulative counts aligned with Bounds; Count includes the +Inf
 // overflow, so Count >= Buckets[len-1].
 type HistogramSnapshot struct {
+	Bounds  []time.Duration
 	Buckets []uint64
 	Count   uint64
 	Sum     time.Duration
@@ -54,9 +105,12 @@ type HistogramSnapshot struct {
 // copy; each bucket is individually consistent, so the skew between Sum,
 // Count and the buckets is at most the in-flight observations.
 func (h *Histogram) Snapshot() HistogramSnapshot {
-	s := HistogramSnapshot{Buckets: make([]uint64, numWaitBuckets)}
+	s := HistogramSnapshot{
+		Bounds:  h.Bounds(),
+		Buckets: make([]uint64, len(h.bounds)),
+	}
 	var cum uint64
-	for i := range WaitBuckets {
+	for i := range h.bounds {
 		cum += h.counts[i].Load()
 		s.Buckets[i] = cum
 	}

@@ -2,6 +2,7 @@ package roadskyline
 
 import (
 	"context"
+	"time"
 
 	"roadskyline/internal/core"
 	"roadskyline/internal/graph"
@@ -18,8 +19,11 @@ import (
 // engine's metrics and trace finalize and the searcher state is released;
 // a fully drained iterator finalizes itself.
 type SkylineIterator struct {
-	eng *Engine
-	it  *core.LBCIterator
+	eng      *Engine
+	it       *core.LBCIterator
+	q        Query
+	start    time.Time
+	recorded bool
 }
 
 // SkylineIter starts a progressive LBC skyline query without cancellation.
@@ -42,7 +46,7 @@ func (e *Engine) SkylineIterContext(ctx context.Context, q Query) (*SkylineItera
 	for i, p := range q.Points {
 		pts[i] = graph.Location{Edge: graph.EdgeID(p.Edge), Offset: p.Offset}
 	}
-	it, err := core.NewLBCIterator(ctx, e.env, core.Query{Points: pts, UseAttrs: q.UseAttrs}, core.Options{
+	opts := core.Options{
 		ColdCache:        !e.cfg.WarmCache,
 		LBCAlternate:     q.Alternate,
 		LBCSource:        q.Source,
@@ -50,11 +54,28 @@ func (e *Engine) SkylineIterContext(ctx context.Context, q Query) (*SkylineItera
 		DisableDistCache: q.NoDistCache,
 		Tracer:           q.Tracer,
 		CollectPhases:    q.CollectPhases,
-	})
+	}
+	var start time.Time
+	if e.flight != nil {
+		opts.CollectPhases = true
+		start = time.Now()
+	}
+	it, err := core.NewLBCIterator(ctx, e.env, core.Query{Points: pts, UseAttrs: q.UseAttrs}, opts)
 	if err != nil {
+		e.recordFlight(LBCAlg.String(), q, core.Metrics{}, time.Since(start), err, false)
 		return nil, err
 	}
-	return &SkylineIterator{eng: e, it: it}, nil
+	return &SkylineIterator{eng: e, it: it, q: q, start: start}, nil
+}
+
+// record files the query with the engine's flight recorder exactly once,
+// at the iterator's first terminal event (exhaustion, error, or Close).
+func (s *SkylineIterator) record(err error, abandoned bool) {
+	if s.recorded || s.eng.flight == nil {
+		return
+	}
+	s.recorded = true
+	s.eng.recordFlight(LBCAlg.String(), s.q, s.it.Metrics(), time.Since(s.start), err, abandoned)
 }
 
 // Next returns the next skyline point; ok is false when the skyline is
@@ -62,6 +83,10 @@ func (e *Engine) SkylineIterContext(ctx context.Context, q Query) (*SkylineItera
 func (s *SkylineIterator) Next() (SkylinePoint, bool, error) {
 	p, ok, err := s.it.Next()
 	if err != nil || !ok {
+		// The core iterator has finalized (the metrics are frozen);
+		// record the query's outcome: "served" on clean exhaustion,
+		// error/cancelled otherwise.
+		s.record(err, false)
 		return SkylinePoint{}, ok, err
 	}
 	return SkylinePoint{
@@ -74,10 +99,14 @@ func (s *SkylineIterator) Next() (SkylinePoint, bool, error) {
 // Close finalizes an iteration abandoned before exhaustion: the query's
 // metrics and trace close where the stream stopped, searcher state is
 // released, and the next query on the engine starts from clean counters.
-// It is idempotent, and unnecessary (but harmless) after Next has reported
-// exhaustion. After Close, Next reports exhaustion and Stats returns the
-// frozen counters.
-func (s *SkylineIterator) Close() { s.it.Close() }
+// An abandoned iteration is recorded with the flight recorder under the
+// "abandoned" outcome. Close is idempotent, and unnecessary (but
+// harmless) after Next has reported exhaustion. After Close, Next reports
+// exhaustion and Stats returns the frozen counters.
+func (s *SkylineIterator) Close() {
+	s.it.Close()
+	s.record(nil, true)
+}
 
 // Stats returns the query's cost counters: frozen finals once the iterator
 // is exhausted or closed, otherwise a live snapshot of the work so far.

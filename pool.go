@@ -46,8 +46,9 @@ type Pool struct {
 	closed  chan struct{}
 	once    sync.Once
 
-	all []*poolWorker // every worker, immutable after NewPool; for snapshots
-	met poolCounters
+	all    []*poolWorker // every worker, immutable after NewPool; for snapshots
+	met    poolCounters
+	flight *obs.FlightRecorder // shared with every clone; nil when disabled
 }
 
 // poolWorker pairs an engine clone with its lifetime buffer statistics.
@@ -81,7 +82,7 @@ type poolCounters struct {
 	closed    atomic.Uint64
 	inFlight  atomic.Int64
 	waiting   atomic.Int64
-	queueWait obs.Histogram
+	queueWait *obs.Histogram
 }
 
 // finish classifies a finished submission by its final error, keeping the
@@ -118,7 +119,9 @@ func NewPool(e *Engine, cfg PoolConfig) (*Pool, error) {
 		size:    cfg.Workers,
 		closed:  make(chan struct{}),
 		all:     make([]*poolWorker, cfg.Workers),
+		flight:  e.flight,
 	}
+	p.met.queueWait = obs.NewHistogram(obs.WaitBuckets)
 	for i := 0; i < cfg.Workers; i++ {
 		w := &poolWorker{eng: e.Clone(), id: i}
 		p.all[i] = w
@@ -129,6 +132,45 @@ func NewPool(e *Engine, cfg PoolConfig) (*Pool, error) {
 
 // Workers returns the number of engine clones in the pool.
 func (p *Pool) Workers() int { return p.size }
+
+// FlightRecords returns the flight recorder's retained per-query records,
+// newest first (see Engine.FlightRecords). The recorder is shared by
+// every worker and by the source engine; nil when the source engine was
+// built without one.
+func (p *Pool) FlightRecords() []FlightRecord { return p.flight.Records() }
+
+// recordAdmission files a submission the engine never saw — rejected at
+// admission or cancelled while waiting for a worker — with the flight
+// recorder, so recorder outcome counts reconcile with the pool's
+// submission counters. Queries that reach a worker are recorded by the
+// engine instead. A no-op when the recorder is disabled.
+func (p *Pool) recordAdmission(alg string, q Query, err error) {
+	if p.flight == nil {
+		return
+	}
+	var outcome string
+	switch {
+	case errors.Is(err, ErrPoolSaturated):
+		outcome = obs.OutcomeSaturated
+	case errors.Is(err, ErrPoolClosed):
+		outcome = obs.OutcomeClosed
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		outcome = obs.OutcomeCancelled
+	default:
+		outcome = obs.OutcomeError
+	}
+	p.flight.Record(obs.FlightRecord{
+		Alg:         alg,
+		NumPoints:   len(q.Points),
+		UseAttrs:    q.UseAttrs,
+		Alternate:   q.Alternate,
+		Source:      q.Source,
+		NoLandmarks: q.NoLandmarks,
+		NoDistCache: q.NoDistCache,
+		Outcome:     outcome,
+		Err:         err.Error(),
+	})
+}
 
 // Close shuts the pool: queries already running finish normally, every
 // waiter and later call fails with ErrPoolClosed. Close is idempotent.
@@ -209,6 +251,7 @@ func (p *Pool) Skyline(ctx context.Context, q Query) (*Result, error) {
 func (p *Pool) skyline(ctx context.Context, q Query) (*Result, error) {
 	w, err := p.acquire(ctx)
 	if err != nil {
+		p.recordAdmission(q.Algorithm.String(), q, err)
 		return nil, err
 	}
 	defer p.release(w, true)
@@ -236,6 +279,7 @@ func (p *Pool) SkylineBatch(ctx context.Context, queries []Query) (results []*Re
 			w, err := p.acquireWait(ctx)
 			if err != nil {
 				errs[i] = err
+				p.recordAdmission(queries[i].Algorithm.String(), queries[i], err)
 				p.met.finish(err)
 				return
 			}
@@ -260,6 +304,7 @@ func (p *Pool) SkylineIter(ctx context.Context, q Query) (*PoolIterator, error) 
 	p.met.submitted.Add(1)
 	w, err := p.acquire(ctx)
 	if err != nil {
+		p.recordAdmission(LBCAlg.String(), q, err)
 		p.met.finish(err)
 		return nil, err
 	}

@@ -1,10 +1,14 @@
 package roadskyline
 
 import (
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
+	"strconv"
+	"strings"
 )
 
 // MetricsHandler returns an http.Handler serving the pool's metrics in
@@ -28,6 +32,42 @@ func (p *Pool) ExpvarFunc() expvar.Func {
 	return expvar.Func(func() any { return p.PoolMetrics() })
 }
 
+// histogramSeries is one labeled series of a histogram family: labels is
+// the rendered label pairs without the trailing le pair (empty for an
+// unlabeled family), h the snapshot to render.
+type histogramSeries struct {
+	labels string
+	h      WaitHistogram
+}
+
+// writeHistogramFamily renders one histogram family in the Prometheus
+// text format: HELP/TYPE once, then per series the cumulative buckets
+// with their le bounds, the +Inf bucket, and _sum/_count. Every histogram
+// family goes through here so the exposition shape cannot drift between
+// families.
+func writeHistogramFamily(w io.Writer, name, help string, series []histogramSeries) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	for _, s := range series {
+		pre := s.labels
+		if pre != "" {
+			pre += ","
+		}
+		for i, b := range s.h.Bounds {
+			if i < len(s.h.Buckets) {
+				fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", name, pre, fmt.Sprintf("%g", b.Seconds()), s.h.Buckets[i])
+			}
+		}
+		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", name, pre, "+Inf", s.h.Count)
+		if s.labels != "" {
+			fmt.Fprintf(w, "%s_sum{%s} %g\n", name, s.labels, s.h.Sum.Seconds())
+			fmt.Fprintf(w, "%s_count{%s} %d\n", name, s.labels, s.h.Count)
+		} else {
+			fmt.Fprintf(w, "%s_sum %g\n", name, s.h.Sum.Seconds())
+			fmt.Fprintf(w, "%s_count %d\n", name, s.h.Count)
+		}
+	}
+}
+
 // writePoolMetrics renders one snapshot in Prometheus text format. Metric
 // families appear in a fixed order so scrapes diff cleanly.
 func writePoolMetrics(w io.Writer, m PoolMetrics) {
@@ -49,16 +89,9 @@ func writePoolMetrics(w io.Writer, m PoolMetrics) {
 	fmt.Fprintf(w, "roadskyline_pool_queries_total{outcome=%q} %d\n", "cancelled", m.Cancelled)
 	fmt.Fprintf(w, "roadskyline_pool_queries_total{outcome=%q} %d\n", "closed", m.Closed)
 
-	fmt.Fprintf(w, "# HELP roadskyline_pool_queue_wait_seconds Time from submission to worker checkout.\n")
-	fmt.Fprintf(w, "# TYPE roadskyline_pool_queue_wait_seconds histogram\n")
-	for i, b := range QueueWaitBounds() {
-		if i < len(m.QueueWait.Buckets) {
-			fmt.Fprintf(w, "roadskyline_pool_queue_wait_seconds_bucket{le=%q} %d\n", fmt.Sprintf("%g", b.Seconds()), m.QueueWait.Buckets[i])
-		}
-	}
-	fmt.Fprintf(w, "roadskyline_pool_queue_wait_seconds_bucket{le=%q} %d\n", "+Inf", m.QueueWait.Count)
-	fmt.Fprintf(w, "roadskyline_pool_queue_wait_seconds_sum %g\n", m.QueueWait.Sum.Seconds())
-	fmt.Fprintf(w, "roadskyline_pool_queue_wait_seconds_count %d\n", m.QueueWait.Count)
+	writeHistogramFamily(w, "roadskyline_pool_queue_wait_seconds",
+		"Time from submission to worker checkout.",
+		[]histogramSeries{{h: m.QueueWait}})
 
 	fmt.Fprintf(w, "# HELP roadskyline_pool_worker_queries_total Queries completed per worker.\n")
 	fmt.Fprintf(w, "# TYPE roadskyline_pool_worker_queries_total counter\n")
@@ -87,4 +120,169 @@ func writePoolMetrics(w io.Writer, m PoolMetrics) {
 	fmt.Fprintf(w, "# TYPE roadskyline_distcache_evictions_total counter\n")
 	fmt.Fprintf(w, "roadskyline_distcache_evictions_total %d\n", m.DistCache.Evictions)
 	gauge("roadskyline_distcache_entries", "Wavefront snapshots resident in the distance cache.", m.DistCache.Entries)
+
+	fmt.Fprintf(w, "# HELP roadskyline_flight_queries_total Queries observed by the flight recorder, by outcome; empty when the recorder is disabled.\n")
+	fmt.Fprintf(w, "# TYPE roadskyline_flight_queries_total counter\n")
+	outcomes := make([]string, 0, len(m.FlightOutcomes))
+	for o := range m.FlightOutcomes {
+		outcomes = append(outcomes, o)
+	}
+	sort.Strings(outcomes)
+	for _, o := range outcomes {
+		fmt.Fprintf(w, "roadskyline_flight_queries_total{outcome=%q} %d\n", o, m.FlightOutcomes[o])
+	}
+
+	durs := make([]histogramSeries, len(m.Durations))
+	for i, d := range m.Durations {
+		durs[i] = histogramSeries{
+			labels: fmt.Sprintf("alg=%q,outcome=%q", d.Alg, d.Outcome),
+			h:      d.Hist,
+		}
+	}
+	writeHistogramFamily(w, "roadskyline_query_duration_seconds",
+		"Query response time (measured CPU plus modeled I/O) by algorithm and outcome; empty when the flight recorder is disabled.",
+		durs)
+}
+
+// flightResponse is the JSON body of the /debug/queries endpoint.
+type flightResponse struct {
+	// Enabled reports whether the engine was built with a flight recorder.
+	Enabled bool `json:"enabled"`
+	// Seen counts the queries recorded over the recorder's lifetime;
+	// Outcomes splits them by outcome. Retention is bounded, so
+	// len(Records) is typically far below Seen.
+	Seen     uint64            `json:"seen"`
+	Outcomes map[string]uint64 `json:"outcomes,omitempty"`
+	Records  []FlightRecord    `json:"records"`
+}
+
+// FlightHandler returns an http.Handler serving the flight recorder's
+// retained query records as JSON (default) or human-readable text
+// (?format=text). Query parameters filter the records:
+//
+//	alg=LBC        only queries of one algorithm (case-insensitive)
+//	outcome=error  only one outcome (served, error, cancelled,
+//	               abandoned, saturated, closed)
+//	slowest=10     order by total time descending and keep the top N
+//	               (the slowest-N reservoir guarantees the recorder's
+//	               lifetime top-SlowN are retained)
+//	limit=50       keep at most N records (after the other filters)
+//
+// Without slowest, records come newest first. Mount it under
+// /debug/queries:
+//
+//	http.Handle("/debug/queries", pool.FlightHandler())
+func (p *Pool) FlightHandler() http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, req *http.Request) {
+		params := req.URL.Query()
+		slowest, err := positiveIntParam(params.Get("slowest"))
+		if err != nil {
+			http.Error(rw, "slowest: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		limit, err := positiveIntParam(params.Get("limit"))
+		if err != nil {
+			http.Error(rw, "limit: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+
+		var recs []FlightRecord
+		if slowest > 0 {
+			recs = p.flight.Slowest(0) // all retained, slowest first; cut after filtering
+		} else {
+			recs = p.FlightRecords()
+		}
+		if alg := params.Get("alg"); alg != "" {
+			recs = filterRecords(recs, func(r FlightRecord) bool { return strings.EqualFold(r.Alg, alg) })
+		}
+		if outcome := params.Get("outcome"); outcome != "" {
+			recs = filterRecords(recs, func(r FlightRecord) bool { return r.Outcome == outcome })
+		}
+		if slowest > 0 && len(recs) > slowest {
+			recs = recs[:slowest]
+		}
+		if limit > 0 && len(recs) > limit {
+			recs = recs[:limit]
+		}
+		if recs == nil {
+			recs = []FlightRecord{} // render as [] rather than null
+		}
+
+		resp := flightResponse{
+			Enabled:  p.flight != nil,
+			Seen:     p.flight.Seen(),
+			Outcomes: p.flight.OutcomeCounts(),
+			Records:  recs,
+		}
+		if params.Get("format") == "text" {
+			rw.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			writeFlightText(rw, resp)
+			return
+		}
+		rw.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(rw)
+		enc.SetIndent("", "  ")
+		enc.Encode(resp)
+	})
+}
+
+// positiveIntParam parses an optional positive integer query parameter;
+// empty means unset (0).
+func positiveIntParam(s string) (int, error) {
+	if s == "" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("want a positive integer, got %q", s)
+	}
+	return n, nil
+}
+
+func filterRecords(recs []FlightRecord, keep func(FlightRecord) bool) []FlightRecord {
+	out := recs[:0:0]
+	for _, r := range recs {
+		if keep(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// writeFlightText renders the records for humans: one header line per
+// query followed by its per-phase breakdown.
+func writeFlightText(w io.Writer, resp flightResponse) {
+	if !resp.Enabled {
+		fmt.Fprintln(w, "flight recorder disabled (EngineConfig.FlightRecorder.Size = 0)")
+		return
+	}
+	fmt.Fprintf(w, "flight recorder: %d queries seen, %d retained\n", resp.Seen, len(resp.Records))
+	outcomes := make([]string, 0, len(resp.Outcomes))
+	for o := range resp.Outcomes {
+		outcomes = append(outcomes, o)
+	}
+	sort.Strings(outcomes)
+	for _, o := range outcomes {
+		fmt.Fprintf(w, "  %s=%d", o, resp.Outcomes[o])
+	}
+	if len(outcomes) > 0 {
+		fmt.Fprintln(w)
+	}
+	for _, r := range resp.Records {
+		fmt.Fprintf(w, "\n#%d %s alg=%s |Q|=%d outcome=%s total=%s initial=%s\n",
+			r.Seq, r.When.Format("15:04:05.000"), r.Alg, r.NumPoints, r.Outcome, r.Total, r.Initial)
+		if r.Err != "" {
+			fmt.Fprintf(w, "  err: %s\n", r.Err)
+		}
+		fmt.Fprintf(w, "  candidates=%d nodes=%d pages=%d gets=%d rtree=%d",
+			r.Candidates, r.NodesExpanded, r.NetworkPages, r.NetworkGets, r.RTreeNodes)
+		if r.DistCacheHits+r.DistCacheMisses > 0 {
+			fmt.Fprintf(w, " distcache=%d/%d", r.DistCacheHits, r.DistCacheHits+r.DistCacheMisses)
+		}
+		fmt.Fprintln(w)
+		for _, ph := range r.Phases {
+			fmt.Fprintf(w, "  phase %-15s x%-4d %-12s pages=%-6d nodes=%d\n",
+				ph.Phase, ph.Count, ph.Duration, ph.NetworkPages, ph.NodesExpanded)
+		}
+	}
 }

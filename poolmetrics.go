@@ -16,9 +16,14 @@ type WaitHistogram = obs.HistogramSnapshot
 // the waits no longer than QueueWaitBounds()[i].
 func QueueWaitBounds() []time.Duration {
 	b := make([]time.Duration, len(obs.WaitBuckets))
-	copy(b, obs.WaitBuckets[:])
+	copy(b, obs.WaitBuckets)
 	return b
 }
+
+// QueryDurations is one (algorithm, outcome) series of the per-query
+// duration histograms the flight recorder maintains: Hist.Buckets are
+// cumulative counts aligned with Hist.Bounds, as in WaitHistogram.
+type QueryDurations = obs.DurationSnapshot
 
 // WorkerStats is one worker's lifetime buffer-pool traffic: logical
 // network page requests and the faults among them, accumulated from the
@@ -83,6 +88,19 @@ type PoolMetrics struct {
 	// are pool-wide totals, not per-worker; all zeros when the source
 	// engine was built without a cache.
 	DistCache DistCacheStats
+	// FlightSeen counts the queries the flight recorder observed over its
+	// lifetime; FlightOutcomes splits them by outcome ("served", "error",
+	// "cancelled", "abandoned", "saturated", "closed"). At quiescence the
+	// recorder reconciles exactly with the submission counters above:
+	// Served = served + error + abandoned, and Cancelled, Saturated and
+	// Closed match their recorder outcomes one-to-one. Zero and nil when
+	// the recorder is disabled.
+	FlightSeen     uint64
+	FlightOutcomes map[string]uint64
+	// Durations are the per-(algorithm, outcome) query duration
+	// histograms fed at query finalization, sorted by algorithm then
+	// outcome. Nil when the flight recorder is disabled.
+	Durations []QueryDurations
 }
 
 // PoolMetrics snapshots the pool's runtime metrics. It is safe to call
@@ -102,7 +120,10 @@ func (p *Pool) PoolMetrics() PoolMetrics {
 		QueueWait:   p.met.queueWait.Snapshot(),
 		WorkerStats: make([]WorkerStats, len(p.all)),
 		// Any worker sees the shared cache; the first is as good as all.
-		DistCache: p.all[0].eng.DistCacheStats(),
+		DistCache:      p.all[0].eng.DistCacheStats(),
+		FlightSeen:     p.flight.Seen(),
+		FlightOutcomes: p.flight.OutcomeCounts(),
+		Durations:      p.flight.Durations(),
 	}
 	for i, w := range p.all {
 		m.WorkerStats[i] = WorkerStats{
