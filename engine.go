@@ -517,7 +517,9 @@ func (e *Engine) ShortestPath(from, to Location) (*PathResult, error) {
 	if err := e.net.g.ValidateLocation(gTo); err != nil {
 		return nil, err
 	}
-	a, err := sp.NewAStar(context.Background(), e.env, gFrom, e.net.g.Point(gFrom))
+	sc := e.env.AcquireScratch()
+	defer e.env.ReleaseScratch(sc)
+	a, err := sp.NewAStarWith(context.Background(), e.env, gFrom, e.net.g.Point(gFrom), sc)
 	if err != nil {
 		return nil, err
 	}

@@ -33,7 +33,7 @@ func NodeDistances(g *graph.Graph, src graph.Location) []float64 {
 			continue
 		}
 		dist[u] = d
-		for _, he := range g.Adj(u) {
+		for he := range g.Adj(u).All() {
 			if nd := d + he.Length; nd < dist[he.To] {
 				h.Push(he.To, nd)
 			}

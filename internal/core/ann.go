@@ -108,6 +108,9 @@ func AggregateNN(ctx context.Context, env *Env, points []graph.Location, k int, 
 	var m Metrics
 	astars := make([]*sp.AStar, n)
 	cacheHits := make([]bool, n)
+	// Scratches go back to the pool on every exit path; snapshots for the
+	// distance cache are deep copies taken before the deferred release runs.
+	defer releaseAStars(env, astars)
 	for i, p := range points {
 		a, hit, err := newAStar(ctx, env, opts, p, qPts[i], &m)
 		if err != nil {

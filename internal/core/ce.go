@@ -30,6 +30,9 @@ func ce(ctx context.Context, env *Env, q Query, opts Options) (*Result, error) {
 	var m Metrics
 	searchers := make([]*sp.Dijkstra, n)
 	cacheHits := make([]bool, n)
+	// Scratches go back to the pool on every exit path; snapshots for the
+	// distance cache are deep copies taken before the deferred release runs.
+	defer releaseDijkstras(env, searchers)
 	for i, p := range q.Points {
 		s, hit, err := newDijkstra(ctx, env, opts, p, &m)
 		if err != nil {

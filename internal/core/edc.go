@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"math"
 	"sort"
 	"time"
 
@@ -38,6 +39,22 @@ func rectLowerBoundVec(qPts []geom.Point, buf []float64, r geom.Rect) []float64 
 		buf[i] = 0
 	}
 	return buf
+}
+
+// unreachableVec reports whether every network-distance component of vec
+// is +Inf: no query point reaches the object's component. Such objects are
+// never skyline points — CE and LBC cannot even encounter them, since no
+// wavefront reaches them — but EDC fetches them through the R-tree window,
+// and all-+Inf vectors do not dominate each other, so without an explicit
+// check a query whose candidates are all unreachable would report every
+// one of them.
+func unreachableVec(vec []float64, n int) bool {
+	for _, d := range vec[:n] {
+		if !math.IsInf(d, 1) {
+			return false
+		}
+	}
+	return true
 }
 
 // maxEuclid returns an object's largest Euclidean distance to any query
@@ -83,6 +100,9 @@ func edc(ctx context.Context, env *Env, q Query, opts Options) (*Result, error) 
 	var m Metrics
 	astars := make([]*sp.AStar, n)
 	cacheHits := make([]bool, n)
+	// Scratches go back to the pool on every exit path; snapshots for the
+	// distance cache are deep copies taken before the deferred release runs.
+	defer releaseAStars(env, astars)
 	for i, p := range q.Points {
 		a, hit, err := newAStar(ctx, env, opts, p, qPts[i], &m)
 		if err != nil {
@@ -196,7 +216,7 @@ func edc(ctx context.Context, env *Env, q Query, opts Options) (*Result, error) 
 			if !skyline.DominatesOrEqual(vec, pbar) {
 				continue
 			}
-			dominated := skyline.DominatedBy(vec, skyVecs)
+			dominated := unreachableVec(vec, n) || skyline.DominatedBy(vec, skyVecs)
 			if !dominated {
 				for id2, vec2 := range candVec {
 					if id2 != id && skyline.Dominates(vec2, vec) {
@@ -299,7 +319,7 @@ func edc(ctx context.Context, env *Env, q Query, opts Options) (*Result, error) 
 	sort.Slice(remaining, func(a, b int) bool { return remaining[a] < remaining[b] })
 	for _, id := range remaining {
 		vec := candVec[id]
-		dominated := skyline.DominatedBy(vec, skyVecs)
+		dominated := unreachableVec(vec, n) || skyline.DominatedBy(vec, skyVecs)
 		if !dominated {
 			for id2, vec2 := range candVec {
 				if id2 != id && skyline.Dominates(vec2, vec) {

@@ -12,6 +12,7 @@ package core
 import (
 	"fmt"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"roadskyline/internal/diskgraph"
@@ -44,6 +45,12 @@ type Env struct {
 	// the cache is internally synchronized and its entries immutable, so a
 	// pool's workers feed and consult one cache.
 	DistCache *distcache.Cache
+
+	// scratch pools sp.Scratch instances (the dense epoch-stamped search
+	// state) across queries. The pointer is shared by clones: scratches are
+	// claimed exclusively per searcher, so pool workers serving concurrent
+	// queries draw from — and warm — one process-wide pool.
+	scratch *sync.Pool
 
 	numAttrs    int
 	bufferBytes int
@@ -179,6 +186,7 @@ func NewEnv(g *graph.Graph, objects []graph.Object, cfg EnvConfig) (*Env, error)
 		ObjTree:     rtree.BulkLoad(entries, cfg.RTreeFanout),
 		Landmarks:   lmTable,
 		DistCache:   distcache.New(cfg.DistCache),
+		scratch:     &sync.Pool{New: func() any { return sp.NewScratch() }},
 		numAttrs:    numAttrs,
 		bufferBytes: cfg.BufferBytes,
 		diskLatency: cfg.DiskLatency,
@@ -231,6 +239,25 @@ func (e *Env) ObjectsOn(ed graph.EdgeID, buf []middlelayer.ObjRef) ([]middlelaye
 
 // Edge implements sp.Net from the in-memory edge table.
 func (e *Env) Edge(ed graph.EdgeID) graph.Edge { return e.G.Edge(ed) }
+
+// NumNodes implements sp.Net from the in-memory graph.
+func (e *Env) NumNodes() int { return e.G.NumNodes() }
+
+// NumObjects implements sp.Net; object ids are dense slice indices.
+func (e *Env) NumObjects() int { return len(e.Objects) }
+
+// AcquireScratch takes a warm searcher scratch from the shared pool. Every
+// concurrently live searcher needs its own scratch; return it with
+// ReleaseScratch once the searcher is done.
+func (e *Env) AcquireScratch() *sp.Scratch { return e.scratch.Get().(*sp.Scratch) }
+
+// ReleaseScratch recycles a scratch taken by AcquireScratch. The searcher
+// built on it must not be used afterward.
+func (e *Env) ReleaseScratch(sc *sp.Scratch) {
+	if sc != nil {
+		e.scratch.Put(sc)
+	}
+}
 
 // ResetIO zeroes every I/O counter (buffer pools and R-tree node visits).
 func (e *Env) ResetIO() {

@@ -88,6 +88,7 @@ func NewLBCIterator(ctx context.Context, env *Env, q Query, opts Options) (*LBCI
 	for i, p := range q.Points {
 		a, hit, err := newAStar(ctx, env, opts, p, it.qPts[i], &it.metrics)
 		if err != nil {
+			releaseAStars(env, it.astars)
 			return nil, err
 		}
 		it.astars[i], it.cacheHits[i] = a, hit
@@ -213,6 +214,14 @@ func (it *LBCIterator) check(src int, cand srcCand) (SkylinePoint, bool, error) 
 			}
 		}
 		if pick == -1 {
+			// All distances are exact. An object no query point reaches is
+			// not a skyline point — CE never even admits one (no wavefront
+			// reaches it) — but its all-+Inf vector is not dominated by
+			// other all-+Inf vectors, so an all-unreachable object set
+			// would otherwise be reported wholesale.
+			if unreachableVec(it.lb, it.n) {
+				return SkylinePoint{}, false, nil
+			}
 			break
 		}
 		if it.opts.LBCDisablePLB {
@@ -268,6 +277,9 @@ func (it *LBCIterator) finalize() {
 	}
 	finishMetrics(it.env, &it.metrics, it.start)
 	it.probe.finish(&it.metrics)
+	// The cache snapshots above are deep copies, so the scratches can go
+	// back to the pool before the searchers are dropped.
+	releaseAStars(it.env, it.astars)
 	it.astars = nil
 	it.streams = nil
 	it.remaining = 0

@@ -131,6 +131,10 @@ func (s *nnStream) fill() error {
 			return err
 		}
 		s.confirmed++
+		// An unreachable head (+Inf) still enters the heap: with a single
+		// stream it is the only path into the dominance tests for objects
+		// that other query points do reach. Objects unreachable from every
+		// query point are rejected in the iterator's check step.
 		s.heap.Push(srcCand{id: id, dist: d}, d)
 	}
 }

@@ -223,16 +223,18 @@ func astarFlavor(env *Env, opts Options) uint8 {
 // seeding afresh; hit reports which happened, and the lookup is counted in
 // m.
 func newAStar(ctx context.Context, env *Env, opts Options, p graph.Location, pt geom.Point, m *Metrics) (a *sp.AStar, hit bool, err error) {
+	sc := env.AcquireScratch()
 	if c := distCacheFor(env, opts); c != nil {
 		if st, ok := c.Get(distcache.KindAStar, astarFlavor(env, opts), p); ok {
-			a, hit = sp.NewAStarFrom(ctx, env, st, pt), true
+			a, hit = sp.NewAStarFromWith(ctx, env, st, pt, sc), true
 			m.DistCacheHits++
 		} else {
 			m.DistCacheMisses++
 		}
 	}
 	if a == nil {
-		if a, err = sp.NewAStar(ctx, env, p, pt); err != nil {
+		if a, err = sp.NewAStarWith(ctx, env, p, pt, sc); err != nil {
+			env.ReleaseScratch(sc)
 			return nil, false, err
 		}
 	}
@@ -248,15 +250,39 @@ func newAStar(ctx context.Context, env *Env, opts Options, p graph.Location, pt 
 // newDijkstra builds one Dijkstra wavefront for a query point, resuming a
 // cached wavefront when the distance cache holds one for p.
 func newDijkstra(ctx context.Context, env *Env, opts Options, p graph.Location, m *Metrics) (*sp.Dijkstra, bool, error) {
+	sc := env.AcquireScratch()
 	if c := distCacheFor(env, opts); c != nil {
 		if st, ok := c.Get(distcache.KindDijkstra, 0, p); ok {
 			m.DistCacheHits++
-			return sp.NewDijkstraFrom(ctx, env, st), true, nil
+			return sp.NewDijkstraFromWith(ctx, env, st, sc), true, nil
 		}
 		m.DistCacheMisses++
 	}
-	d, err := sp.NewDijkstra(ctx, env, p)
-	return d, false, err
+	d, err := sp.NewDijkstraWith(ctx, env, p, sc)
+	if err != nil {
+		env.ReleaseScratch(sc)
+		return nil, false, err
+	}
+	return d, false, nil
+}
+
+// releaseAStars recycles the scratches of a query's A* searchers. Safe on
+// slices with nil holes; the searchers must not be used afterward.
+func releaseAStars(env *Env, astars []*sp.AStar) {
+	for _, a := range astars {
+		if a != nil {
+			env.ReleaseScratch(a.Scratch())
+		}
+	}
+}
+
+// releaseDijkstras is releaseAStars for CE's Dijkstra wavefronts.
+func releaseDijkstras(env *Env, ds []*sp.Dijkstra) {
+	for _, d := range ds {
+		if d != nil {
+			env.ReleaseScratch(d.Scratch())
+		}
+	}
 }
 
 // putAStarStates stores each searcher's final wavefront in the distance

@@ -102,9 +102,9 @@ func Build(g *graph.Graph, file storage.PageFile, bufferBytes int, order Order) 
 	}
 	for _, id := range ids {
 		adj := g.Adj(id)
-		recSize := recHeaderSize + len(adj)*recEntrySize
+		recSize := recHeaderSize + adj.Len()*recEntrySize
 		if recSize > storage.PageSize {
-			return nil, fmt.Errorf("diskgraph: node %d adjacency record (%d bytes, degree %d) exceeds page size", id, recSize, len(adj))
+			return nil, fmt.Errorf("diskgraph: node %d adjacency record (%d bytes, degree %d) exceeds page size", id, recSize, adj.Len())
 		}
 		if used+recSize > storage.PageSize {
 			if err := flush(); err != nil {
@@ -116,8 +116,9 @@ func Build(g *graph.Graph, file storage.PageFile, bufferBytes int, order Order) 
 		rec := page[used:]
 		binary.LittleEndian.PutUint64(rec[0:], math.Float64bits(pt.X))
 		binary.LittleEndian.PutUint64(rec[8:], math.Float64bits(pt.Y))
-		binary.LittleEndian.PutUint16(rec[16:], uint16(len(adj)))
-		for i, he := range adj {
+		binary.LittleEndian.PutUint16(rec[16:], uint16(adj.Len()))
+		for i := 0; i < adj.Len(); i++ {
+			he := adj.At(i)
 			e := rec[recHeaderSize+i*recEntrySize:]
 			toPt := g.NodePoint(he.To)
 			binary.LittleEndian.PutUint32(e[0:], uint32(he.To))

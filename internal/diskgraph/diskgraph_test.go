@@ -82,11 +82,11 @@ func TestRoundTrip(t *testing.T) {
 				t.Fatalf("Neighbors(%d): %v", id, err)
 			}
 			adj := g.Adj(nid)
-			if len(buf) != len(adj) {
-				t.Fatalf("node %d: %d neighbors, want %d", id, len(buf), len(adj))
+			if len(buf) != adj.Len() {
+				t.Fatalf("node %d: %d neighbors, want %d", id, len(buf), adj.Len())
 			}
 			for i, nb := range buf {
-				he := adj[i]
+				he := adj.At(i)
 				if nb.To != he.To || nb.Edge != he.Edge || nb.Length != he.Length {
 					t.Fatalf("node %d neighbor %d: %+v vs %+v", id, i, nb, he)
 				}
@@ -110,8 +110,8 @@ func TestNeighborsAppends(t *testing.T) {
 	if out[0].To != 99 {
 		t.Error("Neighbors overwrote existing buffer contents")
 	}
-	if len(out) != 1+len(g.Adj(0)) {
-		t.Errorf("appended %d, want %d", len(out)-1, len(g.Adj(0)))
+	if len(out) != 1+g.Adj(0).Len() {
+		t.Errorf("appended %d, want %d", len(out)-1, g.Adj(0).Len())
 	}
 }
 

@@ -2,6 +2,7 @@ package distcache
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"testing"
 
@@ -66,11 +67,11 @@ func TestGetPutRoundTrip(t *testing.T) {
 // serve each other's state.
 func TestQuantizedCollisionIsMiss(t *testing.T) {
 	c := New(Config{Entries: 8, Quantum: 1.0})
-	a := stateAt(1, 0.2)
-	b := stateAt(1, 0.7) // same bucket under quantum 1.0
+	a := stateAt(1, 0.8)
+	b := stateAt(1, 1.2) // both round to bucket 1 under quantum 1.0
 	c.Put(KindAStar, 0, a)
 	if _, ok := c.Get(KindAStar, 0, b.Src); ok {
-		t.Fatal("lookup for offset 0.7 returned the state expanded from offset 0.2")
+		t.Fatal("lookup for offset 1.2 returned the state expanded from offset 0.8")
 	}
 	// The later Put replaces the slot rather than growing the cache.
 	c.Put(KindAStar, 0, b)
@@ -82,6 +83,56 @@ func TestQuantizedCollisionIsMiss(t *testing.T) {
 	}
 	if _, ok := c.Get(KindAStar, 0, a.Src); ok {
 		t.Fatal("replaced state still served")
+	}
+}
+
+// TestQuantizationRoundsToNearestBucket pins the keyFor fix: offsets are
+// quantized by rounding to the nearest bucket center, so two bit-distinct
+// float encodings of the same location share one LRU slot even when they
+// straddle what used to be a Floor bucket boundary. Under the old
+// Floor-based key, 1.0-ulp fell in bucket 0 while 1.0 fell in bucket 1,
+// splitting one hot source across two slots.
+func TestQuantizationRoundsToNearestBucket(t *testing.T) {
+	c := New(Config{Entries: 8, Quantum: 1.0})
+	below := math.Nextafter(1.0, 0) // 1.0 - one ulp: Floor bucket 0, Round bucket 1
+	exact := 1.0                    // Floor bucket 1, Round bucket 1
+	c.Put(KindAStar, 0, stateAt(5, below))
+	c.Put(KindAStar, 0, stateAt(5, exact))
+	if st := c.Stats(); st.Entries != 1 {
+		t.Fatalf("entries = %d after puts at 1-ulp and 1.0, want 1 shared slot", st.Entries)
+	}
+	// Offsets on opposite sides of a bucket *center* still get distinct
+	// slots: 0.4 rounds to bucket 0, 0.6 to bucket 1.
+	c.Put(KindAStar, 0, stateAt(7, 0.4))
+	c.Put(KindAStar, 0, stateAt(7, 0.6))
+	if got, ok := c.Get(KindAStar, 0, graph.Location{Edge: 7, Offset: 0.4}); !ok || got.Src.Offset != 0.4 {
+		t.Fatalf("Get(0.4) = (%v, %v), want its own entry", got, ok)
+	}
+	if got, ok := c.Get(KindAStar, 0, graph.Location{Edge: 7, Offset: 0.6}); !ok || got.Src.Offset != 0.6 {
+		t.Fatalf("Get(0.6) = (%v, %v), want its own entry", got, ok)
+	}
+}
+
+// TestQuantizationNegativeZero pins that a -0.0 offset keys the same bucket
+// as +0.0 and that the exact-source equality check treats them as the same
+// location (IEEE -0.0 == +0.0), so a Put at one signed zero serves a Get at
+// the other.
+func TestQuantizationNegativeZero(t *testing.T) {
+	c := New(Config{Entries: 8, Quantum: 1.0})
+	negZero := math.Copysign(0, -1)
+	c.Put(KindAStar, 0, stateAt(2, 0.0))
+	if _, ok := c.Get(KindAStar, 0, graph.Location{Edge: 2, Offset: negZero}); !ok {
+		t.Fatal("Get at -0.0 missed a state stored at +0.0")
+	}
+	if st := c.Stats(); st.Entries != 1 {
+		t.Fatalf("entries = %d, want 1", st.Entries)
+	}
+	// A negative-ulp offset (rounding noise below zero) must also land in
+	// bucket 0, not bucket -1 as Floor would place it.
+	nearNegZero := math.Nextafter(negZero, -1)
+	c.Put(KindAStar, 0, stateAt(2, nearNegZero))
+	if st := c.Stats(); st.Entries != 1 {
+		t.Fatalf("entries = %d after put at -ulp, want the same slot as +0.0", st.Entries)
 	}
 }
 

@@ -55,7 +55,7 @@ func nodeDist(g *graph.Graph, src, dst graph.NodeID, dist []float64) float64 {
 		if u == dst {
 			return d
 		}
-		for _, he := range g.Adj(u) {
+		for he := range g.Adj(u).All() {
 			if nd := d + he.Length; nd < dist[he.To] {
 				h.Push(he.To, nd)
 			}

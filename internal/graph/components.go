@@ -17,7 +17,7 @@ func (g *Graph) Components() (labels []int32, count int32) {
 		for len(queue) > 0 {
 			u := queue[len(queue)-1]
 			queue = queue[:len(queue)-1]
-			for _, he := range g.adj[u] {
+			for _, he := range g.halfedges[g.adjOff[u]:g.adjOff[u+1]] {
 				if labels[he.To] < 0 {
 					labels[he.To] = count
 					queue = append(queue, he.To)

@@ -6,6 +6,7 @@ package graph
 
 import (
 	"fmt"
+	"iter"
 	"math"
 
 	"roadskyline/internal/geom"
@@ -47,11 +48,44 @@ type Halfedge struct {
 
 // Graph is an in-memory road network. Construct it with NewBuilder. A Graph
 // is immutable after Build and safe for concurrent readers.
+//
+// The adjacency is stored in CSR (compressed sparse row) form: one packed
+// halfedge slab indexed by per-node offsets. Node ids are dense, so a
+// node's halfedges are the slab range adjOff[id]..adjOff[id+1] — one
+// contiguous cache-friendly block, with no per-node slice headers or
+// pointer chasing.
 type Graph struct {
-	nodes  []Node
-	edges  []Edge
-	adj    [][]Halfedge
-	bounds geom.Rect
+	nodes     []Node
+	edges     []Edge
+	adjOff    []int32    // len NumNodes+1; node id's halfedges live at halfedges[adjOff[id]:adjOff[id+1]]
+	halfedges []Halfedge // CSR slab, grouped by owning node
+	bounds    geom.Rect
+}
+
+// AdjList is a read-only view of one node's adjacency range in the CSR
+// slab. Adj used to return the internal slice; a caller appending to or
+// sorting that slice would have corrupted the shared state of a graph that
+// is documented as immutable and is shared across engine clones. The view
+// exposes the halfedges without handing out the backing array.
+type AdjList struct {
+	hs []Halfedge
+}
+
+// Len returns the number of halfedges in the list.
+func (l AdjList) Len() int { return len(l.hs) }
+
+// At returns the i-th halfedge.
+func (l AdjList) At(i int) Halfedge { return l.hs[i] }
+
+// All iterates over the halfedges in slab order.
+func (l AdjList) All() iter.Seq[Halfedge] {
+	return func(yield func(Halfedge) bool) {
+		for _, he := range l.hs {
+			if !yield(he) {
+				return
+			}
+		}
+	}
 }
 
 // NumNodes returns the number of nodes.
@@ -69,9 +103,13 @@ func (g *Graph) NodePoint(id NodeID) geom.Point { return g.nodes[id].Pt }
 // Edge returns the edge with the given id.
 func (g *Graph) Edge(id EdgeID) Edge { return g.edges[id] }
 
-// Adj returns the adjacency list of node id. The returned slice is owned by
-// the graph and must not be modified.
-func (g *Graph) Adj(id NodeID) []Halfedge { return g.adj[id] }
+// Adj returns a read-only view of node id's adjacency list.
+func (g *Graph) Adj(id NodeID) AdjList {
+	return AdjList{hs: g.halfedges[g.adjOff[id]:g.adjOff[id+1]]}
+}
+
+// Degree returns the number of halfedges at node id.
+func (g *Graph) Degree(id NodeID) int { return int(g.adjOff[id+1] - g.adjOff[id]) }
 
 // Bounds returns the bounding rectangle of all node coordinates.
 func (g *Graph) Bounds() geom.Rect { return g.bounds }
@@ -157,14 +195,14 @@ func (b *Builder) Build() (*Graph, error) {
 	g := &Graph{
 		nodes:  b.nodes,
 		edges:  b.edges,
-		adj:    make([][]Halfedge, len(b.nodes)),
 		bounds: geom.EmptyRect(),
 	}
 	for _, n := range g.nodes {
 		g.bounds = g.bounds.Union(geom.RectFromPoint(n.Pt))
 	}
 	n := NodeID(len(g.nodes))
-	deg := make([]int, len(g.nodes))
+	deg := make([]int32, len(g.nodes))
+	total := 0
 	for _, e := range g.edges {
 		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
 			return nil, fmt.Errorf("graph: edge %d references missing node (%d-%d, have %d nodes)", e.ID, e.U, e.V, n)
@@ -177,20 +215,32 @@ func (b *Builder) Build() (*Graph, error) {
 			return nil, fmt.Errorf("graph: edge %d length %v shorter than Euclidean distance %v", e.ID, e.Length, euclid)
 		}
 		deg[e.U]++
-		if e.U != e.V {
-			deg[e.V]++
-		}
-	}
-	for i, d := range deg {
-		g.adj[i] = make([]Halfedge, 0, d)
-	}
-	for _, e := range g.edges {
-		g.adj[e.U] = append(g.adj[e.U], Halfedge{To: e.V, Edge: e.ID, Length: e.Length})
+		total++
 		// A self-loop contributes a single halfedge: traversing it returns
 		// to the same node, but the edge must still appear in the adjacency
 		// list so wavefronts scan it for data objects.
 		if e.U != e.V {
-			g.adj[e.V] = append(g.adj[e.V], Halfedge{To: e.U, Edge: e.ID, Length: e.Length})
+			deg[e.V]++
+			total++
+		}
+	}
+	// CSR layout: prefix-sum the degrees into offsets, then fill the slab
+	// with a per-node write cursor.
+	g.adjOff = make([]int32, len(g.nodes)+1)
+	for i, d := range deg {
+		g.adjOff[i+1] = g.adjOff[i] + d
+	}
+	g.halfedges = make([]Halfedge, total)
+	cursor := make([]int32, len(g.nodes))
+	copy(cursor, g.adjOff[:len(g.nodes)])
+	place := func(at NodeID, he Halfedge) {
+		g.halfedges[cursor[at]] = he
+		cursor[at]++
+	}
+	for _, e := range g.edges {
+		place(e.U, Halfedge{To: e.V, Edge: e.ID, Length: e.Length})
+		if e.U != e.V {
+			place(e.V, Halfedge{To: e.U, Edge: e.ID, Length: e.Length})
 		}
 	}
 	return g, nil

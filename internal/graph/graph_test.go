@@ -42,12 +42,15 @@ func TestBuilderBasics(t *testing.T) {
 	if e := g.Edge(1); e.U != 0 || e.V != 2 || e.Length != 2.0 {
 		t.Errorf("Edge(1) = %+v", e)
 	}
-	if len(g.Adj(0)) != 2 || len(g.Adj(1)) != 2 || len(g.Adj(2)) != 2 {
+	if g.Adj(0).Len() != 2 || g.Adj(1).Len() != 2 || g.Adj(2).Len() != 2 {
 		t.Errorf("adjacency degrees wrong")
+	}
+	if g.Degree(0) != 2 || g.Degree(1) != 2 || g.Degree(2) != 2 {
+		t.Errorf("Degree disagrees with Adj")
 	}
 	// Adjacency must mirror edges in both directions.
 	found := false
-	for _, he := range g.Adj(2) {
+	for he := range g.Adj(2).All() {
 		if he.To == 0 && he.Edge == 1 && he.Length == 2.0 {
 			found = true
 		}
@@ -58,6 +61,46 @@ func TestBuilderBasics(t *testing.T) {
 	want := geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
 	if g.Bounds() != want {
 		t.Errorf("Bounds = %v, want %v", g.Bounds(), want)
+	}
+}
+
+// TestAdjViewImmutable pins the read-only contract of Adj: callers get
+// halfedge values (via At or All), so mutating a materialized copy must not
+// alter what subsequent Adj calls observe. A previous version of Adj handed
+// out the graph's internal slice, letting callers corrupt shared state.
+func TestAdjViewImmutable(t *testing.T) {
+	g := triangle(t)
+	adj := g.Adj(0)
+	before := make([]Halfedge, 0, adj.Len())
+	for he := range adj.All() {
+		before = append(before, he)
+	}
+	// Mutate the copy every way a caller plausibly could have mutated the
+	// old shared slice: overwrite entries, append past its length.
+	cp := append([]Halfedge(nil), before...)
+	for i := range cp {
+		cp[i] = Halfedge{To: 99, Edge: 99, Length: 1e9}
+	}
+	_ = append(cp, Halfedge{To: 77})
+	// Values read through At must be copies too.
+	he := g.Adj(0).At(0)
+	he.Length = -1
+	after := g.Adj(0)
+	if after.Len() != len(before) {
+		t.Fatalf("Adj length changed: %d -> %d", len(before), after.Len())
+	}
+	for i := range before {
+		if after.At(i) != before[i] {
+			t.Fatalf("halfedge %d changed: %+v -> %+v", i, before[i], after.At(i))
+		}
+	}
+	// Edge endpoints seen through the view must stay consistent with the
+	// edge table (a corrupted slab would break this invariant).
+	for i := 0; i < after.Len(); i++ {
+		e := g.Edge(after.At(i).Edge)
+		if e.U != 0 && e.V != 0 {
+			t.Fatalf("halfedge %d references edge %d not incident to node 0", i, after.At(i).Edge)
+		}
 	}
 }
 
@@ -110,7 +153,7 @@ func TestBuildDegenerateTopology(t *testing.T) {
 		t.Fatalf("Build: %v", err)
 	}
 	loops := 0
-	for _, he := range g.Adj(1) {
+	for he := range g.Adj(1).All() {
 		if he.Edge == loop {
 			loops++
 			if he.To != 1 || he.Length != 10 {
@@ -123,7 +166,7 @@ func TestBuildDegenerateTopology(t *testing.T) {
 	}
 	for _, node := range []NodeID{0, 1} {
 		seen := map[EdgeID]bool{}
-		for _, he := range g.Adj(node) {
+		for he := range g.Adj(node).All() {
 			if he.Edge == p1 || he.Edge == p2 {
 				seen[he.Edge] = true
 			}

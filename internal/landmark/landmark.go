@@ -36,10 +36,16 @@ const DefaultK = 8
 // Table holds the landmark nodes and their exact distance tables. It is
 // immutable after Build and safe for concurrent use; it implements
 // sp.HeuristicSource.
+//
+// The distances are stored node-major: node v's distances to all k
+// landmarks occupy the contiguous row flat[v*k : (v+1)*k]. The hot Bound
+// path folds every landmark for one node, so a row is a single cache-line
+// scan where a landmark-major layout would touch k cache lines n slots
+// apart.
 type Table struct {
 	g     *graph.Graph
 	nodes []graph.NodeID // selected landmark nodes
-	dist  [][]float64    // dist[l][v] = network distance from nodes[l] to v
+	flat  []float64      // flat[v*k+l] = network distance from nodes[l] to v
 }
 
 // Build selects up to k landmarks on g by farthest-point sampling (the
@@ -57,6 +63,10 @@ func Build(g *graph.Graph, k int) *Table {
 		k = n
 	}
 	t := &Table{g: g}
+	// Selection works on landmark-major rows (each Dijkstra produces one);
+	// they are transposed into the node-major flat layout once the final
+	// landmark count is known.
+	var rows [][]float64
 	// minDist[v] = distance from v to the closest selected landmark.
 	minDist := make([]float64, n)
 	for i := range minDist {
@@ -66,7 +76,7 @@ func Build(g *graph.Graph, k int) *Table {
 	for len(t.nodes) < k {
 		d := nodeDistances(g, next)
 		t.nodes = append(t.nodes, next)
-		t.dist = append(t.dist, d)
+		rows = append(rows, d)
 		// Farthest-point step: pick the node worst covered by the selected
 		// set. +Inf (an unreached component) beats every finite distance,
 		// so isolated components get their own landmark before refinement
@@ -87,6 +97,13 @@ func Build(g *graph.Graph, k int) *Table {
 		}
 		next = pick
 	}
+	kk := len(t.nodes)
+	t.flat = make([]float64, n*kk)
+	for l, d := range rows {
+		for v, dv := range d {
+			t.flat[v*kk+l] = dv
+		}
+	}
 	return t
 }
 
@@ -105,7 +122,7 @@ func nodeDistances(g *graph.Graph, src graph.NodeID) []float64 {
 			continue
 		}
 		dist[u] = d
-		for _, he := range g.Adj(u) {
+		for he := range g.Adj(u).All() {
 			if nd := d + he.Length; nd < dist[he.To] {
 				h.Push(he.To, nd)
 			}
@@ -126,9 +143,12 @@ func (t *Table) Nodes() []graph.NodeID { return t.nodes }
 // +Inf when some landmark proves u and v lie in different components, and
 // 0 when no landmark has information about the pair.
 func (t *Table) NodeBound(u, v graph.NodeID) float64 {
+	k := len(t.nodes)
+	rowU := t.flat[int(u)*k : int(u)*k+k]
+	rowV := t.flat[int(v)*k : int(v)*k+k]
 	best := 0.0
-	for _, d := range t.dist {
-		du, dv := d[u], d[v]
+	for l, du := range rowU {
+		dv := rowV[l]
 		if math.IsInf(du, 1) || math.IsInf(dv, 1) {
 			if math.IsInf(du, 1) != math.IsInf(dv, 1) {
 				// The landmark reaches exactly one of the two: they are in
@@ -150,20 +170,24 @@ func (t *Table) NodeBound(u, v graph.NodeID) float64 {
 // enters the edge through an endpoint. Min preserves consistency
 // (|min(a,b)(u) - min(a,b)(v)| <= max of the per-side differences), so the
 // composed bound stays safe for the no-reopen A*. Per-landmark distances to
-// the two endpoints are cached here so the hot Bound path is one slice scan.
+// the two endpoints are cached here so the hot Bound path is one scan over
+// the node's contiguous landmark row.
 type target struct {
-	dist       [][]float64 // shared landmark tables
-	du, dv     []float64   // du[l] = dist[l][dest edge U], dv[l] = ...V
-	offU, offV float64     // along-edge offsets from each endpoint
+	flat       []float64 // shared node-major landmark table
+	k          int       // landmarks per row
+	du, dv     []float64 // du[l] = distance from landmark l to dest edge U, dv to V
+	offU, offV float64   // along-edge offsets from each endpoint
 }
 
 // ForTarget implements sp.HeuristicSource.
 func (t *Table) ForTarget(dest graph.Location, destPt geom.Point) sp.TargetHeuristic {
 	e := t.g.Edge(dest.Edge)
+	k := len(t.nodes)
 	tg := &target{
-		dist: t.dist,
-		du:   make([]float64, len(t.dist)),
-		dv:   make([]float64, len(t.dist)),
+		flat: t.flat,
+		k:    k,
+		du:   make([]float64, k),
+		dv:   make([]float64, k),
 		offU: dest.Offset,
 		offV: e.Length - dest.Offset,
 	}
@@ -172,18 +196,16 @@ func (t *Table) ForTarget(dest graph.Location, destPt geom.Point) sp.TargetHeuri
 		tg.offU = math.Min(tg.offU, tg.offV)
 		tg.offV = tg.offU
 	}
-	for l, d := range t.dist {
-		tg.du[l] = d[e.U]
-		tg.dv[l] = d[e.V]
-	}
+	copy(tg.du, t.flat[int(e.U)*k:int(e.U)*k+k])
+	copy(tg.dv, t.flat[int(e.V)*k:int(e.V)*k+k])
 	return tg
 }
 
 // Bound implements sp.TargetHeuristic.
 func (tg *target) Bound(n graph.NodeID) float64 {
+	row := tg.flat[int(n)*tg.k : int(n)*tg.k+tg.k]
 	bu, bv := 0.0, 0.0
-	for l, d := range tg.dist {
-		dn := d[n]
+	for l, dn := range row {
 		bu = sideBound(bu, dn, tg.du[l])
 		bv = sideBound(bv, dn, tg.dv[l])
 	}

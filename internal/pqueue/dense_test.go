@@ -1,0 +1,127 @@
+package pqueue
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDenseMatchesIndexed drives Dense and Indexed through an identical
+// random op sequence and requires bit-identical behaviour, including the
+// (key, id) pop tie-break the shortest-path searchers rely on for
+// deterministic expansion order.
+func TestDenseMatchesIndexed(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	d := NewDense()
+	d.Grow(64)
+	ix := NewIndexed[int32](0)
+	for step := 0; step < 30000; step++ {
+		switch op := rng.Intn(10); {
+		case op < 4: // push / decrease
+			id := int32(rng.Intn(64))
+			key := float64(rng.Intn(50)) // coarse keys force ties
+			d.Push(id, key)
+			ix.Push(id, key)
+		case op < 6: // update
+			id := int32(rng.Intn(64))
+			key := float64(rng.Intn(50))
+			d.Update(id, key)
+			ix.Update(id, key)
+		case op < 7: // point queries
+			id := int32(rng.Intn(64))
+			if d.Contains(id) != ix.Contains(id) {
+				t.Fatalf("step %d: Contains(%d) disagrees", step, id)
+			}
+			dk, dok := d.Key(id)
+			ik, iok := ix.Key(id)
+			if dk != ik || dok != iok {
+				t.Fatalf("step %d: Key(%d) = (%v,%v) vs (%v,%v)", step, id, dk, dok, ik, iok)
+			}
+		case op < 8 && d.Len() > 0: // reset both
+			if rng.Intn(20) == 0 {
+				d.Reset()
+				ix.Reset()
+			}
+		default: // pop
+			if d.Len() == 0 {
+				if ix.Len() != 0 {
+					t.Fatalf("step %d: dense empty, indexed has %d", step, ix.Len())
+				}
+				continue
+			}
+			did, dkey := d.Pop()
+			iid, ikey := ix.Pop()
+			if did != iid || dkey != ikey {
+				t.Fatalf("step %d: pop (%d,%v) vs (%d,%v)", step, did, dkey, iid, ikey)
+			}
+		}
+		if d.Len() != ix.Len() {
+			t.Fatalf("step %d: len %d vs %d", step, d.Len(), ix.Len())
+		}
+		if d.Len() > 0 && d.MinKey() != ix.MinKey() {
+			t.Fatalf("step %d: MinKey %v vs %v", step, d.MinKey(), ix.MinKey())
+		}
+	}
+}
+
+// TestDenseReset checks O(1) reset semantics: after Reset no stale entry is
+// visible, re-pushed ids behave as fresh, and popped-then-reset ids do not
+// resurrect.
+func TestDenseReset(t *testing.T) {
+	d := NewDense()
+	d.Grow(8)
+	d.Push(3, 1.0)
+	d.Push(5, 2.0)
+	d.Pop()
+	d.Reset()
+	if d.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", d.Len())
+	}
+	for id := int32(0); id < 8; id++ {
+		if d.Contains(id) {
+			t.Fatalf("id %d visible after Reset", id)
+		}
+	}
+	d.Push(5, 9.0) // previously queued with key 2: must re-insert at 9
+	if k, ok := d.Key(5); !ok || k != 9.0 {
+		t.Fatalf("Key(5) = (%v,%v) after Reset+Push", k, ok)
+	}
+	if id, k := d.Pop(); id != 5 || k != 9.0 {
+		t.Fatalf("Pop = (%d,%v)", id, k)
+	}
+}
+
+// TestDenseEpochWrap forces the uint32 epoch counter around zero and checks
+// that ancient stamps cannot alias the fresh epoch.
+func TestDenseEpochWrap(t *testing.T) {
+	d := NewDense()
+	d.Grow(4)
+	d.Push(2, 7.0)
+	d.epoch = ^uint32(0) // stamp[2] holds epoch 1, far in the "past"
+	d.Reset()            // wraps to 0, must clear stamps and land on 1
+	if d.epoch != 1 {
+		t.Fatalf("epoch after wrap = %d", d.epoch)
+	}
+	if d.Contains(2) {
+		t.Fatal("stale stamp aliased post-wrap epoch")
+	}
+	d.Push(2, 3.0)
+	if k, ok := d.Key(2); !ok || k != 3.0 {
+		t.Fatalf("Key(2) = (%v,%v) post-wrap", k, ok)
+	}
+}
+
+// TestDenseGrowPreserves checks growing the id space mid-run keeps queued
+// entries intact.
+func TestDenseGrowPreserves(t *testing.T) {
+	d := NewDense()
+	d.Grow(2)
+	d.Push(1, 4.0)
+	d.Grow(100)
+	d.Push(99, 1.0)
+	if id, k := d.Pop(); id != 99 || k != 1.0 {
+		t.Fatalf("Pop = (%d,%v)", id, k)
+	}
+	if id, k := d.Pop(); id != 1 || k != 4.0 {
+		t.Fatalf("Pop = (%d,%v)", id, k)
+	}
+}

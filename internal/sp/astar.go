@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"math"
 
-	"roadskyline/internal/diskgraph"
 	"roadskyline/internal/geom"
 	"roadskyline/internal/graph"
 	"roadskyline/internal/pqueue"
@@ -22,22 +21,22 @@ var ErrStaleSession = errors.New("sp: session superseded by a newer session on t
 // heuristic (the heuristic changes with the destination, the wavefront
 // does not — paper Sections 3 and 4.2).
 //
+// All working state lives in an epoch-stamped Scratch of dense arrays:
+// settled/frontier membership, g-values, frontier coordinates and the
+// predecessor tree are per-node array slots validated by the scratch epoch,
+// and the per-session f-keyed heap is the scratch's dense heap, Reset (O(1))
+// by each NewSession. Steady-state expansions allocate nothing.
+//
 // Only the most recently opened session may be advanced: sessions share
 // the searcher's wavefront, so interleaving would corrupt the expansion.
 // Abandoning a session (LBC drops a candidate once it is dominated) is
 // free — the wavefront stays valid.
 type AStar struct {
-	ctx     context.Context
-	net     Net
-	src     graph.Location
-	srcPt   geom.Point
-	settled map[graph.NodeID]float64
-	// frontier holds tentative distances and coordinates of wavefront
-	// nodes; coordinates ride along so heuristics need no page reads.
-	frontier map[graph.NodeID]frontierEntry
-	// parent records each node's predecessor on its current best path from
-	// the source (absent for the source edge's endpoints).
-	parent map[graph.NodeID]graph.NodeID
+	ctx    context.Context
+	net    Net
+	src    graph.Location
+	srcPt  geom.Point
+	sc     *Scratch
 	seq    int  // generation counter for session invalidation
 	noHeur bool // ablation: zero heuristic degrades A* to resumable Dijkstra
 	// hs, when set, strengthens every session's heuristic to
@@ -49,35 +48,32 @@ type AStar struct {
 	// HeuristicSource bound exceeded the Euclidean bound and vice versa.
 	landmarkWins int
 	euclidWins   int
-	nbuf         []diskgraph.Neighbor
 	// progress, when set, fires with the searcher's settlement total at
 	// the cancellation-check stride (see OnProgress).
 	progress func(nodesExpanded int)
 }
 
-type frontierEntry struct {
-	g  float64
-	pt geom.Point
+// NewAStar creates a searcher rooted at src with a private scratch. srcPt
+// must be the planar position of src (callers have it from the query
+// point). The context bounds every session's expansion: once it is
+// cancelled, Advance fails with ctx.Err() within cancelCheckEvery
+// settlements. A nil context means context.Background().
+func NewAStar(ctx context.Context, net Net, src graph.Location, srcPt geom.Point) (*AStar, error) {
+	return NewAStarWith(ctx, net, src, srcPt, nil)
 }
 
-// NewAStar creates a searcher rooted at src. srcPt must be the planar
-// position of src (callers have it from the query point). The context
-// bounds every session's expansion: once it is cancelled, Advance fails
-// with ctx.Err() within cancelCheckEvery settlements. A nil context means
-// context.Background().
-func NewAStar(ctx context.Context, net Net, src graph.Location, srcPt geom.Point) (*AStar, error) {
+// NewAStarWith is NewAStar reusing a pooled scratch. A nil scratch
+// allocates a fresh one. The searcher claims sc exclusively until the
+// caller stops using the searcher and recycles sc.
+func NewAStarWith(ctx context.Context, net Net, src graph.Location, srcPt geom.Point, sc *Scratch) (*AStar, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	a := &AStar{
-		ctx:      ctx,
-		net:      net,
-		src:      src,
-		srcPt:    srcPt,
-		settled:  make(map[graph.NodeID]float64),
-		frontier: make(map[graph.NodeID]frontierEntry),
-		parent:   make(map[graph.NodeID]graph.NodeID),
+	if sc == nil {
+		sc = NewScratch()
 	}
+	sc.begin(net.NumNodes(), net.NumObjects())
+	a := &AStar{ctx: ctx, net: net, src: src, srcPt: srcPt, sc: sc}
 	e := net.Edge(src.Edge)
 	uPt, err := net.NodePoint(e.U)
 	if err != nil {
@@ -87,19 +83,31 @@ func NewAStar(ctx context.Context, net Net, src graph.Location, srcPt geom.Point
 	if err != nil {
 		return nil, fmt.Errorf("sp: source edge endpoint: %w", err)
 	}
-	// seed keeps the smaller tentative distance when both seeds land on the
-	// same node — on a self-loop source edge (e.U == e.V) a plain map write
-	// would let the second side overwrite the shorter first one.
-	seed := func(id graph.NodeID, g float64, pt geom.Point) {
-		if cur, ok := a.frontier[id]; ok && cur.g <= g {
-			return
-		}
-		a.frontier[id] = frontierEntry{g: g, pt: pt}
-	}
-	seed(e.U, src.Offset, uPt)
-	seed(e.V, e.Length-src.Offset, vPt)
+	// seedFrontier keeps the smaller tentative distance when both seeds
+	// land on the same node — on a self-loop source edge (e.U == e.V) an
+	// unconditional write would let the second side overwrite the shorter
+	// first one.
+	a.seedFrontier(e.U, src.Offset, uPt)
+	a.seedFrontier(e.V, e.Length-src.Offset, vPt)
 	return a, nil
 }
+
+// seedFrontier places a source seed on the frontier, keeping the smaller g
+// on duplicate seeds. Seeds have no predecessor.
+func (a *AStar) seedFrontier(id graph.NodeID, g float64, pt geom.Point) {
+	sc := a.sc
+	if sc.nodeState(id) == stateFrontier && sc.g[id] <= g {
+		return
+	}
+	sc.touch(id, stateFrontier)
+	sc.g[id] = g
+	sc.pt[id] = pt
+	sc.parent[id] = -1
+}
+
+// Scratch returns the searcher's scratch, so callers that own a pool can
+// recycle it once the searcher is no longer used.
+func (a *AStar) Scratch() *Scratch { return a.sc }
 
 // DisableHeuristic zeroes the heuristic (Euclidean and any heuristic
 // source), degrading the searcher to a resumable Dijkstra. It exists for
@@ -135,6 +143,14 @@ func (a *AStar) Source() graph.Location { return a.src }
 // SourcePoint returns the searcher's source coordinates.
 func (a *AStar) SourcePoint() geom.Point { return a.srcPt }
 
+// settledDist returns the exact distance to id when it is settled.
+func (a *AStar) settledDist(id graph.NodeID) (float64, bool) {
+	if a.sc.nodeState(id) != stateSettled {
+		return 0, false
+	}
+	return a.sc.g[id], true
+}
+
 // Session is an A* run from the searcher's source toward one destination.
 // Advance performs one wavefront expansion step and reports the path
 // distance lower bound: a monotonically non-decreasing value that never
@@ -146,10 +162,10 @@ type Session struct {
 	destPt  geom.Point
 	destE   graph.Edge
 	th      TargetHeuristic // per-target bound from the searcher's source, nil without one
-	heap    *pqueue.Indexed[graph.NodeID]
-	tent    float64      // best known complete path to dest
-	via     graph.NodeID // endpoint the best path enters the dest edge by
-	direct  bool         // best path runs along the shared source edge
+	heap    *pqueue.Dense   // the scratch heap; valid while this session is newest
+	tent    float64         // best known complete path to dest
+	via     graph.NodeID    // endpoint the best path enters the dest edge by
+	direct  bool            // best path runs along the shared source edge
 	plb     float64
 	done    bool
 	unreach bool
@@ -159,13 +175,15 @@ type Session struct {
 // session invalidates any previously opened session on this searcher.
 func (a *AStar) NewSession(dest graph.Location, destPt geom.Point) *Session {
 	a.seq++
+	sc := a.sc
+	sc.frontier.Reset()
 	s := &Session{
 		a:      a,
 		seq:    a.seq,
 		dest:   dest,
 		destPt: destPt,
 		destE:  a.net.Edge(dest.Edge),
-		heap:   pqueue.NewIndexed[graph.NodeID](len(a.frontier) + 16),
+		heap:   sc.frontier,
 		tent:   math.Inf(1),
 	}
 	s.via = -1
@@ -183,8 +201,8 @@ func (a *AStar) NewSession(dest graph.Location, destPt geom.Point) *Session {
 	// and the session completes without touching the frontier at all.
 	// A self-loop destination edge degenerates cleanly: both checks read
 	// the same node and the min over its two entry offsets survives.
-	dU, okU := a.settled[s.destE.U]
-	dV, okV := a.settled[s.destE.V]
+	dU, okU := a.settledDist(s.destE.U)
+	dV, okV := a.settledDist(s.destE.V)
 	if okU && dU+dest.Offset < s.tent {
 		s.tent, s.via, s.direct = dU+dest.Offset, s.destE.U, false
 	}
@@ -195,16 +213,15 @@ func (a *AStar) NewSession(dest graph.Location, destPt geom.Point) *Session {
 		s.finish()
 		return s
 	}
-	// Re-key the shared frontier with this destination's heuristic, in
-	// node-id order: pushing in map iteration order would make heap
-	// tie-breaking — and with it the expansion order and every work
-	// counter — vary from run to run on equal f-keys.
-	// Re-key the shared frontier with this destination's heuristic. Map
-	// iteration order is random, but the heap's (key, id) ordering makes
-	// the expansion order independent of push order, so identical queries
+	// Re-key the shared frontier with this destination's heuristic. The
+	// touched list enumerates it in first-touch order — deterministic on
+	// its own, and the heap's (key, id) ordering additionally makes the
+	// expansion order independent of push order, so identical queries
 	// always expand identically.
-	for id, fe := range a.frontier {
-		s.heap.Push(id, fe.g+s.h(id, fe.pt))
+	for _, id := range sc.touched {
+		if sc.state[id] == stateFrontier {
+			s.heap.Push(int32(id), sc.g[id]+s.h(id, sc.pt[id]))
+		}
 	}
 	s.plb = math.Min(s.minF(), s.tent)
 	if s.minF() >= s.tent {
@@ -274,6 +291,7 @@ func (s *Session) Advance() (plb float64, done bool, err error) {
 		return 0, false, ErrStaleSession
 	}
 	a := s.a
+	sc := a.sc
 	if a.nodesExpanded%cancelCheckEvery == cancelCheckEvery-1 {
 		if err := a.ctx.Err(); err != nil {
 			return 0, false, err
@@ -282,34 +300,37 @@ func (s *Session) Advance() (plb float64, done bool, err error) {
 			a.progress(a.nodesExpanded)
 		}
 	}
-	u, _ := s.heap.Pop()
-	fe := a.frontier[u]
-	delete(a.frontier, u)
-	a.settled[u] = fe.g
+	u32, _ := s.heap.Pop()
+	u := graph.NodeID(u32)
+	g := sc.g[u]
+	sc.state[u] = stateSettled
 	a.nodesExpanded++
 
-	if u == s.destE.U && fe.g+s.dest.Offset < s.tent {
-		s.tent, s.via, s.direct = fe.g+s.dest.Offset, u, false
+	if u == s.destE.U && g+s.dest.Offset < s.tent {
+		s.tent, s.via, s.direct = g+s.dest.Offset, u, false
 	}
-	if u == s.destE.V && fe.g+s.destE.Length-s.dest.Offset < s.tent {
-		s.tent, s.via, s.direct = fe.g+s.destE.Length-s.dest.Offset, u, false
+	if u == s.destE.V && g+s.destE.Length-s.dest.Offset < s.tent {
+		s.tent, s.via, s.direct = g+s.destE.Length-s.dest.Offset, u, false
 	}
 
-	a.nbuf, err = a.net.Neighbors(u, a.nbuf[:0])
+	sc.nbuf, err = a.net.Neighbors(u, sc.nbuf[:0])
 	if err != nil {
 		return 0, false, fmt.Errorf("sp: expanding node %d: %w", u, err)
 	}
-	for _, nb := range a.nbuf {
-		if _, ok := a.settled[nb.To]; ok {
+	for _, nb := range sc.nbuf {
+		st := sc.nodeState(nb.To)
+		if st == stateSettled {
 			continue
 		}
-		newg := fe.g + nb.Length
-		if cur, ok := a.frontier[nb.To]; ok && cur.g <= newg {
+		newg := g + nb.Length
+		if st == stateFrontier && sc.g[nb.To] <= newg {
 			continue
 		}
-		a.frontier[nb.To] = frontierEntry{g: newg, pt: nb.ToPt}
-		a.parent[nb.To] = u
-		s.heap.Push(nb.To, newg+s.h(nb.To, nb.ToPt))
+		sc.touch(nb.To, stateFrontier)
+		sc.g[nb.To] = newg
+		sc.pt[nb.To] = nb.ToPt
+		sc.parent[nb.To] = int32(u)
+		s.heap.Push(int32(nb.To), newg+s.h(nb.To, nb.ToPt))
 	}
 
 	if lb := math.Min(s.minF(), s.tent); lb > s.plb {
@@ -317,9 +338,9 @@ func (s *Session) Advance() (plb float64, done bool, err error) {
 	}
 	if s.minF() >= s.tent {
 		s.finish()
-	} else if _, okU := a.settled[s.destE.U]; okU {
+	} else if _, okU := a.settledDist(s.destE.U); okU {
 		// Both endpoints settled: the distance is exact (see NewSession).
-		if _, okV := a.settled[s.destE.V]; okV {
+		if _, okV := a.settledDist(s.destE.V); okV {
 			s.finish()
 		}
 	}
@@ -364,17 +385,18 @@ func (s *Session) Path() ([]graph.NodeID, error) {
 		return nil, nil
 	}
 	// Walk the shared predecessor tree from the entry endpoint back to a
-	// source-edge seed (the only settled nodes without parents), then
+	// source-edge seed (the only touched nodes without parents), then
 	// reverse. Every ancestor of a settled node settled earlier, so the
 	// chain is stable even though later sessions keep growing the tree.
+	sc := s.a.sc
 	var rev []graph.NodeID
 	for v := s.via; ; {
 		rev = append(rev, v)
-		p, ok := s.a.parent[v]
-		if !ok {
+		p := sc.parent[v]
+		if p < 0 {
 			break
 		}
-		v = p
+		v = graph.NodeID(p)
 	}
 	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
 		rev[i], rev[j] = rev[j], rev[i]

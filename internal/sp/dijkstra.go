@@ -5,10 +5,7 @@ import (
 	"fmt"
 	"math"
 
-	"roadskyline/internal/diskgraph"
 	"roadskyline/internal/graph"
-	"roadskyline/internal/middlelayer"
-	"roadskyline/internal/pqueue"
 )
 
 // cancelCheckEvery is how many node settlements a searcher performs between
@@ -28,62 +25,66 @@ type ObjectHit struct {
 // yields data objects in ascending network distance (the incremental
 // network expansion of CE). Each call to NextObject resumes the wavefront
 // where the previous call stopped.
+//
+// All working state lives in an epoch-stamped Scratch of dense arrays:
+// constructing a searcher claims the scratch (invalidating any previous
+// searcher on it) and steady-state expansions allocate nothing.
 type Dijkstra struct {
-	ctx      context.Context
-	net      Net
-	src      graph.Location
-	settled  map[graph.NodeID]float64
-	frontier *pqueue.Indexed[graph.NodeID]
-
-	objBest map[graph.ObjectID]float64 // best tentative object distances
-	objDone map[graph.ObjectID]bool    // objects already reported
-	objHeap *pqueue.Queue[graph.ObjectID]
+	ctx context.Context
+	net Net
+	src graph.Location
+	sc  *Scratch
 
 	nodesExpanded int
-	nbuf          []diskgraph.Neighbor
-	obuf          []middlelayer.ObjRef
 	// progress, when set, fires with the settlement total at the
 	// cancellation-check stride (see OnProgress).
 	progress func(nodesExpanded int)
 }
 
-// NewDijkstra creates a wavefront rooted at src. The context bounds the
-// expansion: once it is cancelled, NextObject fails with ctx.Err() within
-// cancelCheckEvery settlements. A nil context means context.Background().
+// NewDijkstra creates a wavefront rooted at src with a private scratch. The
+// context bounds the expansion: once it is cancelled, NextObject fails with
+// ctx.Err() within cancelCheckEvery settlements. A nil context means
+// context.Background().
 func NewDijkstra(ctx context.Context, net Net, src graph.Location) (*Dijkstra, error) {
+	return NewDijkstraWith(ctx, net, src, nil)
+}
+
+// NewDijkstraWith is NewDijkstra reusing a pooled scratch. A nil scratch
+// allocates a fresh one. The searcher claims sc exclusively until the caller
+// stops using the searcher and recycles sc.
+func NewDijkstraWith(ctx context.Context, net Net, src graph.Location, sc *Scratch) (*Dijkstra, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	d := &Dijkstra{
-		ctx:      ctx,
-		net:      net,
-		src:      src,
-		settled:  make(map[graph.NodeID]float64),
-		frontier: pqueue.NewIndexed[graph.NodeID](64),
-		objBest:  make(map[graph.ObjectID]float64),
-		objDone:  make(map[graph.ObjectID]bool),
-		objHeap:  pqueue.New[graph.ObjectID](64),
+	if sc == nil {
+		sc = NewScratch()
 	}
+	sc.begin(net.NumNodes(), net.NumObjects())
+	d := &Dijkstra{ctx: ctx, net: net, src: src, sc: sc}
 	e := net.Edge(src.Edge)
 	// On a self-loop source edge (e.U == e.V) both pushes land on the same
-	// node; Indexed.Push keeps the smaller key (decrease-key semantics), so
+	// node; Dense.Push keeps the smaller key (decrease-key semantics), so
 	// the shorter side survives.
-	d.frontier.Push(e.U, src.Offset)
-	d.frontier.Push(e.V, e.Length-src.Offset)
+	d.pushFrontier(e.U, src.Offset)
+	d.pushFrontier(e.V, e.Length-src.Offset)
 	// Objects on the source edge are reachable directly along the edge.
 	// Shorter routes that leave the edge and re-enter it through an
 	// endpoint (the common case on self-loops) are found when the endpoint
 	// settles and the edge is rescanned.
 	var err error
-	d.obuf, err = net.ObjectsOn(src.Edge, d.obuf[:0])
+	sc.obuf, err = net.ObjectsOn(src.Edge, sc.obuf[:0])
 	if err != nil {
 		return nil, fmt.Errorf("sp: seeding source edge: %w", err)
 	}
-	for _, r := range d.obuf {
+	for _, r := range sc.obuf {
 		d.improveObject(r.ID, math.Abs(r.Offset-src.Offset))
 	}
 	return d, nil
 }
+
+// Scratch returns the searcher's scratch, so callers that own a pool can
+// recycle it once the searcher is no longer used.
+func (d *Dijkstra) Scratch() *Scratch { return d.sc }
 
 // NodesExpanded returns the number of nodes settled so far.
 func (d *Dijkstra) NodesExpanded() int { return d.nodesExpanded }
@@ -97,43 +98,50 @@ func (d *Dijkstra) Source() graph.Location { return d.src }
 // check's stride; a nil callback (the default) costs nothing.
 func (d *Dijkstra) OnProgress(fn func(nodesExpanded int)) { d.progress = fn }
 
+// pushFrontier relaxes node id to tentative distance key, stamping it into
+// the frontier on first contact. Settled nodes must be filtered by the
+// caller.
+func (d *Dijkstra) pushFrontier(id graph.NodeID, key float64) {
+	d.sc.touch(id, stateFrontier)
+	d.sc.frontier.Push(int32(id), key)
+}
+
 func (d *Dijkstra) improveObject(id graph.ObjectID, dist float64) {
-	if best, ok := d.objBest[id]; ok && best <= dist {
-		return
+	if d.sc.improveObject(id, dist) {
+		d.sc.objHeap.Push(id, dist)
 	}
-	d.objBest[id] = dist
-	d.objHeap.Push(id, dist)
 }
 
 // frontierMin returns the smallest tentative node distance on the
 // wavefront, or +Inf when the wavefront is exhausted.
 func (d *Dijkstra) frontierMin() float64 {
-	if d.frontier.Len() == 0 {
+	if d.sc.frontier.Len() == 0 {
 		return math.Inf(1)
 	}
-	return d.frontier.MinKey()
+	return d.sc.frontier.MinKey()
 }
 
 // NextObject returns the next unreported object in ascending network
 // distance. ok is false when no reachable objects remain.
 func (d *Dijkstra) NextObject() (hit ObjectHit, ok bool, err error) {
+	sc := d.sc
 	for {
 		// Report an object once no shorter path to it can exist: its
 		// tentative distance is at most the smallest frontier distance.
-		for d.objHeap.Len() > 0 {
-			id, key := d.objHeap.Peek()
-			if d.objDone[id] || key > d.objBest[id] {
-				d.objHeap.Pop() // stale or duplicate heap entry
+		for sc.objHeap.Len() > 0 {
+			id, key := sc.objHeap.Peek()
+			if sc.objState[id] == objDone || key > sc.objDist[id] {
+				sc.objHeap.Pop() // stale or duplicate heap entry
 				continue
 			}
 			if key <= d.frontierMin() {
-				d.objHeap.Pop()
-				d.objDone[id] = true
+				sc.objHeap.Pop()
+				sc.objState[id] = objDone
 				return ObjectHit{ID: id, Dist: key}, true, nil
 			}
 			break
 		}
-		if d.frontier.Len() == 0 {
+		if sc.frontier.Len() == 0 {
 			return ObjectHit{}, false, nil
 		}
 		if err := d.expandOne(); err != nil {
@@ -145,8 +153,11 @@ func (d *Dijkstra) NextObject() (hit ObjectHit, ok bool, err error) {
 // expandOne settles the closest frontier node, relaxing its edges and
 // scanning them for data objects.
 func (d *Dijkstra) expandOne() error {
-	u, dist := d.frontier.Pop()
-	d.settled[u] = dist
+	sc := d.sc
+	u32, dist := sc.frontier.Pop()
+	u := graph.NodeID(u32)
+	sc.state[u] = stateSettled
+	sc.g[u] = dist
 	d.nodesExpanded++
 	if d.nodesExpanded%cancelCheckEvery == 0 {
 		if err := d.ctx.Err(); err != nil {
@@ -157,33 +168,35 @@ func (d *Dijkstra) expandOne() error {
 		}
 	}
 	var err error
-	d.nbuf, err = d.net.Neighbors(u, d.nbuf[:0])
+	sc.nbuf, err = d.net.Neighbors(u, sc.nbuf[:0])
 	if err != nil {
 		return fmt.Errorf("sp: expanding node %d: %w", u, err)
 	}
-	for _, nb := range d.nbuf {
+	for _, nb := range sc.nbuf {
 		// Scan the edge for objects regardless of the neighbor's state: a
 		// settle on this side can still improve objects on the edge.
-		d.obuf, err = d.net.ObjectsOn(nb.Edge, d.obuf[:0])
+		sc.obuf, err = d.net.ObjectsOn(nb.Edge, sc.obuf[:0])
 		if err != nil {
 			return fmt.Errorf("sp: scanning edge %d: %w", nb.Edge, err)
 		}
-		if len(d.obuf) > 0 {
+		if len(sc.obuf) > 0 {
 			e := d.net.Edge(nb.Edge)
-			for _, r := range d.obuf {
+			for _, r := range sc.obuf {
 				d.improveObject(r.ID, dist+offsetFrom(e, u, r.Offset))
 			}
 		}
-		if _, settled := d.settled[nb.To]; settled {
+		if sc.nodeState(nb.To) == stateSettled {
 			continue
 		}
-		d.frontier.Push(nb.To, dist+nb.Length)
+		d.pushFrontier(nb.To, dist+nb.Length)
 	}
 	return nil
 }
 
 // SettledDist returns the exact network distance to a settled node.
 func (d *Dijkstra) SettledDist(id graph.NodeID) (float64, bool) {
-	dist, ok := d.settled[id]
-	return dist, ok
+	if d.sc.nodeState(id) != stateSettled {
+		return 0, false
+	}
+	return d.sc.g[id], true
 }

@@ -35,6 +35,11 @@ type Net interface {
 	ObjectsOn(e graph.EdgeID, buf []middlelayer.ObjRef) ([]middlelayer.ObjRef, error)
 	// Edge returns edge e's endpoints and length.
 	Edge(e graph.EdgeID) graph.Edge
+	// NumNodes returns the size of the dense node-id space. The searchers
+	// size their epoch-stamped scratch arrays by it.
+	NumNodes() int
+	// NumObjects returns the size of the dense object-id space.
+	NumObjects() int
 }
 
 // offsetFrom returns the distance from node u along edge e to a point at

@@ -1,0 +1,145 @@
+package sp
+
+import (
+	"roadskyline/internal/diskgraph"
+	"roadskyline/internal/geom"
+	"roadskyline/internal/graph"
+	"roadskyline/internal/middlelayer"
+	"roadskyline/internal/pqueue"
+)
+
+// Node states within the current epoch. A node whose stamp does not match
+// the scratch epoch is unseen regardless of what the state array holds.
+const (
+	stateFrontier = uint8(1)
+	stateSettled  = uint8(2)
+)
+
+// Object states within the current epoch.
+const (
+	objLive = uint8(1)
+	objDone = uint8(2)
+)
+
+// Scratch is the dense per-node and per-object working state behind one
+// searcher (Dijkstra or AStar). All arrays are indexed by the dense
+// NodeID/ObjectID spaces and validated by an epoch stamp, so clearing
+// between queries is a counter increment rather than an O(n) sweep, and a
+// warm scratch performs steady-state expansions with zero heap allocations.
+//
+// A scratch serves exactly one live searcher at a time. Reusing it for a new
+// searcher (or handing it back to a pool) invalidates the previous
+// searcher's wavefront; concurrent searchers need one scratch each.
+type Scratch struct {
+	epoch uint32
+
+	// Per-node state, valid where stamp[v] == epoch. touched records every
+	// stamped node in first-touch order so snapshots can enumerate the
+	// wavefront without scanning the whole id space.
+	stamp   []uint32
+	state   []uint8
+	g       []float64    // settled: exact distance; frontier (A*): tentative g
+	pt      []geom.Point // frontier coordinates (A* only)
+	parent  []int32      // predecessor node, -1 = none (A* only)
+	touched []graph.NodeID
+
+	// frontier doubles as the Dijkstra wavefront heap (persistent across
+	// calls) and the A* per-session f-keyed heap (Reset by each NewSession).
+	frontier *pqueue.Dense
+
+	// Per-object state (Dijkstra only), valid where objStamp[o] == epoch.
+	objStamp []uint32
+	objDist  []float64
+	objState []uint8
+	objList  []graph.ObjectID
+	objHeap  *pqueue.Queue[graph.ObjectID]
+
+	// I/O append buffers reused across expansions.
+	nbuf []diskgraph.Neighbor
+	obuf []middlelayer.ObjRef
+}
+
+// NewScratch returns an empty scratch; arrays grow to the network size on
+// first use.
+func NewScratch() *Scratch {
+	return &Scratch{
+		frontier: pqueue.NewDense(),
+		objHeap:  pqueue.New[graph.ObjectID](0),
+	}
+}
+
+// begin claims the scratch for a new searcher over a network of numNodes
+// nodes and numObjects objects: it invalidates all prior state in O(1) and
+// grows the arrays as needed.
+func (sc *Scratch) begin(numNodes, numObjects int) {
+	sc.epoch++
+	if sc.epoch == 0 {
+		// uint32 wrap: ancient stamps could alias the new epoch. Clear once
+		// every ~4 billion queries.
+		clear(sc.stamp)
+		clear(sc.objStamp)
+		sc.epoch = 1
+	}
+	if numNodes > len(sc.stamp) {
+		// Fresh arrays need no copy: the epoch bump already invalidated
+		// every entry, and zeroed stamps never match an epoch >= 1.
+		sc.stamp = make([]uint32, numNodes)
+		sc.state = make([]uint8, numNodes)
+		sc.g = make([]float64, numNodes)
+		sc.pt = make([]geom.Point, numNodes)
+		sc.parent = make([]int32, numNodes)
+	}
+	if numObjects > len(sc.objStamp) {
+		sc.objStamp = make([]uint32, numObjects)
+		sc.objDist = make([]float64, numObjects)
+		sc.objState = make([]uint8, numObjects)
+	}
+	sc.touched = sc.touched[:0]
+	sc.objList = sc.objList[:0]
+	sc.frontier.Reset()
+	sc.frontier.Grow(numNodes)
+	sc.objHeap.Reset()
+}
+
+// nodeState returns v's state in the current epoch (0 when unseen).
+func (sc *Scratch) nodeState(v graph.NodeID) uint8 {
+	if sc.stamp[v] != sc.epoch {
+		return 0
+	}
+	return sc.state[v]
+}
+
+// touch stamps v into the current epoch with the given state, recording it
+// in the touched list on first contact.
+func (sc *Scratch) touch(v graph.NodeID, state uint8) {
+	if sc.stamp[v] != sc.epoch {
+		sc.stamp[v] = sc.epoch
+		sc.touched = append(sc.touched, v)
+	}
+	sc.state[v] = state
+}
+
+// objDistance returns o's best tentative distance in the current epoch.
+func (sc *Scratch) objDistance(o graph.ObjectID) (float64, bool) {
+	if sc.objStamp[o] != sc.epoch {
+		return 0, false
+	}
+	return sc.objDist[o], true
+}
+
+// improveObject lowers o's tentative distance, stamping it on first
+// contact.
+func (sc *Scratch) improveObject(o graph.ObjectID, dist float64) bool {
+	if sc.objStamp[o] != sc.epoch {
+		sc.objStamp[o] = sc.epoch
+		sc.objState[o] = objLive
+		sc.objDist[o] = dist
+		sc.objList = append(sc.objList, o)
+		return true
+	}
+	if dist >= sc.objDist[o] {
+		return false
+	}
+	sc.objDist[o] = dist
+	return true
+}

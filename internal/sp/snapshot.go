@@ -2,13 +2,11 @@ package sp
 
 import (
 	"context"
-	"maps"
 	"slices"
 
 	"roadskyline/internal/distcache"
 	"roadskyline/internal/geom"
 	"roadskyline/internal/graph"
-	"roadskyline/internal/pqueue"
 )
 
 // This file connects the resumable searchers to the cross-query distance
@@ -25,45 +23,66 @@ import (
 // frontier per session. The distance cache still keys snapshots by
 // heuristic flavor so ablation counters (landmark vs Euclidean wins,
 // expansion totals) stay comparable within a configuration.
+//
+// The cache's State is map-shaped while the searchers run on dense
+// epoch-stamped arrays; these conversions are the boundary. Snapshot
+// enumerates the scratch's touched list (every stamped node) rather than
+// scanning the id space, so its cost tracks the wavefront size, not the
+// network size.
 
 // Snapshot captures the wavefront's resumable state. The returned maps are
-// fresh copies: the snapshot stays valid after the searcher keeps
-// expanding, as the cache requires of its immutable entries.
+// fresh copies decoupled from the searcher's scratch: the snapshot stays
+// valid after the searcher keeps expanding (or its scratch is recycled), as
+// the cache requires of its immutable entries.
 func (d *Dijkstra) Snapshot() *distcache.State {
+	sc := d.sc
 	st := &distcache.State{
 		Src:      d.src,
-		Settled:  maps.Clone(d.settled),
-		Frontier: make(map[graph.NodeID]distcache.Frontier, d.frontier.Len()),
-		ObjBest:  maps.Clone(d.objBest),
+		Settled:  make(map[graph.NodeID]float64, len(sc.touched)),
+		Frontier: make(map[graph.NodeID]distcache.Frontier, sc.frontier.Len()),
+		ObjBest:  make(map[graph.ObjectID]float64, len(sc.objList)),
 	}
-	d.frontier.Each(func(id graph.NodeID, key float64) {
-		st.Frontier[id] = distcache.Frontier{G: key}
+	for _, id := range sc.touched {
+		if sc.state[id] == stateSettled {
+			st.Settled[id] = sc.g[id]
+		}
+	}
+	sc.frontier.Each(func(id int32, key float64) {
+		st.Frontier[graph.NodeID(id)] = distcache.Frontier{G: key}
 	})
+	for _, o := range sc.objList {
+		st.ObjBest[o] = sc.objDist[o]
+	}
 	return st
 }
 
-// NewDijkstraFrom rebuilds a wavefront from a cached snapshot, copying the
-// snapshot's maps so the shared cache entry stays immutable. The restored
-// wavefront reports every reachable object again from the start (the
-// snapshot carries tentative object distances, not the reported set), so a
-// new query sees exactly the stream a fresh searcher would produce —
+// NewDijkstraFrom rebuilds a wavefront from a cached snapshot, filling a
+// fresh epoch of the scratch so the shared cache entry stays immutable. The
+// restored wavefront reports every reachable object again from the start
+// (the snapshot carries tentative object distances, not the reported set),
+// so a new query sees exactly the stream a fresh searcher would produce —
 // without re-settling the snapshot's nodes.
 func NewDijkstraFrom(ctx context.Context, net Net, st *distcache.State) *Dijkstra {
+	return NewDijkstraFromWith(ctx, net, st, nil)
+}
+
+// NewDijkstraFromWith is NewDijkstraFrom reusing a pooled scratch. A nil
+// scratch allocates a fresh one.
+func NewDijkstraFromWith(ctx context.Context, net Net, st *distcache.State, sc *Scratch) *Dijkstra {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	d := &Dijkstra{
-		ctx:      ctx,
-		net:      net,
-		src:      st.Src,
-		settled:  maps.Clone(st.Settled),
-		frontier: pqueue.NewIndexed[graph.NodeID](len(st.Frontier) + 16),
-		objBest:  maps.Clone(st.ObjBest),
-		objDone:  make(map[graph.ObjectID]bool, len(st.ObjBest)),
-		objHeap:  pqueue.New[graph.ObjectID](len(st.ObjBest) + 16),
+	if sc == nil {
+		sc = NewScratch()
+	}
+	sc.begin(net.NumNodes(), net.NumObjects())
+	d := &Dijkstra{ctx: ctx, net: net, src: st.Src, sc: sc}
+	for id, dist := range st.Settled {
+		sc.touch(id, stateSettled)
+		sc.g[id] = dist
 	}
 	for id, fe := range st.Frontier {
-		d.frontier.Push(id, fe.G)
+		d.pushFrontier(id, fe.G)
 	}
 	// The object heap has no id tie-break, so push in id order to keep the
 	// reporting order of equal-distance objects identical from run to run.
@@ -73,52 +92,73 @@ func NewDijkstraFrom(ctx context.Context, net Net, st *distcache.State) *Dijkstr
 	}
 	slices.Sort(ids)
 	for _, id := range ids {
-		d.objHeap.Push(id, st.ObjBest[id])
+		d.improveObject(id, st.ObjBest[id])
 	}
 	return d
 }
 
 // Snapshot captures the searcher's resumable state: the settled set, the
 // frontier with its coordinates, and the predecessor tree (so Path keeps
-// working across a restore). The returned maps are fresh copies.
+// working across a restore). The returned maps are fresh copies decoupled
+// from the searcher's scratch.
 func (a *AStar) Snapshot() *distcache.State {
+	sc := a.sc
 	st := &distcache.State{
 		Src:      a.src,
-		Settled:  maps.Clone(a.settled),
-		Frontier: make(map[graph.NodeID]distcache.Frontier, len(a.frontier)),
-		Parent:   maps.Clone(a.parent),
+		Settled:  make(map[graph.NodeID]float64, len(sc.touched)),
+		Frontier: make(map[graph.NodeID]distcache.Frontier),
+		Parent:   make(map[graph.NodeID]graph.NodeID, len(sc.touched)),
 	}
-	for id, fe := range a.frontier {
-		st.Frontier[id] = distcache.Frontier{G: fe.g, Pt: fe.pt}
+	for _, id := range sc.touched {
+		switch sc.state[id] {
+		case stateSettled:
+			st.Settled[id] = sc.g[id]
+		case stateFrontier:
+			st.Frontier[id] = distcache.Frontier{G: sc.g[id], Pt: sc.pt[id]}
+		}
+		if p := sc.parent[id]; p >= 0 {
+			st.Parent[id] = graph.NodeID(p)
+		}
 	}
 	return st
 }
 
-// NewAStarFrom rebuilds a searcher from a cached snapshot, copying the
-// snapshot's maps so the shared cache entry stays immutable. srcPt must be
-// the planar position of st.Src (callers have it from the query point, as
-// with NewAStar). DisableHeuristic/UseHeuristicSource apply as usual before
-// the first session.
+// NewAStarFrom rebuilds a searcher from a cached snapshot, filling a fresh
+// epoch of the scratch so the shared cache entry stays immutable. srcPt
+// must be the planar position of st.Src (callers have it from the query
+// point, as with NewAStar). DisableHeuristic/UseHeuristicSource apply as
+// usual before the first session.
 func NewAStarFrom(ctx context.Context, net Net, st *distcache.State, srcPt geom.Point) *AStar {
+	return NewAStarFromWith(ctx, net, st, srcPt, nil)
+}
+
+// NewAStarFromWith is NewAStarFrom reusing a pooled scratch. A nil scratch
+// allocates a fresh one.
+func NewAStarFromWith(ctx context.Context, net Net, st *distcache.State, srcPt geom.Point, sc *Scratch) *AStar {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	a := &AStar{
-		ctx:      ctx,
-		net:      net,
-		src:      st.Src,
-		srcPt:    srcPt,
-		settled:  maps.Clone(st.Settled),
-		frontier: make(map[graph.NodeID]frontierEntry, len(st.Frontier)),
-		// Copy into a fresh map rather than maps.Clone: a snapshot with a
-		// nil Parent must still restore to a writable map for Advance.
-		parent: make(map[graph.NodeID]graph.NodeID, len(st.Parent)),
+	if sc == nil {
+		sc = NewScratch()
 	}
-	for id, p := range st.Parent {
-		a.parent[id] = p
+	sc.begin(net.NumNodes(), net.NumObjects())
+	a := &AStar{ctx: ctx, net: net, src: st.Src, srcPt: srcPt, sc: sc}
+	for id, dist := range st.Settled {
+		sc.touch(id, stateSettled)
+		sc.g[id] = dist
+		sc.parent[id] = -1
 	}
 	for id, fe := range st.Frontier {
-		a.frontier[id] = frontierEntry{g: fe.G, pt: fe.Pt}
+		sc.touch(id, stateFrontier)
+		sc.g[id] = fe.G
+		sc.pt[id] = fe.Pt
+		sc.parent[id] = -1
+	}
+	// Parents overlay the default -1 set above; a snapshot with a nil
+	// Parent map still restores (Path is then limited to post-restore
+	// expansion, as before).
+	for id, p := range st.Parent {
+		sc.parent[id] = int32(p)
 	}
 	return a
 }

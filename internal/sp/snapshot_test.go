@@ -198,7 +198,7 @@ func pathLength(t *testing.T, g *graph.Graph, src, dst graph.Location, nodes []g
 	}
 	for i := 1; i < len(nodes); i++ {
 		bestLen := math.Inf(1)
-		for _, he := range g.Adj(nodes[i-1]) {
+		for he := range g.Adj(nodes[i-1]).All() {
 			if he.To == nodes[i] && he.Length < bestLen {
 				bestLen = he.Length
 			}

@@ -447,7 +447,7 @@ func TestSessionPath(t *testing.T) {
 			// edge (the relaxation always kept the minimum).
 			for i := 1; i < len(path); i++ {
 				bestLen := math.Inf(1)
-				for _, he := range g.Adj(path[i-1]) {
+				for he := range g.Adj(path[i-1]).All() {
 					if he.To == path[i] && he.Length < bestLen {
 						bestLen = he.Length
 					}

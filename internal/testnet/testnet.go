@@ -120,6 +120,8 @@ func RandomLocations(rng *rand.Rand, g *graph.Graph, k int) []graph.Location {
 type MemNet struct {
 	G      *graph.Graph
 	byEdge map[graph.EdgeID][]middlelayer.ObjRef
+	// numObjects is the dense object id-space size (max id + 1).
+	numObjects int
 	// Counters mirror what disk-backed nets measure, for rough comparisons.
 	NeighborCalls int
 	ObjectCalls   int
@@ -130,6 +132,9 @@ func NewMemNet(g *graph.Graph, objs []graph.Object) *MemNet {
 	n := &MemNet{G: g, byEdge: make(map[graph.EdgeID][]middlelayer.ObjRef)}
 	for _, o := range objs {
 		n.byEdge[o.Loc.Edge] = append(n.byEdge[o.Loc.Edge], middlelayer.ObjRef{ID: o.ID, Offset: o.Loc.Offset})
+		if int(o.ID)+1 > n.numObjects {
+			n.numObjects = int(o.ID) + 1
+		}
 	}
 	return n
 }
@@ -137,7 +142,7 @@ func NewMemNet(g *graph.Graph, objs []graph.Object) *MemNet {
 // Neighbors implements the Net interface.
 func (n *MemNet) Neighbors(id graph.NodeID, buf []diskgraph.Neighbor) ([]diskgraph.Neighbor, error) {
 	n.NeighborCalls++
-	for _, he := range n.G.Adj(id) {
+	for he := range n.G.Adj(id).All() {
 		buf = append(buf, diskgraph.Neighbor{
 			To:     he.To,
 			ToPt:   n.G.NodePoint(he.To),
@@ -161,3 +166,9 @@ func (n *MemNet) ObjectsOn(e graph.EdgeID, buf []middlelayer.ObjRef) ([]middlela
 
 // Edge implements the Net interface.
 func (n *MemNet) Edge(e graph.EdgeID) graph.Edge { return n.G.Edge(e) }
+
+// NumNodes implements the Net interface.
+func (n *MemNet) NumNodes() int { return n.G.NumNodes() }
+
+// NumObjects implements the Net interface.
+func (n *MemNet) NumObjects() int { return n.numObjects }
