@@ -10,8 +10,9 @@
 //	skylinebench -scale 0.2       # all figures on 20%-size networks
 //	skylinebench -fig ablations   # the design-choice ablations
 //	skylinebench -parallel 8      # pool throughput: serial vs 8 workers
-//	skylinebench -trajectory -json BENCH_5.json       # record the regression baseline
-//	skylinebench -compare BENCH_5.json                # gate: fail on regression vs baseline
+//	skylinebench -singleflight 8  # wavefront sharing ablation: off vs on under duplicate load
+//	skylinebench -trajectory -json BENCH_7.json       # record the regression baseline
+//	skylinebench -compare BENCH_7.json                # gate: fail on regression vs baseline
 package main
 
 import (
@@ -39,8 +40,9 @@ func main() {
 		queries = flag.Int("queries", 96, "queries in the -parallel workload")
 		lms     = flag.Int("landmarks", 0, "ALT landmark count per environment (0 = default, negative disables)")
 		dcache  = flag.Int("distcache", 0, "run the distance-cache ablation with this many cache entries instead of figures")
+		sflight = flag.Int("singleflight", 0, "run the wavefront single-flight ablation with this many pool workers instead of figures")
 		jsonOut = flag.String("json", "", "also write machine-readable results to this JSON file")
-		traj    = flag.Bool("trajectory", false, "run the deterministic regression workload instead of figures (the BENCH_5.json trajectory)")
+		traj    = flag.Bool("trajectory", false, "run the deterministic regression workload instead of figures (the BENCH_7.json trajectory)")
 		compare = flag.String("compare", "", "trajectory baseline JSON to gate against: run the trajectory workload and exit non-zero on regression (implies -trajectory)")
 		thresh  = flag.Float64("threshold", 0.10, "allowed relative growth in the trajectory's deterministic work counters before -compare fails")
 		tthresh = flag.Float64("time-threshold", 0.50, "allowed relative growth in the trajectory's response times before -compare fails")
@@ -71,6 +73,13 @@ func main() {
 	if *dcache > 0 {
 		if err := distCacheBench(*scale, *dcache, *queries, *seed, *lms, *jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "skylinebench: distcache: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *sflight > 0 {
+		if err := singleFlightBench(*scale, *sflight, *queries, *seed, *lms, *jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "skylinebench: singleflight: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -386,6 +395,134 @@ func distCacheBench(scale float64, entries, queries int, seed int64, landmarks i
 			OffSeconds: offWall.Seconds(), OnSeconds: onWall.Seconds(),
 			OffNodesExpanded: offNodes, OnNodesExpanded: onNodes,
 			ExpansionRatio: ratio, HitRate: cs.HitRate(),
+			Speedup: offWall.Seconds() / onWall.Seconds(),
+		}
+		if err := writeJSON(jsonOut, out); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonOut)
+	}
+	return nil
+}
+
+// singleFlightJSON is -json's document for the -singleflight ablation.
+type singleFlightJSON struct {
+	Network          string  `json:"network"`
+	Nodes            int     `json:"nodes"`
+	Edges            int     `json:"edges"`
+	Queries          int     `json:"queries"`
+	HotPointSets     int     `json:"hot_point_sets"`
+	Workers          int     `json:"workers"`
+	OffSeconds       float64 `json:"off_seconds"`
+	OnSeconds        float64 `json:"on_seconds"`
+	OffNodesExpanded int     `json:"off_nodes_expanded"`
+	OnNodesExpanded  int     `json:"on_nodes_expanded"`
+	ExpansionRatio   float64 `json:"expansion_ratio"`
+	ShareRate        float64 `json:"share_rate"`
+	Leads            int64   `json:"leads"`
+	Shares           int64   `json:"shares"`
+	Bypasses         int64   `json:"bypasses"`
+	Speedup          float64 `json:"speedup"`
+}
+
+// singleFlightBench measures in-flight wavefront sharing on the workload it
+// targets: a duplicate-heavy burst pattern where every round submits
+// `workers` identical queries at once (the thundering-herd shape of a live
+// service behind a load balancer), cycling a few hot point sets and
+// rotating CE, EDC and LBC between rounds. The same batch runs through two
+// pools — sharing off and sharing on — and the report compares node
+// expansions, wall time and the broker's share rate. Coalescing here is
+// opportunistic (duplicates must overlap in flight), so the share rate is
+// below 100% but the expansion ratio still shows the herd collapsing;
+// the deterministic leader/subscriber accounting is pinned by the gated
+// wavefront trajectory cells instead.
+func singleFlightBench(scale float64, workers, queries int, seed int64, landmarks int, jsonOut string) error {
+	if queries < 1 {
+		return fmt.Errorf("-queries must be at least 1 (got %d)", queries)
+	}
+	if workers < 2 {
+		return fmt.Errorf("-singleflight needs at least 2 workers to overlap duplicates (got %d)", workers)
+	}
+	spec := scaleSpec(roadskyline.CA, scale, seed)
+	n, err := roadskyline.Generate(spec)
+	if err != nil {
+		return err
+	}
+	objs := n.GenerateObjects(0.5, 0, seed)
+
+	// Each round is `workers` copies of one (point set, algorithm) query:
+	// SkylineBatch keeps identical queries adjacent, so a whole round is in
+	// flight together and all but one copy can subscribe to the leader.
+	const hotSets = 8
+	hot := make([][]roadskyline.Location, hotSets)
+	for i := range hot {
+		hot[i] = n.GenerateQueryPoints(4, 0.1, seed+int64(i))
+	}
+	algs := []roadskyline.Algorithm{roadskyline.CEAlg, roadskyline.EDCAlg, roadskyline.LBCAlg}
+	work := make([]roadskyline.Query, queries)
+	for i := range work {
+		round := i / workers
+		work[i] = roadskyline.Query{Points: hot[round%hotSets], Algorithm: algs[round%len(algs)]}
+	}
+
+	run := func(share bool) (time.Duration, int, *roadskyline.Engine, error) {
+		eng, err := roadskyline.NewEngine(n, objs, roadskyline.EngineConfig{
+			WarmCache:       true,
+			Landmarks:       landmarks,
+			NoLandmarks:     landmarks < 0,
+			ShareWavefronts: share,
+		})
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		pool, err := roadskyline.NewPool(eng, roadskyline.PoolConfig{Workers: workers})
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		defer pool.Close()
+		start := time.Now()
+		results, errs := pool.SkylineBatch(context.Background(), work)
+		wall := time.Since(start)
+		nodes := 0
+		for i, err := range errs {
+			if err != nil {
+				return 0, 0, nil, fmt.Errorf("query %d: %w", i, err)
+			}
+			nodes += results[i].Stats.NodesExpanded
+		}
+		return wall, nodes, eng, nil
+	}
+
+	fmt.Printf("wavefront single-flight ablation on %s (%d nodes, %d edges), %d queries in rounds of %d duplicates over %d hot point sets\n",
+		spec.Name, spec.Nodes, spec.Edges, queries, workers, hotSets)
+	offWall, offNodes, _, err := run(false)
+	if err != nil {
+		return err
+	}
+	onWall, onNodes, onEng, err := run(true)
+	if err != nil {
+		return err
+	}
+	ws := onEng.WavefrontStats()
+
+	ratio := 0.0
+	if onNodes > 0 {
+		ratio = float64(offNodes) / float64(onNodes)
+	}
+	fmt.Printf("%-24s%14s%16s\n", "", "wall", "nodes expanded")
+	fmt.Printf("%-24s%14v%16d\n", "sharing off", offWall.Round(time.Millisecond), offNodes)
+	fmt.Printf("%-24s%14v%16d\n", fmt.Sprintf("sharing on (%d workers)", workers),
+		onWall.Round(time.Millisecond), onNodes)
+	fmt.Printf("expansion ratio: %.2fx fewer, share rate %.0f%% (%d shares / %d leads / %d bypasses), speedup %.2fx\n",
+		ratio, 100*ws.ShareRate(), ws.Shares, ws.Leads, ws.Bypasses, offWall.Seconds()/onWall.Seconds())
+	if jsonOut != "" {
+		out := singleFlightJSON{
+			Network: spec.Name, Nodes: spec.Nodes, Edges: spec.Edges,
+			Queries: queries, HotPointSets: hotSets, Workers: workers,
+			OffSeconds: offWall.Seconds(), OnSeconds: onWall.Seconds(),
+			OffNodesExpanded: offNodes, OnNodesExpanded: onNodes,
+			ExpansionRatio: ratio, ShareRate: ws.ShareRate(),
+			Leads: ws.Leads, Shares: ws.Shares, Bypasses: ws.Bypasses,
 			Speedup: offWall.Seconds() / onWall.Seconds(),
 		}
 		if err := writeJSON(jsonOut, out); err != nil {

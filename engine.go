@@ -83,6 +83,14 @@ type EngineConfig struct {
 	// would skip the page faults those figures measure. Like the landmark
 	// table it is shared across Clone()s and by all workers of a Pool.
 	DistCache DistCacheConfig
+	// ShareWavefronts coalesces concurrent searchers rooted at the same
+	// source location onto a single wavefront expansion: one in-flight query
+	// leads, the others subscribe and resume from the leader's settled
+	// frontier (see docs/BATCHING.md). Like the distance cache it only
+	// serves warm-cache engines and is shared across Clone()s and by all
+	// workers of a Pool; the default (off) leaves every query expanding
+	// independently.
+	ShareWavefronts bool
 	// FlightRecorder sizes the query flight recorder: a bounded in-memory
 	// log of per-query cost records (see docs/OBSERVABILITY.md). The zero
 	// value disables it (the zero-overhead default). Like the distance
@@ -172,6 +180,7 @@ func NewEngine(n *Network, objects []Object, cfg EngineConfig) (*Engine, error) 
 			Entries: cfg.DistCache.Entries,
 			Quantum: cfg.DistCache.Quantum,
 		},
+		ShareWavefronts: cfg.ShareWavefronts,
 	})
 	if err != nil {
 		return nil, err
@@ -203,6 +212,19 @@ func (e *Engine) Network() *Network { return e.net }
 // per-query lookups are in Stats.DistCacheHits/DistCacheMisses. All fields
 // are zero on an engine without a cache.
 func (e *Engine) DistCacheStats() DistCacheStats { return e.env.DistCache.Stats() }
+
+// WavefrontStats reports the single-flight wavefront broker's counters:
+// expansions led, frontier shares, leader promotions after a cancelled
+// lead, and joins that bypassed sharing; Waiting is the instantaneous
+// number of subscribers blocked on a leader. See Engine.WavefrontStats.
+type WavefrontStats = distcache.FlightStats
+
+// WavefrontStats snapshots the wavefront broker's global counters. The
+// broker is shared across clones (and across a Pool's workers), so the
+// counters aggregate every user of the underlying engine; per-query
+// outcomes are in Stats.WavefrontLeads/WavefrontShares. All fields are
+// zero on an engine without ShareWavefronts.
+func (e *Engine) WavefrontStats() WavefrontStats { return e.env.Flight.Stats() }
 
 // FlightRecords returns the flight recorder's retained per-query records,
 // newest first: the union of the sampled stream, the slowest-N reservoir
@@ -243,6 +265,7 @@ func (e *Engine) recordFlight(alg string, q Query, m core.Metrics, elapsed time.
 		Source:          q.Source,
 		NoLandmarks:     q.NoLandmarks,
 		NoDistCache:     q.NoDistCache,
+		NoShare:         q.NoShare,
 		Outcome:         outcome,
 		Err:             errStr,
 		Total:           total,
@@ -255,6 +278,8 @@ func (e *Engine) recordFlight(alg string, q Query, m core.Metrics, elapsed time.
 		RTreeNodes:      m.RTreeNodes,
 		DistCacheHits:   m.DistCacheHits,
 		DistCacheMisses: m.DistCacheMisses,
+		WavefrontLeads:  m.WavefrontLeads,
+		WavefrontShares: m.WavefrontShares,
 	})
 }
 
@@ -290,6 +315,10 @@ type Query struct {
 	// identical, only the work counters change). No effect on engines
 	// without a cache.
 	NoDistCache bool
+	// NoShare makes this query neither lead nor subscribe to shared
+	// wavefronts (per-query ablation; the result is identical, only the
+	// work counters change). No effect on engines without ShareWavefronts.
+	NoShare bool
 	// Tracer receives phase-level span events, expansion progress ticks
 	// and skyline-point events as the query executes (see
 	// docs/OBSERVABILITY.md). Nil — the default — disables tracing with
@@ -382,6 +411,13 @@ type Stats struct {
 	// cold-cache (paper mode), where the cache is bypassed.
 	DistCacheHits   int
 	DistCacheMisses int
+	// WavefrontLeads and WavefrontShares count this query's single-flight
+	// wavefront outcomes: searchers this query expanded as the leader of a
+	// shared flight, and searchers it resumed from another query's
+	// published frontier. Both stay zero unless the engine enables
+	// ShareWavefronts and the query runs warm-cache without NoShare.
+	WavefrontLeads  int
+	WavefrontShares int
 	// Total is the query's response time under the engine's simulated
 	// disk: measured CPU (wall) time plus IOTime, the modeled latency of
 	// the pages faulted (pages live in memory, so wall time alone would
@@ -415,6 +451,8 @@ func statsFromMetrics(m core.Metrics) Stats {
 		InitialPages:         m.InitialPages,
 		DistCacheHits:        m.DistCacheHits,
 		DistCacheMisses:      m.DistCacheMisses,
+		WavefrontLeads:       m.WavefrontLeads,
+		WavefrontShares:      m.WavefrontShares,
 		Total:                m.ResponseTime(),
 		Initial:              m.InitialResponseTime(),
 		IOTime:               m.IOTime,
@@ -451,13 +489,14 @@ func (e *Engine) SkylineContext(ctx context.Context, q Query) (*Result, error) {
 		pts[i] = graph.Location{Edge: graph.EdgeID(p.Edge), Offset: p.Offset}
 	}
 	opts := core.Options{
-		ColdCache:        !e.cfg.WarmCache,
-		LBCAlternate:     q.Alternate,
-		LBCSource:        q.Source,
-		DisableLandmarks: q.NoLandmarks,
-		DisableDistCache: q.NoDistCache,
-		Tracer:           q.Tracer,
-		CollectPhases:    q.CollectPhases,
+		ColdCache:             !e.cfg.WarmCache,
+		LBCAlternate:          q.Alternate,
+		LBCSource:             q.Source,
+		DisableLandmarks:      q.NoLandmarks,
+		DisableDistCache:      q.NoDistCache,
+		DisableWavefrontShare: q.NoShare,
+		Tracer:                q.Tracer,
+		CollectPhases:         q.CollectPhases,
 	}
 	var start time.Time
 	if e.flight != nil {

@@ -110,9 +110,13 @@ func AggregateNN(ctx context.Context, env *Env, points []graph.Location, k int, 
 	cacheHits := make([]bool, n)
 	// Scratches go back to the pool on every exit path; snapshots for the
 	// distance cache are deep copies taken before the deferred release runs.
+	// The deferred flight abort abdicates any leadership tickets an error
+	// path leaves unresolved (a no-op after putAStarStates publishes).
 	defer releaseAStars(env, astars)
+	qf := newQueryFlights(env, opts, n)
+	defer qf.abort()
 	for i, p := range points {
-		a, hit, err := newAStar(ctx, env, opts, p, qPts[i], &m)
+		a, hit, err := newAStar(ctx, env, opts, p, qPts[i], &m, qf, i)
 		if err != nil {
 			return nil, err
 		}
@@ -213,7 +217,7 @@ func AggregateNN(ctx context.Context, env *Env, points []graph.Location, k int, 
 		nb, _ := best.Pop()
 		res.Neighbors[i] = nb
 	}
-	putAStarStates(env, opts, astars, cacheHits)
+	putAStarStates(env, opts, astars, cacheHits, qf)
 	collectSearcherStats(&m, astars)
 	finishMetrics(env, &m, start)
 	res.Metrics = m

@@ -32,9 +32,13 @@ func ce(ctx context.Context, env *Env, q Query, opts Options) (*Result, error) {
 	cacheHits := make([]bool, n)
 	// Scratches go back to the pool on every exit path; snapshots for the
 	// distance cache are deep copies taken before the deferred release runs.
+	// The deferred flight abort abdicates any leadership tickets an error
+	// path leaves unresolved (a no-op after putDijkstraStates publishes).
 	defer releaseDijkstras(env, searchers)
+	qf := newQueryFlights(env, opts, n)
+	defer qf.abort()
 	for i, p := range q.Points {
-		s, hit, err := newDijkstra(ctx, env, opts, p, &m)
+		s, hit, err := newDijkstra(ctx, env, opts, p, &m, qf, i)
 		if err != nil {
 			return nil, err
 		}
@@ -316,7 +320,7 @@ func ce(ctx context.Context, env *Env, q Query, opts Options) (*Result, error) {
 	}
 
 	dropDominatedDuplicates(res)
-	putDijkstraStates(env, opts, searchers, cacheHits)
+	putDijkstraStates(env, opts, searchers, cacheHits, qf)
 	for _, s := range searchers {
 		m.NodesExpanded += s.NodesExpanded()
 	}

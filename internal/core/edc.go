@@ -102,9 +102,13 @@ func edc(ctx context.Context, env *Env, q Query, opts Options) (*Result, error) 
 	cacheHits := make([]bool, n)
 	// Scratches go back to the pool on every exit path; snapshots for the
 	// distance cache are deep copies taken before the deferred release runs.
+	// The deferred flight abort abdicates any leadership tickets an error
+	// path leaves unresolved (a no-op after putAStarStates publishes).
 	defer releaseAStars(env, astars)
+	qf := newQueryFlights(env, opts, n)
+	defer qf.abort()
 	for i, p := range q.Points {
-		a, hit, err := newAStar(ctx, env, opts, p, qPts[i], &m)
+		a, hit, err := newAStar(ctx, env, opts, p, qPts[i], &m, qf, i)
 		if err != nil {
 			return nil, err
 		}
@@ -344,7 +348,7 @@ func edc(ctx context.Context, env *Env, q Query, opts Options) (*Result, error) 
 	}
 
 	dropDominatedDuplicates(res)
-	putAStarStates(env, opts, astars, cacheHits)
+	putAStarStates(env, opts, astars, cacheHits, qf)
 	collectSearcherStats(&m, astars)
 	finishMetrics(env, &m, start)
 	probe.finish(&m)

@@ -45,6 +45,11 @@ type Env struct {
 	// the cache is internally synchronized and its entries immutable, so a
 	// pool's workers feed and consult one cache.
 	DistCache *distcache.Cache
+	// Flight is the single-flight table coalescing concurrent searchers
+	// rooted at the same source onto one leader expansion (nil when
+	// disabled). Shared across clones like the DistCache, and keyed
+	// identically, so a pool's workers coalesce against one table.
+	Flight *distcache.Flight
 
 	// scratch pools sp.Scratch instances (the dense epoch-stamped search
 	// state) across queries. The pointer is shared by clones: scratches are
@@ -91,6 +96,14 @@ type EnvConfig struct {
 	// and reusing a wavefront would skip the page faults the paper's
 	// figures measure.
 	DistCache distcache.Config
+	// ShareWavefronts enables single-flight coalescing of concurrent
+	// searchers: queries in flight at the same moment with the same
+	// (kind, heuristic flavor, source) expand one wavefront and share its
+	// final snapshot. Like the distance cache it only serves warm-cache
+	// queries — under Options.ColdCache every searcher must pay its own
+	// page faults. Off by default so single-engine counters stay
+	// bit-identical to prior behavior.
+	ShareWavefronts bool
 }
 
 // DefaultLandmarks is the landmark count used when EnvConfig.Landmarks is
@@ -178,6 +191,10 @@ func NewEnv(g *graph.Graph, objects []graph.Object, cfg EnvConfig) (*Env, error)
 	if landmarks > 0 {
 		lmTable = landmark.Build(g, landmarks)
 	}
+	var flight *distcache.Flight
+	if cfg.ShareWavefronts {
+		flight = distcache.NewFlight(cfg.DistCache.Quantum)
+	}
 	return &Env{
 		G:           g,
 		Objects:     objects,
@@ -186,6 +203,7 @@ func NewEnv(g *graph.Graph, objects []graph.Object, cfg EnvConfig) (*Env, error)
 		ObjTree:     rtree.BulkLoad(entries, cfg.RTreeFanout),
 		Landmarks:   lmTable,
 		DistCache:   distcache.New(cfg.DistCache),
+		Flight:      flight,
 		scratch:     &sync.Pool{New: func() any { return sp.NewScratch() }},
 		numAttrs:    numAttrs,
 		bufferBytes: cfg.BufferBytes,
@@ -195,7 +213,8 @@ func NewEnv(g *graph.Graph, objects []graph.Object, cfg EnvConfig) (*Env, error)
 
 // Clone returns an independent query environment over the same immutable
 // data: the graph, object table, R-tree structure, landmark table, distance
-// cache and page files are shared; buffer pools and every statistics counter
+// cache, in-flight wavefront table and page files are shared; buffer pools
+// and every statistics counter
 // (network page pools and the R-tree node-visit counter) are per-clone.
 // Clones may serve queries concurrently: the landmark table is read-only
 // after construction and the distance cache synchronizes internally, so the

@@ -42,8 +42,13 @@ type LBCIterator struct {
 	probe     *phaseProbe
 	metrics   Metrics
 	cacheHits []bool
-	finished  bool
-	lastErr   error
+	qf        *queryFlights
+	// mapping expands skyline points from deduplicated query-point space
+	// back to the caller's original point list; nil when the points were
+	// already distinct.
+	mapping  []int
+	finished bool
+	lastErr  error
 }
 
 // NewLBCIterator validates the query and prepares the incremental LBC
@@ -70,13 +75,18 @@ func NewLBCIterator(ctx context.Context, env *Env, q Query, opts Options) (*LBCI
 	}
 	env.ResetIO()
 
+	// Dedupe after validation (LBCSource is validated against the
+	// caller's point list); yielded points expand back through the
+	// mapping in Next.
+	q, opts, mapping := dedupeQuery(q, opts)
 	it := &LBCIterator{
-		ctx:   ctx,
-		env:   env,
-		q:     q,
-		opts:  opts,
-		start: time.Now(),
-		n:     len(q.Points),
+		ctx:     ctx,
+		env:     env,
+		q:       q,
+		opts:    opts,
+		start:   time.Now(),
+		n:       len(q.Points),
+		mapping: mapping,
 	}
 	it.dims = env.vectorDims(it.n, q.UseAttrs)
 	it.qPts = make([]geom.Point, it.n)
@@ -85,9 +95,11 @@ func NewLBCIterator(ctx context.Context, env *Env, q Query, opts Options) (*LBCI
 	}
 	it.astars = make([]*sp.AStar, it.n)
 	it.cacheHits = make([]bool, it.n)
+	it.qf = newQueryFlights(env, opts, it.n)
 	for i, p := range q.Points {
-		a, hit, err := newAStar(ctx, env, opts, p, it.qPts[i], &it.metrics)
+		a, hit, err := newAStar(ctx, env, opts, p, it.qPts[i], &it.metrics, it.qf, i)
 		if err != nil {
+			it.qf.abort()
 			releaseAStars(env, it.astars)
 			return nil, err
 		}
@@ -177,6 +189,9 @@ func (it *LBCIterator) Next() (SkylinePoint, bool, error) {
 			if it.metrics.Initial == 0 {
 				it.metrics.Initial = time.Since(it.start)
 				it.metrics.InitialPages = it.env.pagesFaulted()
+			}
+			if it.mapping != nil {
+				point = expandPoint(point, it.mapping)
 			}
 			return point, true, nil
 		}
@@ -273,8 +288,12 @@ func (it *LBCIterator) finalize() {
 	// Only a cleanly finished iteration feeds the cache: the wavefronts of
 	// a cancelled or failed query are released without being stored.
 	if it.lastErr == nil {
-		putAStarStates(it.env, it.opts, it.astars, it.cacheHits)
+		putAStarStates(it.env, it.opts, it.astars, it.cacheHits, it.qf)
 	}
+	// A failed or cancelled iteration never published: abort abdicates any
+	// leadership tickets so waiting subscribers are promoted (a no-op after
+	// putAStarStates publishes).
+	it.qf.abort()
 	finishMetrics(it.env, &it.metrics, it.start)
 	it.probe.finish(&it.metrics)
 	// The cache snapshots above are deep copies, so the scratches can go

@@ -83,6 +83,14 @@ type Metrics struct {
 	// ColdCache (paper mode).
 	DistCacheHits   int
 	DistCacheMisses int
+	// WavefrontLeads and WavefrontShares count this query's searchers by
+	// their single-flight outcome: a lead expanded a wavefront that
+	// concurrent queries could subscribe to, a share resumed a concurrent
+	// leader's published snapshot instead of expanding its own. Searchers
+	// that ran independently (sharing disabled, no concurrent twin, or the
+	// deadlock-avoidance bypass) count in neither.
+	WavefrontLeads  int
+	WavefrontShares int
 	// Total is the measured CPU (wall) time of the query.
 	Total time.Duration
 	// Initial is the measured CPU time until the first skyline point.
@@ -171,6 +179,11 @@ type Options struct {
 	// ablation. ColdCache queries bypass the cache regardless (see
 	// EnvConfig.DistCache).
 	DisableDistCache bool
+	// DisableWavefrontShare makes this query expand every wavefront
+	// itself: it neither subscribes to concurrent leaders nor leads for
+	// concurrent subscribers; used by the single-flight ablation.
+	// ColdCache queries bypass sharing regardless.
+	DisableWavefrontShare bool
 	// Tracer receives phase-level span events, expansion progress ticks
 	// and skyline-point events as the query runs. Nil disables tracing
 	// entirely (the zero-overhead default); results and the existing
@@ -216,26 +229,136 @@ func astarFlavor(env *Env, opts Options) uint8 {
 	}
 }
 
-// newAStar builds one A* searcher for a query point with opts applied: the
-// heuristic is zeroed for the directional-expansion ablation, and the
-// environment's landmark table is attached otherwise (unless ablated). When
-// the distance cache holds a wavefront for p it is resumed instead of
-// seeding afresh; hit reports which happened, and the lookup is counted in
-// m.
-func newAStar(ctx context.Context, env *Env, opts Options, p graph.Location, pt geom.Point, m *Metrics) (a *sp.AStar, hit bool, err error) {
-	sc := env.AcquireScratch()
-	if c := distCacheFor(env, opts); c != nil {
-		if st, ok := c.Get(distcache.KindAStar, astarFlavor(env, opts), p); ok {
-			a, hit = sp.NewAStarFromWith(ctx, env, st, pt, sc), true
-			m.DistCacheHits++
-		} else {
-			m.DistCacheMisses++
+// flightFor returns the single-flight wavefront table this query may
+// coalesce through, or nil. ColdCache queries bypass sharing for the same
+// reason they bypass the distance cache: every searcher must pay its own
+// page faults for the paper-mode figures.
+func flightFor(env *Env, opts Options) *distcache.Flight {
+	if opts.ColdCache || opts.DisableWavefrontShare {
+		return nil
+	}
+	return env.Flight
+}
+
+// queryFlights tracks one query's leadership tickets in the single-flight
+// wavefront table, one slot per query point. A nil *queryFlights (sharing
+// disabled) is inert. The owner must call abort on every exit path: after
+// a successful put*States it is a no-op (the tickets are finished), on an
+// error or cancellation path it abdicates every held lead so a waiting
+// subscriber is promoted instead of stalling.
+type queryFlights struct {
+	fl      *distcache.Flight
+	tickets []*distcache.Ticket
+}
+
+func newQueryFlights(env *Env, opts Options, n int) *queryFlights {
+	fl := flightFor(env, opts)
+	if fl == nil {
+		return nil
+	}
+	return &queryFlights{fl: fl, tickets: make([]*distcache.Ticket, n)}
+}
+
+// leading reports whether the query already holds any leadership ticket.
+// A leading query must never block on a foreign flight: wait-for edges
+// then only run from queries owning no keys to leaders that never block,
+// which is what makes the broker deadlock-free.
+func (qf *queryFlights) leading() bool {
+	if qf == nil {
+		return false
+	}
+	for _, t := range qf.tickets {
+		if t != nil {
+			return true
 		}
 	}
+	return false
+}
+
+// ticket returns the slot's ticket; nil when sharing is off or the
+// searcher ran independently.
+func (qf *queryFlights) ticket(i int) *distcache.Ticket {
+	if qf == nil {
+		return nil
+	}
+	return qf.tickets[i]
+}
+
+// abort abdicates every unfinished leadership ticket (idempotent, safe
+// after a publishing put*States).
+func (qf *queryFlights) abort() {
+	if qf == nil {
+		return
+	}
+	for _, t := range qf.tickets {
+		t.Finish(nil)
+	}
+}
+
+// joinFlight registers searcher idx of a query with the single-flight
+// table. It returns a resumable snapshot when a concurrent leader's
+// publish was shared (counted in m.WavefrontShares), after recording a
+// leadership ticket in qf when this searcher leads (first arrival, or
+// promoted after the leader aborted; counted in m.WavefrontLeads). Both
+// st == nil and no ticket means the searcher runs independently. The only
+// error is ctx expiring while subscribed.
+func joinFlight(ctx context.Context, qf *queryFlights, kind distcache.Kind, flavor uint8, p graph.Location, idx int, m *Metrics) (*distcache.State, error) {
+	if qf == nil {
+		return nil, nil
+	}
+	tk, w := qf.fl.Join(kind, flavor, p, !qf.leading())
+	if w != nil {
+		st, promoted, err := w.Wait(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if st != nil {
+			// An in-flight share, not a distance-cache lookup: the
+			// at-rest hit/miss counters are untouched.
+			m.WavefrontShares++
+			return st, nil
+		}
+		tk = promoted
+	}
+	if tk != nil {
+		m.WavefrontLeads++
+		qf.tickets[idx] = tk
+	}
+	return nil, nil
+}
+
+// newAStar builds one A* searcher for a query point with opts applied: the
+// heuristic is zeroed for the directional-expansion ablation, and the
+// environment's landmark table is attached otherwise (unless ablated). The
+// single-flight table is consulted before the at-rest cache — a concurrent
+// leader's snapshot is fresher than any cached entry — then the distance
+// cache; either way the searcher resumes instead of seeding afresh, and
+// hit reports that it did. Searcher idx's leadership ticket, if any, lands
+// in qf for put*States/abort to resolve.
+func newAStar(ctx context.Context, env *Env, opts Options, p graph.Location, pt geom.Point, m *Metrics, qf *queryFlights, idx int) (a *sp.AStar, hit bool, err error) {
+	flavor := astarFlavor(env, opts)
+	st, err := joinFlight(ctx, qf, distcache.KindAStar, flavor, p, idx, m)
+	if err != nil {
+		return nil, false, err
+	}
+	if st != nil {
+		a, hit = sp.NewAStarFromWith(ctx, env, st, pt, env.AcquireScratch()), true
+	}
 	if a == nil {
-		if a, err = sp.NewAStarWith(ctx, env, p, pt, sc); err != nil {
-			env.ReleaseScratch(sc)
-			return nil, false, err
+		sc := env.AcquireScratch()
+		if c := distCacheFor(env, opts); c != nil {
+			if st, ok := c.Get(distcache.KindAStar, flavor, p); ok {
+				a, hit = sp.NewAStarFromWith(ctx, env, st, pt, sc), true
+				m.DistCacheHits++
+			} else {
+				m.DistCacheMisses++
+			}
+		}
+		if a == nil {
+			if a, err = sp.NewAStarWith(ctx, env, p, pt, sc); err != nil {
+				env.ReleaseScratch(sc)
+				return nil, false, err
+			}
 		}
 	}
 	if opts.DisableAStarHeuristic {
@@ -248,8 +371,16 @@ func newAStar(ctx context.Context, env *Env, opts Options, p graph.Location, pt 
 }
 
 // newDijkstra builds one Dijkstra wavefront for a query point, resuming a
-// cached wavefront when the distance cache holds one for p.
-func newDijkstra(ctx context.Context, env *Env, opts Options, p graph.Location, m *Metrics) (*sp.Dijkstra, bool, error) {
+// concurrent leader's published snapshot or a cached wavefront when either
+// exists for p (in that order, like newAStar).
+func newDijkstra(ctx context.Context, env *Env, opts Options, p graph.Location, m *Metrics, qf *queryFlights, idx int) (*sp.Dijkstra, bool, error) {
+	st, err := joinFlight(ctx, qf, distcache.KindDijkstra, 0, p, idx, m)
+	if err != nil {
+		return nil, false, err
+	}
+	if st != nil {
+		return sp.NewDijkstraFromWith(ctx, env, st, env.AcquireScratch()), true, nil
+	}
 	sc := env.AcquireScratch()
 	if c := distCacheFor(env, opts); c != nil {
 		if st, ok := c.Get(distcache.KindDijkstra, 0, p); ok {
@@ -285,35 +416,120 @@ func releaseDijkstras(env *Env, ds []*sp.Dijkstra) {
 	}
 }
 
-// putAStarStates stores each searcher's final wavefront in the distance
-// cache on successful query completion. A searcher that resumed a cached
-// wavefront and settled nothing new is skipped — its snapshot would equal
-// the entry it came from.
-func putAStarStates(env *Env, opts Options, astars []*sp.AStar, hits []bool) {
+// putAStarStates resolves each searcher's final wavefront on successful
+// query completion: the snapshot feeds the distance cache (a searcher
+// that resumed a cached wavefront and settled nothing new is skipped —
+// its snapshot would equal the entry it came from) and is published to
+// any subscribers waiting on the searcher's leadership ticket. The
+// snapshot is only taken when someone wants it; a held ticket nobody
+// subscribed to is abdicated for free.
+func putAStarStates(env *Env, opts Options, astars []*sp.AStar, hits []bool, qf *queryFlights) {
 	c := distCacheFor(env, opts)
-	if c == nil {
+	if c == nil && qf == nil {
 		return
 	}
 	flavor := astarFlavor(env, opts)
 	for i, a := range astars {
-		if a == nil || (hits[i] && a.NodesExpanded() == 0) {
+		tk := qf.ticket(i)
+		if a == nil {
+			tk.Finish(nil)
 			continue
 		}
-		c.Put(distcache.KindAStar, flavor, a.Snapshot())
+		wantCache := c != nil && !(hits[i] && a.NodesExpanded() == 0)
+		if !wantCache && !tk.Subscribed() {
+			tk.Finish(nil)
+			continue
+		}
+		st := a.Snapshot()
+		if wantCache {
+			c.Put(distcache.KindAStar, flavor, st)
+		}
+		tk.Finish(st)
 	}
 }
 
 // putDijkstraStates is putAStarStates for CE's Dijkstra wavefronts.
-func putDijkstraStates(env *Env, opts Options, ds []*sp.Dijkstra, hits []bool) {
+func putDijkstraStates(env *Env, opts Options, ds []*sp.Dijkstra, hits []bool, qf *queryFlights) {
 	c := distCacheFor(env, opts)
-	if c == nil {
+	if c == nil && qf == nil {
 		return
 	}
 	for i, d := range ds {
-		if d == nil || (hits[i] && d.NodesExpanded() == 0) {
+		tk := qf.ticket(i)
+		if d == nil {
+			tk.Finish(nil)
 			continue
 		}
-		c.Put(distcache.KindDijkstra, 0, d.Snapshot())
+		wantCache := c != nil && !(hits[i] && d.NodesExpanded() == 0)
+		if !wantCache && !tk.Subscribed() {
+			tk.Finish(nil)
+			continue
+		}
+		st := d.Snapshot()
+		if wantCache {
+			c.Put(distcache.KindDijkstra, 0, st)
+		}
+		tk.Finish(st)
+	}
+}
+
+// dedupeQuery collapses duplicate (edge, offset) query points so the
+// algorithms build one searcher (and one vector dimension) per distinct
+// location — the intra-query half of wavefront sharing. It returns the
+// deduplicated query, opts with LBCSource remapped into the unique space,
+// and the full→unique index mapping; a nil mapping means the points were
+// already distinct and q and opts are unchanged. Duplicating a vector
+// coordinate for every object preserves the dominance order exactly, so
+// the skyline over the unique space, expanded back through the mapping
+// (expandSkyline), equals the skyline over the original points.
+func dedupeQuery(q Query, opts Options) (Query, Options, []int) {
+	seen := make(map[graph.Location]int, len(q.Points))
+	mapping := make([]int, len(q.Points))
+	var uniq []graph.Location
+	for i, p := range q.Points {
+		j, ok := seen[p]
+		if !ok {
+			j = len(uniq)
+			seen[p] = j
+			uniq = append(uniq, p)
+		}
+		mapping[i] = j
+	}
+	if len(uniq) == len(q.Points) {
+		return q, opts, nil
+	}
+	q.Points = uniq
+	if !opts.LBCAlternate && opts.LBCSource >= 0 && opts.LBCSource < len(mapping) {
+		opts.LBCSource = mapping[opts.LBCSource]
+	}
+	return q, opts, mapping
+}
+
+// expandPoint rewrites a skyline point computed in deduplicated
+// query-point space back into the caller's original point list: distance
+// dimension i of the result is the unique-space distance mapping[i] points
+// at, with the attribute dimensions carried over unchanged.
+func expandPoint(p SkylinePoint, mapping []int) SkylinePoint {
+	uniq := len(p.Dists)
+	attrs := p.Vec[uniq:]
+	vec := make([]float64, len(mapping)+len(attrs))
+	for i, j := range mapping {
+		vec[i] = p.Dists[j]
+	}
+	copy(vec[len(mapping):], attrs)
+	p.Dists = vec[:len(mapping):len(mapping)]
+	p.Vec = vec
+	return p
+}
+
+// expandSkyline applies expandPoint to every reported point; a nil
+// mapping (no duplicates) is a no-op.
+func expandSkyline(res *Result, mapping []int) {
+	if mapping == nil || res == nil {
+		return
+	}
+	for i, p := range res.Skyline {
+		res.Skyline[i] = expandPoint(p, mapping)
 	}
 }
 
@@ -356,11 +572,21 @@ func Run(ctx context.Context, env *Env, q Query, alg Algorithm, opts Options) (*
 		env.InvalidateCaches()
 	}
 	env.ResetIO()
+	// Duplicate query points collapse to one searcher each; reported
+	// points are expanded back to the caller's point list afterward. LBC
+	// delegates: its iterator dedupes internally (NewLBCIterator is also a
+	// public entry point), expanding each point as it is yielded.
 	switch alg {
 	case AlgCE:
-		return ce(ctx, env, q, opts)
+		dq, dopts, mapping := dedupeQuery(q, opts)
+		res, err := ce(ctx, env, dq, dopts)
+		expandSkyline(res, mapping)
+		return res, err
 	case AlgEDC:
-		return edc(ctx, env, q, opts)
+		dq, dopts, mapping := dedupeQuery(q, opts)
+		res, err := edc(ctx, env, dq, dopts)
+		expandSkyline(res, mapping)
+		return res, err
 	case AlgLBC:
 		return lbc(ctx, env, q, opts)
 	default:

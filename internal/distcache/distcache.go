@@ -172,20 +172,26 @@ func New(cfg Config) *Cache {
 	return c
 }
 
-// keyFor quantizes src into the cache key space by rounding the offset to
+// quantizedKey maps a source location into the key space shared by the
+// at-rest Cache and the in-flight Flight table, rounding the offset to
 // the nearest bucket center. Flooring instead would split offsets that
 // differ by a float ulp across two buckets whenever they straddle a bucket
 // boundary — two bit-distinct encodings of "the same" location would then
 // occupy two LRU slots and never alias, defeating the quantization. Round
 // also maps -0.0 and +0.0 to one bucket (Floor sends -0.0 to bucket -0,
 // which is 0, but any negative ulp to bucket -1).
-func (c *Cache) keyFor(kind Kind, flavor uint8, src graph.Location) key {
+func quantizedKey(kind Kind, flavor uint8, src graph.Location, quantum float64) key {
 	return key{
 		kind:   kind,
 		flavor: flavor,
 		edge:   src.Edge,
-		bucket: int64(math.Round(src.Offset / c.quantum)),
+		bucket: int64(math.Round(src.Offset / quantum)),
 	}
+}
+
+// keyFor quantizes src into the cache's key space.
+func (c *Cache) keyFor(kind Kind, flavor uint8, src graph.Location) key {
+	return quantizedKey(kind, flavor, src, c.quantum)
 }
 
 // shardFor mixes the key fields into a shard index.

@@ -1,0 +1,284 @@
+package distcache
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"roadskyline/internal/graph"
+)
+
+// Flight is the in-flight companion of the at-rest Cache: a single-flight
+// table coalescing concurrent searchers rooted at the same source. The
+// first searcher to arrive at a key becomes the *leader* and expands
+// normally; searchers that arrive while the leader is in flight become
+// *subscribers* and block until the leader publishes its final wavefront
+// snapshot, which they restore exactly as they would a cache entry. K
+// concurrent identical queries then perform ~one wavefront's expansions
+// instead of K.
+//
+// Keys are the Cache's keys — (kind, heuristic flavor, edge, quantized
+// offset) — and, like the cache, only an exact source match ever shares: a
+// quantized-key collision between distinct sources is a bypass, not a
+// wait. The soundness argument is the cache's too (see docs/CACHING.md):
+// restoring a consistent-heuristic wavefront and expanding onward yields
+// exact distances, so where the snapshot comes from — a prior query or a
+// concurrent one — is immaterial.
+//
+// Deadlock freedom: a searcher may only wait when its query holds no
+// leadership ticket (callers pass mayWait=false otherwise), so every
+// wait-for edge runs from a query owning no keys to a leader that never
+// blocks; no cycle can form. A leader that finishes without publishing —
+// query error or cancellation — promotes its first waiter to leader (the
+// baton pass), so a key's subscribers never stall on a dead leader.
+//
+// All methods are safe for concurrent use and no-ops on a nil receiver,
+// mirroring the Cache.
+type Flight struct {
+	quantum float64
+
+	mu  sync.Mutex
+	tab map[key]*flightEntry
+
+	leads      atomic.Int64
+	shares     atomic.Int64
+	promotions atomic.Int64
+	bypasses   atomic.Int64
+	waiting    atomic.Int64
+}
+
+// flightEntry is one in-flight expansion: the leader's exact source and
+// the subscribers blocked on its result, in arrival order.
+type flightEntry struct {
+	src     graph.Location
+	waiters []*Waiter
+}
+
+// FlightStats is a point-in-time snapshot of a Flight's counters. Leads
+// counts expansions that ran (first arrivals plus promotions), Shares
+// snapshots delivered to subscribers, Promotions waiters promoted to
+// leader after their leader aborted, Bypasses arrivals that expanded
+// independently (leadership already held by their own query, or a
+// quantized-key collision with a different exact source). Waiting is the
+// current number of blocked subscribers.
+type FlightStats struct {
+	Leads      int64
+	Shares     int64
+	Promotions int64
+	Bypasses   int64
+	Waiting    int
+}
+
+// ShareRate returns Shares / (Leads + Shares + Bypasses) — the fraction
+// of searcher constructions served by a concurrent leader's expansion —
+// or zero before any arrival.
+func (s FlightStats) ShareRate() float64 {
+	if total := s.Leads + s.Shares + s.Bypasses; total > 0 {
+		return float64(s.Shares) / float64(total)
+	}
+	return 0
+}
+
+// NewFlight builds an in-flight table quantizing source offsets like a
+// Cache with the same quantum (zero or negative means DefaultQuantum).
+func NewFlight(quantum float64) *Flight {
+	if quantum <= 0 {
+		quantum = DefaultQuantum
+	}
+	return &Flight{quantum: quantum, tab: make(map[key]*flightEntry)}
+}
+
+// Ticket is a leadership claim on one in-flight key. The holder must call
+// Finish exactly once — with the final snapshot on clean completion, or
+// with nil to abdicate (promoting a waiter) — or subscribers block until
+// their own contexts cancel. Finish is idempotent and nil-safe so callers
+// can pair every ticket with a deferred Finish(nil).
+type Ticket struct {
+	f    *Flight
+	k    key
+	done bool
+}
+
+// Waiter is a pending subscription to a leader's result. Exactly one Wait
+// call consumes it.
+type Waiter struct {
+	f  *Flight
+	k  key
+	ch chan waitResult
+}
+
+// waitResult is a leader's hand-off: a published snapshot, or a
+// promotion ticket when the leader aborted.
+type waitResult struct {
+	st *State
+	tk *Ticket
+}
+
+// Join registers a searcher rooted at src. The first arrival at a key
+// leads: it receives a Ticket and expands normally. A later arrival with
+// the same exact source receives a Waiter when mayWait is set; callers
+// pass mayWait=false when their query already holds a ticket (the
+// deadlock rule above). Every other case — collision with a different
+// exact source, or mayWait unset while a leader is in flight — is a
+// bypass: both returns are nil and the searcher expands independently.
+// A nil Flight returns (nil, nil): sharing disabled.
+func (f *Flight) Join(kind Kind, flavor uint8, src graph.Location, mayWait bool) (*Ticket, *Waiter) {
+	if f == nil {
+		return nil, nil
+	}
+	k := quantizedKey(kind, flavor, src, f.quantum)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	e, ok := f.tab[k]
+	if !ok {
+		f.tab[k] = &flightEntry{src: src}
+		f.leads.Add(1)
+		return &Ticket{f: f, k: k}, nil
+	}
+	if e.src == src && mayWait {
+		w := &Waiter{f: f, k: k, ch: make(chan waitResult, 1)}
+		e.waiters = append(e.waiters, w)
+		f.waiting.Add(1)
+		return nil, w
+	}
+	f.bypasses.Add(1)
+	return nil, nil
+}
+
+// Finish resolves the ticket's flight. A non-nil st is published: every
+// subscriber receives it and the key clears. A nil st abdicates: the
+// first waiter is promoted to leader (its Wait returns a fresh Ticket)
+// and the rest keep waiting on it; with no waiters the key just clears.
+// Idempotent; safe on a nil ticket.
+func (t *Ticket) Finish(st *State) {
+	if t == nil {
+		return
+	}
+	f := t.f
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if t.done {
+		return
+	}
+	t.done = true
+	e := f.tab[t.k]
+	if e == nil {
+		return
+	}
+	if st == nil {
+		f.promoteLocked(t.k, e)
+		return
+	}
+	delete(f.tab, t.k)
+	// Deliveries happen under f.mu so a concurrently cancelling waiter
+	// either still sits in e.waiters (and is withdrawn before this runs)
+	// or drains its channel under the same lock — a share can be counted
+	// and then reversed, but never lost.
+	for _, w := range e.waiters {
+		w.ch <- waitResult{st: st}
+	}
+	f.shares.Add(int64(len(e.waiters)))
+}
+
+// promoteLocked hands the entry's leadership to its first waiter, or
+// clears the key when none remain. Caller holds f.mu.
+func (f *Flight) promoteLocked(k key, e *flightEntry) {
+	if len(e.waiters) == 0 {
+		delete(f.tab, k)
+		return
+	}
+	w := e.waiters[0]
+	e.waiters = e.waiters[1:]
+	f.promotions.Add(1)
+	f.leads.Add(1)
+	w.ch <- waitResult{tk: &Ticket{f: f, k: k}}
+}
+
+// Subscribed reports whether the ticket's flight currently has blocked
+// subscribers — whether a Finish(st) would be consumed by anyone. Callers
+// use it to skip the snapshot cost when the at-rest cache does not want
+// the state either. Safe on a nil ticket (false).
+func (t *Ticket) Subscribed() bool {
+	if t == nil {
+		return false
+	}
+	t.f.mu.Lock()
+	defer t.f.mu.Unlock()
+	if t.done {
+		return false
+	}
+	e := t.f.tab[t.k]
+	return e != nil && len(e.waiters) > 0
+}
+
+// Wait blocks until the leader resolves the flight or ctx is done. It
+// returns the published snapshot, or a promotion Ticket when the leader
+// aborted and this waiter is next in line (exactly one of the two is
+// non-nil on success). On ctx expiry it withdraws the subscription — or,
+// if the leader resolved concurrently, reverses the delivery (handing a
+// drained promotion to the next waiter) — and returns ctx's error. An
+// already-expired ctx takes the cancel path without consuming a delivery,
+// so cancellation behavior is deterministic under test.
+func (w *Waiter) Wait(ctx context.Context) (*State, *Ticket, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, w.cancel(err)
+	}
+	select {
+	case r := <-w.ch:
+		w.f.waiting.Add(-1)
+		return r.st, r.tk, nil
+	case <-ctx.Done():
+		return nil, nil, w.cancel(ctx.Err())
+	}
+}
+
+// cancel withdraws the waiter under f.mu: either it is still subscribed
+// (remove it), or the leader resolved first and an unconsumed delivery
+// sits in the channel (drain it and reverse its counters; a drained
+// promotion re-promotes the next waiter so the flight never loses its
+// leader).
+func (w *Waiter) cancel(err error) error {
+	f := w.f
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if e := f.tab[w.k]; e != nil {
+		for i, o := range e.waiters {
+			if o == w {
+				e.waiters = append(e.waiters[:i], e.waiters[i+1:]...)
+				f.waiting.Add(-1)
+				return err
+			}
+		}
+	}
+	select {
+	case r := <-w.ch:
+		switch {
+		case r.st != nil:
+			f.shares.Add(-1)
+		case r.tk != nil:
+			r.tk.done = true
+			f.promotions.Add(-1)
+			f.leads.Add(-1)
+			if e := f.tab[w.k]; e != nil {
+				f.promoteLocked(w.k, e)
+			}
+		}
+	default:
+	}
+	f.waiting.Add(-1)
+	return err
+}
+
+// Stats snapshots the flight counters. Safe on a nil Flight (all zeros).
+func (f *Flight) Stats() FlightStats {
+	if f == nil {
+		return FlightStats{}
+	}
+	return FlightStats{
+		Leads:      f.leads.Load(),
+		Shares:     f.shares.Load(),
+		Promotions: f.promotions.Load(),
+		Bypasses:   f.bypasses.Load(),
+		Waiting:    int(f.waiting.Load()),
+	}
+}

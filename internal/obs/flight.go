@@ -73,6 +73,7 @@ type FlightRecord struct {
 	Source      int    `json:"source,omitempty"`
 	NoLandmarks bool   `json:"no_landmarks,omitempty"`
 	NoDistCache bool   `json:"no_distcache,omitempty"`
+	NoShare     bool   `json:"no_share,omitempty"`
 	// Outcome is one of the Outcome* constants; Err carries the error
 	// text for error/cancelled outcomes.
 	Outcome string `json:"outcome"`
@@ -93,6 +94,8 @@ type FlightRecord struct {
 	RTreeNodes      int64 `json:"rtree_nodes,omitempty"`
 	DistCacheHits   int   `json:"distcache_hits,omitempty"`
 	DistCacheMisses int   `json:"distcache_misses,omitempty"`
+	WavefrontLeads  int   `json:"wavefront_leads,omitempty"`
+	WavefrontShares int   `json:"wavefront_shares,omitempty"`
 }
 
 // DurationSnapshot is one (algorithm, outcome) series of the query

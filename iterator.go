@@ -47,13 +47,14 @@ func (e *Engine) SkylineIterContext(ctx context.Context, q Query) (*SkylineItera
 		pts[i] = graph.Location{Edge: graph.EdgeID(p.Edge), Offset: p.Offset}
 	}
 	opts := core.Options{
-		ColdCache:        !e.cfg.WarmCache,
-		LBCAlternate:     q.Alternate,
-		LBCSource:        q.Source,
-		DisableLandmarks: q.NoLandmarks,
-		DisableDistCache: q.NoDistCache,
-		Tracer:           q.Tracer,
-		CollectPhases:    q.CollectPhases,
+		ColdCache:             !e.cfg.WarmCache,
+		LBCAlternate:          q.Alternate,
+		LBCSource:             q.Source,
+		DisableLandmarks:      q.NoLandmarks,
+		DisableDistCache:      q.NoDistCache,
+		DisableWavefrontShare: q.NoShare,
+		Tracer:                q.Tracer,
+		CollectPhases:         q.CollectPhases,
 	}
 	var start time.Time
 	if e.flight != nil {

@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -167,6 +169,7 @@ func (p *Pool) recordAdmission(alg string, q Query, err error) {
 		Source:      q.Source,
 		NoLandmarks: q.NoLandmarks,
 		NoDistCache: q.NoDistCache,
+		NoShare:     q.NoShare,
 		Outcome:     outcome,
 		Err:         err.Error(),
 	})
@@ -270,29 +273,82 @@ func (p *Pool) skyline(ctx context.Context, q Query) (*Result, error) {
 func (p *Pool) SkylineBatch(ctx context.Context, queries []Query) (results []*Result, errs []error) {
 	results = make([]*Result, len(queries))
 	errs = make([]error, len(queries))
+	// Bounded fan-out: one goroutine per query made a 10k-query batch spawn
+	// 10k goroutines, all but Workers of them parked on the worker channel.
+	// Instead, Workers+QueueDepth pump goroutines (enough to keep every
+	// worker busy with an admission queue's worth of demand behind them)
+	// pull indices from a shared cursor. Identical queries are grouped
+	// adjacently so that on a sharing engine duplicates are in flight
+	// together and coalesce onto one wavefront.
+	pump := cap(p.queue)
+	if pump > len(queries) {
+		pump = len(queries)
+	}
+	order := batchOrder(queries)
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	for i := range queries {
+	for g := 0; g < pump; g++ {
 		wg.Add(1)
-		go func(i int) {
+		go func() {
 			defer wg.Done()
-			p.met.submitted.Add(1)
-			w, err := p.acquireWait(ctx)
-			if err != nil {
-				errs[i] = err
-				p.recordAdmission(queries[i].Algorithm.String(), queries[i], err)
-				p.met.finish(err)
-				return
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(order) {
+					return
+				}
+				qi := order[i]
+				p.met.submitted.Add(1)
+				w, err := p.acquireWait(ctx)
+				if err != nil {
+					errs[qi] = err
+					p.recordAdmission(queries[qi].Algorithm.String(), queries[qi], err)
+					p.met.finish(err)
+					continue
+				}
+				results[qi], errs[qi] = w.eng.SkylineContext(ctx, queries[qi])
+				if results[qi] != nil {
+					w.record(results[qi].Stats)
+				}
+				p.met.finish(errs[qi])
+				p.release(w, false)
 			}
-			defer p.release(w, false)
-			results[i], errs[i] = w.eng.SkylineContext(ctx, queries[i])
-			if results[i] != nil {
-				w.record(results[i].Stats)
-			}
-			p.met.finish(errs[i])
-		}(i)
+		}()
 	}
 	wg.Wait()
 	return results, errs
+}
+
+// batchSig fingerprints the fields that decide whether two batch queries
+// would coalesce on a sharing engine: algorithm, flags and the exact query
+// locations.
+func batchSig(q Query) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d|%t|%t|%d|%t|%t|%t",
+		q.Algorithm, q.UseAttrs, q.Alternate, q.Source, q.NoLandmarks, q.NoDistCache, q.NoShare)
+	for _, p := range q.Points {
+		fmt.Fprintf(&b, "|%d:%x", p.Edge, math.Float64bits(p.Offset))
+	}
+	return b.String()
+}
+
+// batchOrder returns the batch indices with identical queries adjacent, in
+// first-seen group order. results[i] and errs[i] still correspond to
+// queries[i]; only the dispatch order changes.
+func batchOrder(queries []Query) []int {
+	groups := make(map[string][]int, len(queries))
+	var sigs []string
+	for i, q := range queries {
+		s := batchSig(q)
+		if _, ok := groups[s]; !ok {
+			sigs = append(sigs, s)
+		}
+		groups[s] = append(groups[s], i)
+	}
+	order := make([]int, 0, len(queries))
+	for _, s := range sigs {
+		order = append(order, groups[s]...)
+	}
+	return order
 }
 
 // SkylineIter starts a progressive LBC query on an idle worker. The worker
@@ -330,10 +386,11 @@ type PoolIterator struct {
 
 // Next returns the next skyline point; ok is false when the skyline is
 // exhausted (which releases the worker) or after Close. A context or query
-// error also releases the worker and ends the iteration.
+// error also releases the worker and ends the iteration; the error is
+// sticky, so callers that only check it on the final Next still see it.
 func (pi *PoolIterator) Next() (SkylinePoint, bool, error) {
 	if pi.done {
-		return SkylinePoint{}, false, nil
+		return SkylinePoint{}, false, pi.lastErr
 	}
 	pt, ok, err := pi.it.Next()
 	if err != nil || !ok {

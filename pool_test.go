@@ -473,3 +473,129 @@ func TestQuerySourceField(t *testing.T) {
 		t.Errorf("Alternate query rejected ignored Source: %v", err)
 	}
 }
+
+// TestPoolIteratorStickyError pins the iterator error contract: after a
+// failed Next, later calls keep returning the terminal error instead of
+// reporting a clean (false, nil) exhaustion. The old code forgot the error
+// at the first terminal call, so a consumer that only checked the final
+// Next mistook a cancelled stream for a complete skyline.
+func TestPoolIteratorStickyError(t *testing.T) {
+	eng, n := poolTestEngine(t)
+	pool, err := NewPool(eng, PoolConfig{Workers: 1, QueueDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	pts := n.GenerateQueryPoints(3, 0.1, 5)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	it, err := pool.SkylineIter(ctx, Query{Points: pts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	var terminal error
+	for {
+		_, ok, err := it.Next()
+		if err != nil {
+			terminal = err
+			break
+		}
+		if !ok {
+			t.Fatal("cancelled iterator reported clean exhaustion")
+		}
+	}
+	if !errors.Is(terminal, context.Canceled) {
+		t.Fatalf("iterator failed with %v, want context.Canceled", terminal)
+	}
+	// The regression: every later Next must keep reporting the error.
+	for i := 0; i < 3; i++ {
+		if _, ok, err := it.Next(); ok || !errors.Is(err, context.Canceled) {
+			t.Fatalf("Next %d after failure = (ok=%v, err=%v), want (false, context.Canceled)", i, ok, err)
+		}
+	}
+	// The failure released the worker; a clean Close stays clean.
+	if _, err := pool.Skyline(context.Background(), Query{Points: pts, Algorithm: LBCAlg}); err != nil {
+		t.Fatalf("pool query after failed iterator: %v", err)
+	}
+	it.Close()
+}
+
+// TestSkylineBatchBoundedPump pins the batch fan-out bound: a batch far
+// larger than the pool must keep at most Workers+QueueDepth submissions
+// in flight or waiting at any moment (the old code spawned one goroutine
+// per query, parking the whole batch on the worker channel at once), while
+// still answering every query exactly and reconciling the outcome
+// counters.
+func TestSkylineBatchBoundedPump(t *testing.T) {
+	eng, n := poolTestEngine(t)
+	const workers, depth = 2, 2
+	pool, err := NewPool(eng, PoolConfig{Workers: workers, QueueDepth: depth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	queries := mixedQueries(n)         // 24 queries >> the 4 pump goroutines
+	queries = append(queries, Query{}) // invalid: no points
+	want := make([]string, len(queries))
+	for i, q := range queries {
+		if len(q.Points) == 0 {
+			continue
+		}
+		res, err := eng.Skyline(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = resultKey(t, res)
+	}
+
+	stop := make(chan struct{})
+	overloaded := make(chan string, 1)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			pm := pool.PoolMetrics()
+			if pm.Waiting+pm.InFlight > workers+depth {
+				select {
+				case overloaded <- fmt.Sprintf("waiting=%d inFlight=%d exceeds the %d pump goroutines",
+					pm.Waiting, pm.InFlight, workers+depth):
+				default:
+				}
+			}
+		}
+	}()
+	results, errs := pool.SkylineBatch(context.Background(), queries)
+	close(stop)
+	select {
+	case msg := <-overloaded:
+		t.Error(msg)
+	default:
+	}
+
+	for i, q := range queries {
+		if len(q.Points) == 0 {
+			if errs[i] == nil {
+				t.Errorf("invalid batch query %d returned no error", i)
+			}
+			continue
+		}
+		if errs[i] != nil {
+			t.Fatalf("batch query %d: %v", i, errs[i])
+		}
+		if got := resultKey(t, results[i]); got != want[i] {
+			t.Errorf("batch query %d diverged:\n got %s\nwant %s", i, got, want[i])
+		}
+	}
+	pm := pool.PoolMetrics()
+	if pm.Submitted != uint64(len(queries)) {
+		t.Errorf("Submitted = %d, want %d", pm.Submitted, len(queries))
+	}
+	if got := pm.Served + pm.Saturated + pm.Cancelled + pm.Closed; got != pm.Submitted {
+		t.Errorf("outcomes sum to %d, want Submitted = %d", got, pm.Submitted)
+	}
+}

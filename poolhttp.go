@@ -121,6 +121,18 @@ func writePoolMetrics(w io.Writer, m PoolMetrics) {
 	fmt.Fprintf(w, "roadskyline_distcache_evictions_total %d\n", m.DistCache.Evictions)
 	gauge("roadskyline_distcache_entries", "Wavefront snapshots resident in the distance cache.", m.DistCache.Entries)
 
+	fmt.Fprintf(w, "# HELP roadskyline_wavefront_expansions_total Single-flight wavefront outcomes by role: expansions led vs frontiers shared from a leader.\n")
+	fmt.Fprintf(w, "# TYPE roadskyline_wavefront_expansions_total counter\n")
+	fmt.Fprintf(w, "roadskyline_wavefront_expansions_total{role=%q} %d\n", "lead", m.Wavefront.Leads)
+	fmt.Fprintf(w, "roadskyline_wavefront_expansions_total{role=%q} %d\n", "share", m.Wavefront.Shares)
+	fmt.Fprintf(w, "# HELP roadskyline_wavefront_promotions_total Subscribers promoted to leader after a cancelled lead.\n")
+	fmt.Fprintf(w, "# TYPE roadskyline_wavefront_promotions_total counter\n")
+	fmt.Fprintf(w, "roadskyline_wavefront_promotions_total %d\n", m.Wavefront.Promotions)
+	fmt.Fprintf(w, "# HELP roadskyline_wavefront_bypasses_total Joins that expanded independently (sharing off for the query, or no exact source match).\n")
+	fmt.Fprintf(w, "# TYPE roadskyline_wavefront_bypasses_total counter\n")
+	fmt.Fprintf(w, "roadskyline_wavefront_bypasses_total %d\n", m.Wavefront.Bypasses)
+	gauge("roadskyline_wavefront_waiting", "Subscribers blocked on a leader right now.", m.Wavefront.Waiting)
+
 	fmt.Fprintf(w, "# HELP roadskyline_flight_queries_total Queries observed by the flight recorder, by outcome; empty when the recorder is disabled.\n")
 	fmt.Fprintf(w, "# TYPE roadskyline_flight_queries_total counter\n")
 	outcomes := make([]string, 0, len(m.FlightOutcomes))

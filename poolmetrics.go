@@ -88,6 +88,11 @@ type PoolMetrics struct {
 	// are pool-wide totals, not per-worker; all zeros when the source
 	// engine was built without a cache.
 	DistCache DistCacheStats
+	// Wavefront is the single-flight wavefront broker's global counters.
+	// Like the distance cache the broker is shared by every worker, so
+	// these are pool-wide totals; all zeros when the source engine was
+	// built without ShareWavefronts.
+	Wavefront WavefrontStats
 	// FlightSeen counts the queries the flight recorder observed over its
 	// lifetime; FlightOutcomes splits them by outcome ("served", "error",
 	// "cancelled", "abandoned", "saturated", "closed"). At quiescence the
@@ -119,8 +124,10 @@ func (p *Pool) PoolMetrics() PoolMetrics {
 		Closed:      p.met.closed.Load(),
 		QueueWait:   p.met.queueWait.Snapshot(),
 		WorkerStats: make([]WorkerStats, len(p.all)),
-		// Any worker sees the shared cache; the first is as good as all.
+		// Any worker sees the shared cache and broker; the first is as
+		// good as all.
 		DistCache:      p.all[0].eng.DistCacheStats(),
+		Wavefront:      p.all[0].eng.WavefrontStats(),
 		FlightSeen:     p.flight.Seen(),
 		FlightOutcomes: p.flight.OutcomeCounts(),
 		Durations:      p.flight.Durations(),

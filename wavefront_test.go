@@ -1,0 +1,398 @@
+package roadskyline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// sharedEngine builds a second engine over the trial's network and objects
+// with single-flight wavefront sharing enabled. WarmCache is required: like
+// the distance cache, sharing is bypassed in cold-cache (paper) mode.
+// distEntries > 0 additionally enables the distance cache, exercising the
+// broker's composition with the at-rest cache.
+func (tr *fuzzTrial) sharedEngine(t *testing.T, distEntries int) *Engine {
+	t.Helper()
+	eng, err := NewEngine(tr.n, tr.objs, EngineConfig{
+		WarmCache:       true,
+		ShareWavefronts: true,
+		DistCache:       DistCacheConfig{Entries: distEntries},
+	})
+	if err != nil {
+		t.Fatalf("seed %d: shared engine: %v", tr.seed, err)
+	}
+	return eng
+}
+
+// gateTracer blocks the traced query inside its QueryStart event — which
+// fires after every searcher is constructed (and hence after the query has
+// registered its wavefront flights) but before any expansion — until the
+// test closes release. It lets a test hold a leader in flight while
+// subscribers pile onto its wavefronts.
+type gateTracer struct {
+	once    sync.Once
+	started chan struct{}
+	release chan struct{}
+}
+
+func newGateTracer() *gateTracer {
+	return &gateTracer{started: make(chan struct{}), release: make(chan struct{})}
+}
+
+func (g *gateTracer) QueryStart(string, int) {
+	g.once.Do(func() {
+		close(g.started)
+		<-g.release
+	})
+}
+func (g *gateTracer) PhaseStart(Phase)                          {}
+func (g *gateTracer) PhaseEnd(Phase, time.Duration, int64, int) {}
+func (g *gateTracer) Progress(int)                              {}
+func (g *gateTracer) Point(int, time.Duration)                  {}
+func (g *gateTracer) QueryEnd(time.Duration)                    {}
+
+// waitForWaiting polls the broker until exactly want subscribers are
+// blocked on a leader, failing the test on timeout.
+func waitForWaiting(t *testing.T, eng *Engine, want int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if eng.WavefrontStats().Waiting == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d wavefront subscribers, have %d",
+				want, eng.WavefrontStats().Waiting)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// uniquePoints counts the distinct locations in pts, the number of
+// searchers a query over pts builds after co-located points collapse.
+func uniquePoints(pts []Location) int {
+	seen := make(map[Location]bool, len(pts))
+	for _, p := range pts {
+		seen[p] = true
+	}
+	return len(seen)
+}
+
+// TestWavefrontHotPointSingleFlight pins the tentpole contract
+// deterministically: with K identical single-point queries in flight at
+// once, exactly one leads the wavefront expansion and the other K-1 resume
+// from its published frontier. The leader is held at its QueryStart gate
+// until every subscriber is provably parked on its flight, so the counters
+// are exact, not probabilistic.
+func TestWavefrontHotPointSingleFlight(t *testing.T) {
+	tr := newFuzzTrial(t, 9900)
+	eng := tr.sharedEngine(t, 0)
+	pts := tr.pts[:1]
+	const K = 5
+
+	// Serial oracle on an isolated non-sharing engine.
+	plain, err := NewEngine(tr.n, tr.objs, EngineConfig{WarmCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := plain.Skyline(Query{Points: pts, Algorithm: CEAlg})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gate := newGateTracer()
+	results := make([]*Result, K)
+	errs := make([]error, K)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // leader
+		defer wg.Done()
+		results[0], errs[0] = eng.Clone().Skyline(Query{Points: pts, Algorithm: CEAlg, Tracer: gate})
+	}()
+	<-gate.started
+	for i := 1; i < K; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = eng.Clone().Skyline(Query{Points: pts, Algorithm: CEAlg})
+		}(i)
+	}
+	waitForWaiting(t, eng, K-1)
+	close(gate.release)
+	wg.Wait()
+
+	for i := 0; i < K; i++ {
+		if errs[i] != nil {
+			t.Fatalf("query %d: %v", i, errs[i])
+		}
+		if err := sameSkyline(results[i], oracle); err != nil {
+			t.Errorf("query %d: %v", i, err)
+		}
+	}
+	if got := results[0].Stats; got.WavefrontLeads != 1 || got.WavefrontShares != 0 {
+		t.Errorf("leader counted leads=%d shares=%d, want 1/0", got.WavefrontLeads, got.WavefrontShares)
+	}
+	for i := 1; i < K; i++ {
+		if got := results[i].Stats; got.WavefrontLeads != 0 || got.WavefrontShares != 1 {
+			t.Errorf("subscriber %d counted leads=%d shares=%d, want 0/1",
+				i, got.WavefrontLeads, got.WavefrontShares)
+		}
+		if results[i].Stats.NodesExpanded > results[0].Stats.NodesExpanded {
+			t.Errorf("subscriber %d expanded %d nodes, more than the leader's %d",
+				i, results[i].Stats.NodesExpanded, results[0].Stats.NodesExpanded)
+		}
+	}
+	ws := eng.WavefrontStats()
+	want := WavefrontStats{Leads: 1, Shares: K - 1}
+	if ws != want {
+		t.Errorf("broker stats %+v, want %+v", ws, want)
+	}
+}
+
+// TestWavefrontLeaderCancelPromotes pins the baton pass: when a leader is
+// cancelled before publishing, one waiting subscriber is promoted to lead
+// and the rest eventually share the promoted leader's frontier — nobody
+// hangs and nobody silently recomputes.
+func TestWavefrontLeaderCancelPromotes(t *testing.T) {
+	tr := newFuzzTrial(t, 9910)
+	eng := tr.sharedEngine(t, 0)
+	pts := tr.pts[:1]
+	const K = 3
+
+	plain, err := NewEngine(tr.n, tr.objs, EngineConfig{WarmCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := plain.Skyline(Query{Points: pts, Algorithm: LBCAlg})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gate := newGateTracer()
+	ctx, cancel := context.WithCancel(context.Background())
+	var leaderErr error
+	results := make([]*Result, K)
+	errs := make([]error, K)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // leader: a progressive iterator cancelled mid-flight
+		defer wg.Done()
+		it, err := eng.Clone().SkylineIterContext(ctx, Query{Points: pts, Tracer: gate})
+		if err != nil {
+			leaderErr = err
+			return
+		}
+		for {
+			_, ok, err := it.Next()
+			if err != nil {
+				leaderErr = err
+				break
+			}
+			if !ok {
+				break
+			}
+		}
+		it.Close()
+	}()
+	<-gate.started
+	for i := 1; i < K; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = eng.Clone().Skyline(Query{Points: pts, Algorithm: LBCAlg})
+		}(i)
+	}
+	waitForWaiting(t, eng, K-1)
+	cancel()
+	close(gate.release)
+	wg.Wait()
+
+	if !errors.Is(leaderErr, context.Canceled) {
+		t.Fatalf("cancelled leader finished with %v, want context.Canceled", leaderErr)
+	}
+	var leads, shares int
+	for i := 1; i < K; i++ {
+		if errs[i] != nil {
+			t.Fatalf("subscriber %d: %v", i, errs[i])
+		}
+		if err := sameSkyline(results[i], oracle); err != nil {
+			t.Errorf("subscriber %d: %v", i, err)
+		}
+		leads += results[i].Stats.WavefrontLeads
+		shares += results[i].Stats.WavefrontShares
+	}
+	if leads != 1 || shares != K-2 {
+		t.Errorf("subscribers counted leads=%d shares=%d, want one promoted leader and %d shares",
+			leads, shares, K-2)
+	}
+	ws := eng.WavefrontStats()
+	want := WavefrontStats{Leads: 2, Shares: K - 2, Promotions: 1}
+	if ws != want {
+		t.Errorf("broker stats %+v, want %+v", ws, want)
+	}
+}
+
+// TestWavefrontPoolHotPointStress hammers a sharing pool with identical
+// queries from many goroutines (the workload the broker exists for) and
+// demands exact reconciliation: per-query lead/share counters must sum to
+// the broker's globals, and every join must be accounted as a lead, a
+// share, or a bypass. Run under -race this doubles as the broker's
+// integration race check.
+func TestWavefrontPoolHotPointStress(t *testing.T) {
+	tr := newFuzzTrial(t, 9920)
+	eng := tr.sharedEngine(t, 0)
+	pool, err := NewPool(eng, PoolConfig{Workers: 4, QueueDepth: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	algs := []Algorithm{CEAlg, EDCAlg, LBCAlg}
+	var leads, shares, queries atomic.Int64
+	const goroutines, rounds = 6, 10
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines*rounds)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				q := Query{Points: tr.pts, UseAttrs: tr.use, Algorithm: algs[(g+r)%len(algs)]}
+				res, err := pool.Skyline(context.Background(), q)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if err := tr.check(res, fmt.Sprintf("hot %v", q.Algorithm)); err != nil {
+					errc <- err
+					return
+				}
+				leads.Add(int64(res.Stats.WavefrontLeads))
+				shares.Add(int64(res.Stats.WavefrontShares))
+				queries.Add(1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	ws := pool.PoolMetrics().Wavefront
+	if ws.Leads != leads.Load() || ws.Shares != shares.Load() {
+		t.Errorf("broker totals leads=%d shares=%d, per-query stats summed to %d/%d (counter leak)",
+			ws.Leads, ws.Shares, leads.Load(), shares.Load())
+	}
+	joins := queries.Load() * int64(uniquePoints(tr.pts))
+	if got := ws.Leads + ws.Shares + ws.Bypasses; got != joins {
+		t.Errorf("leads+shares+bypasses = %d, want every one of the %d searcher joins accounted",
+			got, joins)
+	}
+	if ws.Waiting != 0 {
+		t.Errorf("broker reports %d subscribers still waiting at quiescence", ws.Waiting)
+	}
+	if ws.Promotions != 0 {
+		t.Errorf("broker reports %d promotions without any cancelled leader", ws.Promotions)
+	}
+}
+
+// TestWavefrontSharingEquivalenceFuzz is the broker's end-to-end soundness
+// sweep: on random networks, a pool of sharing workers answering every
+// algorithm and LBC mode — each query submitted in triplicate so duplicates
+// genuinely coalesce — must reproduce the bruteforce skyline exactly, with
+// the distance cache layered on top. A NoShare query on the same engine
+// must stay exact and leave the broker's counters untouched.
+func TestWavefrontSharingEquivalenceFuzz(t *testing.T) {
+	trials := 6
+	if testing.Short() {
+		trials = 2
+	}
+	for seed := int64(0); seed < int64(trials); seed++ {
+		tr := newFuzzTrial(t, 9930+seed)
+		eng := tr.sharedEngine(t, 64)
+		pool, err := NewPool(eng, PoolConfig{Workers: 8, QueueDepth: 256})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		errc := make(chan error, 64)
+		for qi, q := range tr.queries() {
+			for dup := 0; dup < 3; dup++ {
+				wg.Add(1)
+				go func(qi int, q Query) {
+					defer wg.Done()
+					res, err := pool.Skyline(context.Background(), q)
+					if err != nil {
+						errc <- fmt.Errorf("seed %d shared query %d: %v", tr.seed, qi, err)
+						return
+					}
+					if err := tr.check(res, fmt.Sprintf("shared query %d (%v)", qi, q.Algorithm)); err != nil {
+						errc <- err
+					}
+				}(qi, q)
+			}
+		}
+		wg.Wait()
+		close(errc)
+		pool.Close()
+		for err := range errc {
+			t.Error(err)
+		}
+		if ws := eng.WavefrontStats(); ws.Waiting != 0 {
+			t.Errorf("seed %d: %d subscribers still waiting at quiescence", tr.seed, ws.Waiting)
+		}
+
+		// NoShare opts a query out: still exact, broker untouched.
+		before := eng.WavefrontStats()
+		q := tr.queries()[0]
+		q.NoShare = true
+		res, err := eng.Skyline(q)
+		if err != nil {
+			t.Fatalf("seed %d NoShare: %v", tr.seed, err)
+		}
+		if err := tr.check(res, "NoShare"); err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.WavefrontLeads != 0 || res.Stats.WavefrontShares != 0 {
+			t.Errorf("seed %d: NoShare query counted leads=%d shares=%d",
+				tr.seed, res.Stats.WavefrontLeads, res.Stats.WavefrontShares)
+		}
+		if after := eng.WavefrontStats(); after != before {
+			t.Errorf("seed %d: NoShare query moved broker stats %+v -> %+v", tr.seed, before, after)
+		}
+	}
+}
+
+// sameSkyline compares two results as skyline sets: same objects, same
+// distance vectors. Report order may differ between algorithms but not
+// between identical queries, so exact set equality is the right bar.
+func sameSkyline(got, want *Result) error {
+	if len(got.Points) != len(want.Points) {
+		return fmt.Errorf("%d skyline points, want %d", len(got.Points), len(want.Points))
+	}
+	byID := make(map[int32][]float64, len(want.Points))
+	for _, p := range want.Points {
+		byID[p.Object.ID] = p.Distances
+	}
+	for _, p := range got.Points {
+		dists, ok := byID[p.Object.ID]
+		if !ok {
+			return fmt.Errorf("object %d not in the expected skyline", p.Object.ID)
+		}
+		if len(dists) != len(p.Distances) {
+			return fmt.Errorf("object %d has %d distances, want %d", p.Object.ID, len(p.Distances), len(dists))
+		}
+		for j := range dists {
+			if math.Abs(p.Distances[j]-dists[j]) > 1e-9 {
+				return fmt.Errorf("object %d dist[%d] = %v, want %v", p.Object.ID, j, p.Distances[j], dists[j])
+			}
+		}
+	}
+	return nil
+}
