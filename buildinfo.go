@@ -1,0 +1,41 @@
+package roadskyline
+
+import "runtime/debug"
+
+// BuildInfo reports the main module's version and the Go toolchain that
+// built the binary, read from the build information the linker embeds.
+// Both fall back to "unknown" when the binary carries no build info
+// (e.g. some test binaries).
+func BuildInfo() (version, goVersion string) {
+	version, goVersion = "unknown", "unknown"
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return version, goVersion
+	}
+	if bi.GoVersion != "" {
+		goVersion = bi.GoVersion
+	}
+	if bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	// Module builds from a working tree report "(devel)"; refine it with
+	// the VCS revision when the toolchain stamped one.
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "-dirty"
+			}
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		version += "+" + rev + dirty
+	}
+	return version, goVersion
+}

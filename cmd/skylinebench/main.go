@@ -46,8 +46,17 @@ func main() {
 		compare = flag.String("compare", "", "trajectory baseline JSON to gate against: run the trajectory workload and exit non-zero on regression (implies -trajectory)")
 		thresh  = flag.Float64("threshold", 0.10, "allowed relative growth in the trajectory's deterministic work counters before -compare fails")
 		tthresh = flag.Float64("time-threshold", 0.50, "allowed relative growth in the trajectory's response times before -compare fails")
+		traceF  = flag.String("trace", "", "run one traced query per algorithm and write the slowest one's Chrome trace-event JSON (Perfetto-loadable) to this file instead of figures")
 	)
 	flag.Parse()
+
+	if *traceF != "" {
+		if err := traceBench(*scale, *seed, *lms, *traceF); err != nil {
+			fmt.Fprintf(os.Stderr, "skylinebench: trace: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *traj || *compare != "" {
 		// The trajectory pins its own scale so the committed baseline and
@@ -292,6 +301,57 @@ func parallelBench(scale float64, workers, queries int, seed int64, landmarks in
 		}
 		fmt.Printf("wrote %s\n", jsonOut)
 	}
+	return nil
+}
+
+// traceBench runs one traced query per algorithm on a warm engine and
+// writes the slowest one's causal trace as Chrome trace-event JSON — a
+// one-command way to get a Perfetto-loadable trace out of the benchmark
+// environment (see docs/OBSERVABILITY.md).
+func traceBench(scale float64, seed int64, landmarks int, out string) error {
+	spec := scaleSpec(roadskyline.CA, scale, seed)
+	n, err := roadskyline.Generate(spec)
+	if err != nil {
+		return err
+	}
+	eng, err := roadskyline.NewEngine(n, n.GenerateObjects(0.5, 0, seed), roadskyline.EngineConfig{
+		Landmarks:      landmarks,
+		NoLandmarks:    landmarks < 0,
+		WarmCache:      true,
+		FlightRecorder: roadskyline.FlightRecorderConfig{Size: 16},
+	})
+	if err != nil {
+		return err
+	}
+	points := n.GenerateQueryPoints(4, 0.1, seed)
+	var slowest roadskyline.FlightRecord
+	for _, alg := range []roadskyline.Algorithm{roadskyline.CEAlg, roadskyline.EDCAlg, roadskyline.LBCAlg} {
+		res, err := eng.Skyline(roadskyline.Query{Points: points, Algorithm: alg, Trace: true})
+		if err != nil {
+			return fmt.Errorf("%v query: %w", alg, err)
+		}
+		rec, ok := eng.TraceRecord(res.TraceID)
+		if !ok {
+			return fmt.Errorf("%v query: trace %s not retained", alg, res.TraceID)
+		}
+		fmt.Printf("%-4v trace %s: %d spans, %d skyline points, total %v\n",
+			alg, rec.TraceID, len(rec.Spans), len(res.Points), rec.Total.Round(time.Microsecond))
+		if rec.Total > slowest.Total {
+			slowest = rec
+		}
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := roadskyline.WriteTraceEvents(f, slowest); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (trace %s, load it at https://ui.perfetto.dev)\n", out, slowest.TraceID)
 	return nil
 }
 

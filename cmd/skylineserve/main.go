@@ -9,16 +9,30 @@
 //
 // Endpoints:
 //
-//	GET /query?q=x,y&q=x,y[&alg=CE|EDC|LBC][&attrs=1][&alternate=1][&source=i][&phases=1]
+//	GET /query?q=x,y&q=x,y[&alg=CE|EDC|LBC][&attrs=1][&alternate=1][&source=i][&phases=1][&trace=0|1]
 //	    Answer one skyline query; points snap to the nearest road.
-//	    phases=1 adds the per-phase work breakdown to the stats.
+//	    phases=1 adds the per-phase work breakdown to the stats;
+//	    trace=0|1 overrides -trace for this request (a traced response
+//	    carries its trace_id).
 //	GET /metrics      Pool metrics, Prometheus text exposition format,
-//	    including the per-algorithm/outcome query duration histograms.
-//	GET /healthz      Liveness probe with worker/occupancy counts.
+//	    including the per-algorithm/outcome query duration histograms
+//	    and the roadskyline_build_info gauge.
+//	GET /healthz      Liveness probe with worker/occupancy counts, the
+//	    build version and the process uptime.
 //	GET /debug/queries[?alg=&outcome=&slowest=&limit=&format=text]
 //	    The query flight recorder's retained per-query records (JSON by
 //	    default): sampled traffic plus the slowest and every failed query,
-//	    with full per-phase breakdowns.
+//	    with full per-phase breakdowns and trace spans.
+//	GET /debug/trace?id=tXXXXXXXX
+//	    One traced query's span breakdown as Chrome trace-event JSON
+//	    (open in Perfetto or chrome://tracing); without id, an index of
+//	    the retained traced records.
+//	GET /debug/inflight
+//	    Live view of the queries running right now: phase, nodes
+//	    expanded, wavefront role, and the leader blocked on.
+//	GET /debug/wavefronts
+//	    Shared-wavefront lineage: who led each shared expansion, which
+//	    traces subscribed and how long each blocked.
 //	GET /debug/vars   expvar JSON, including the pool snapshot.
 //	GET /debug/pprof  Go profiling endpoints.
 //
@@ -65,7 +79,10 @@ func main() {
 		flight  = flag.Int("flight", 512, "flight recorder retention: per-query records kept in each of the sampled and errored reservoirs (0 disables /debug/queries)")
 		flSlow  = flag.Int("flight-slow", 32, "flight recorder slowest-query reservoir size")
 		flEvery = flag.Int("flight-sample", 1, "flight recorder sampling stride: record every k-th query in the sampled reservoir (slow and errored queries are always kept)")
-		smoke   = flag.Bool("smoke", false, "self-test: start, run one query and scrape /metrics and /debug/queries over HTTP, then exit")
+		trace   = flag.Bool("trace", true, "give queries causal traces: trace IDs in responses, /debug/inflight and /debug/trace exports (per-request override: ?trace=0|1)")
+		shutTO  = flag.Duration("shutdown-timeout", 10*time.Second, "how long graceful shutdown waits for in-flight requests before forcing the listener closed")
+		smoke   = flag.Bool("smoke", false, "self-test: start, run one query and scrape /metrics, /debug/queries and /debug/trace over HTTP, then exit")
+		smokeTr = flag.String("smoke-trace-out", "", "with -smoke: also write the smoke query's exported Chrome trace-event JSON to this file")
 	)
 	flag.Parse()
 
@@ -101,7 +118,7 @@ func main() {
 	}
 	defer pool.Close()
 
-	s := &server{net: network, pool: pool, log: log, slow: *slow}
+	s := &server{net: network, pool: pool, log: log, slow: *slow, trace: *trace, start: time.Now()}
 	expvar.Publish("roadskyline.pool", pool.ExpvarFunc())
 
 	mux := http.NewServeMux()
@@ -109,6 +126,9 @@ func main() {
 	mux.Handle("/metrics", pool.MetricsHandler())
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.Handle("/debug/queries", pool.FlightHandler())
+	mux.Handle("/debug/trace", pool.TraceHandler())
+	mux.Handle("/debug/inflight", pool.InflightHandler())
+	mux.Handle("/debug/wavefronts", pool.LineageHandler())
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -130,11 +150,11 @@ func main() {
 	go func() { errCh <- srv.Serve(ln) }()
 
 	if *smoke {
-		if err := runSmoke(log, ln.Addr().String()); err != nil {
+		if err := runSmoke(log, ln.Addr().String(), *smokeTr); err != nil {
 			log.Error("smoke test failed", "err", err)
 			os.Exit(1)
 		}
-		shutdown(srv, log)
+		shutdown(srv, *shutTO, log)
 		return
 	}
 
@@ -142,8 +162,10 @@ func main() {
 	defer stop()
 	select {
 	case <-ctx.Done():
-		log.Info("shutting down")
-		shutdown(srv, log)
+		log.Info("shutting down", "timeout", *shutTO)
+		if err := shutdown(srv, *shutTO, log); err != nil {
+			os.Exit(1)
+		}
 	case err := <-errCh:
 		if !errors.Is(err, http.ErrServerClosed) {
 			log.Error("serving", "err", err)
@@ -152,25 +174,34 @@ func main() {
 	}
 }
 
-func shutdown(srv *http.Server, log *slog.Logger) {
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+// shutdown drains the server gracefully: in-flight requests get up to
+// timeout to complete (on a fresh context, deliberately detached from
+// the already-cancelled signal context) before the listener is forced
+// closed.
+func shutdown(srv *http.Server, timeout time.Duration, log *slog.Logger) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		log.Error("shutdown", "err", err)
+		return err
 	}
+	return nil
 }
 
 type server struct {
-	net  *roadskyline.Network
-	pool *roadskyline.Pool
-	log  *slog.Logger
-	slow time.Duration
+	net   *roadskyline.Network
+	pool  *roadskyline.Pool
+	log   *slog.Logger
+	slow  time.Duration
+	trace bool
+	start time.Time
 }
 
 // queryResponse is the /query JSON body. Durations inside Stats marshal
 // as nanoseconds (Go's default for time.Duration).
 type queryResponse struct {
 	Algorithm string            `json:"algorithm"`
+	TraceID   string            `json:"trace_id,omitempty"`
 	Points    []responsePoint   `json:"points"`
 	Stats     roadskyline.Stats `json:"stats"`
 }
@@ -218,6 +249,10 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	traced := s.trace
+	if v := vals.Get("trace"); v != "" {
+		traced = boolParam(v)
+	}
 	q := roadskyline.Query{
 		Points:        locs,
 		Algorithm:     alg,
@@ -225,6 +260,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Alternate:     boolParam(vals.Get("alternate")),
 		Source:        source,
 		CollectPhases: boolParam(vals.Get("phases")),
+		Trace:         traced,
 	}
 	if s.slow > 0 || s.log.Enabled(r.Context(), slog.LevelDebug) {
 		q.Tracer = roadskyline.NewSlogTracer(s.log, s.slow)
@@ -246,7 +282,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	out := queryResponse{Algorithm: alg.String(), Points: make([]responsePoint, len(res.Points)), Stats: res.Stats}
+	out := queryResponse{Algorithm: alg.String(), TraceID: res.TraceID, Points: make([]responsePoint, len(res.Points)), Stats: res.Stats}
 	for i, p := range res.Points {
 		pt := s.net.PointOf(p.Object.Loc)
 		out.Points[i] = responsePoint{
@@ -264,12 +300,16 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	m := s.pool.PoolMetrics()
+	version, goVersion := roadskyline.BuildInfo()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]any{
-		"status":   "ok",
-		"workers":  m.Workers,
-		"inFlight": m.InFlight,
-		"served":   m.Served,
+		"status":    "ok",
+		"workers":   m.Workers,
+		"inFlight":  m.InFlight,
+		"served":    m.Served,
+		"version":   version,
+		"goVersion": goVersion,
+		"uptime":    time.Since(s.start).String(),
 	})
 }
 
@@ -327,15 +367,17 @@ func parseLogLevel(name string) (slog.Level, error) {
 }
 
 // runSmoke exercises the serving path end to end through real HTTP: a
-// liveness probe, one skyline query and a metrics scrape.
-func runSmoke(log *slog.Logger, addr string) error {
+// liveness probe, one traced skyline query, a metrics scrape and the
+// trace export. When traceOut is non-empty the exported Chrome
+// trace-event JSON is also written there (CI uploads it as an artifact).
+func runSmoke(log *slog.Logger, addr, traceOut string) error {
 	base := "http://" + addr
 	client := &http.Client{Timeout: 30 * time.Second}
 
 	if _, err := fetch(client, base+"/healthz"); err != nil {
 		return err
 	}
-	body, err := fetch(client, base+"/query?q=0.2,0.3&q=0.7,0.7&alg=LBC&phases=1")
+	body, err := fetch(client, base+"/query?q=0.2,0.3&q=0.7,0.7&alg=LBC&phases=1&trace=1")
 	if err != nil {
 		return err
 	}
@@ -346,7 +388,10 @@ func runSmoke(log *slog.Logger, addr string) error {
 	if len(res.Points) == 0 {
 		return fmt.Errorf("smoke query returned an empty skyline")
 	}
-	log.Info("smoke query ok", "skyline", len(res.Points),
+	if res.TraceID == "" {
+		return fmt.Errorf("smoke query response carries no trace_id")
+	}
+	log.Info("smoke query ok", "skyline", len(res.Points), "trace", res.TraceID,
 		"phases", len(res.Stats.Phases), "total", res.Stats.Total)
 
 	metrics, err := fetch(client, base+"/metrics")
@@ -354,6 +399,7 @@ func runSmoke(log *slog.Logger, addr string) error {
 		return err
 	}
 	for _, want := range []string{
+		"roadskyline_build_info{version=",
 		"roadskyline_pool_workers",
 		"roadskyline_pool_queries_total{outcome=\"served\"} 1",
 		"roadskyline_query_duration_seconds_bucket{alg=\"LBC\",outcome=\"served\",le=\"+Inf\"} 1",
@@ -364,6 +410,37 @@ func runSmoke(log *slog.Logger, addr string) error {
 		}
 	}
 	log.Info("smoke metrics ok", "bytes", len(metrics))
+
+	trace, err := fetch(client, base+"/debug/trace?id="+res.TraceID)
+	if err != nil {
+		return err
+	}
+	var events struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(trace, &events); err != nil {
+		return fmt.Errorf("decoding /debug/trace response: %w", err)
+	}
+	if len(events.TraceEvents) == 0 {
+		return fmt.Errorf("/debug/trace exported no events: %s", trace)
+	}
+	if traceOut != "" {
+		if err := os.WriteFile(traceOut, trace, 0o644); err != nil {
+			return fmt.Errorf("writing -smoke-trace-out: %w", err)
+		}
+	}
+	log.Info("smoke trace export ok", "trace", res.TraceID, "events", len(events.TraceEvents))
+
+	inflight, err := fetch(client, base+"/debug/inflight")
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(string(inflight), "\"queries\"") {
+		return fmt.Errorf("/debug/inflight malformed: %s", inflight)
+	}
+	if _, err := fetch(client, base+"/debug/wavefronts"); err != nil {
+		return err
+	}
 
 	body, err = fetch(client, base+"/debug/queries?slowest=10")
 	if err != nil {

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestShutdownDrainsInflight: a request already executing when shutdown
+// begins runs to completion and its response reaches the client; the
+// listener refuses new connections meanwhile.
+func TestShutdownDrainsInflight(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var completed atomic.Bool
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-release
+		completed.Store(true)
+		io.WriteString(w, "drained")
+	})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: mux}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	type reply struct {
+		body string
+		err  error
+	}
+	got := make(chan reply, 1)
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/slow")
+		if err != nil {
+			got <- reply{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		got <- reply{body: string(b), err: err}
+	}()
+
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("request never reached the handler")
+	}
+
+	log := slog.New(slog.NewTextHandler(io.Discard, nil))
+	shutDone := make(chan error, 1)
+	go func() { shutDone <- shutdown(srv, 10*time.Second, log) }()
+
+	// Shutdown closes the listener first; once new connections are refused
+	// the in-flight request must still be live.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, err := net.DialTimeout("tcp", ln.Addr().String(), 100*time.Millisecond)
+		if err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("listener still accepting long after shutdown started")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	select {
+	case err := <-shutDone:
+		t.Fatalf("shutdown returned %v with a request still in flight", err)
+	default:
+	}
+
+	close(release)
+	r := <-got
+	if r.err != nil || r.body != "drained" {
+		t.Fatalf("in-flight request got (%q, %v), want the full response", r.body, r.err)
+	}
+	if !completed.Load() {
+		t.Fatal("handler did not run to completion")
+	}
+	if err := <-shutDone; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
+		t.Fatalf("Serve returned %v, want ErrServerClosed", err)
+	}
+}
+
+// TestShutdownTimeoutForcesClose: a handler that outlives the timeout is
+// abandoned — shutdown returns context.DeadlineExceeded instead of
+// hanging, which is what the -shutdown-timeout flag bounds.
+func TestShutdownTimeoutForcesClose(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stuck", func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-release
+	})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	go http.Get("http://" + ln.Addr().String() + "/stuck")
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("request never reached the handler")
+	}
+
+	log := slog.New(slog.NewTextHandler(io.Discard, nil))
+	start := time.Now()
+	err = shutdown(srv, 50*time.Millisecond, log)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("shutdown = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("shutdown took %v, want roughly the 50ms timeout", elapsed)
+	}
+}

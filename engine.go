@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"time"
 
@@ -140,11 +141,12 @@ type DistCacheStats = distcache.Stats
 // one Clone per goroutine, or a Pool, which manages a fixed set of clones
 // behind a bounded work queue.
 type Engine struct {
-	net    *Network
-	env    *core.Env
-	objs   []Object
-	cfg    EngineConfig
-	flight *obs.FlightRecorder // shared across Clone()s; nil when disabled
+	net      *Network
+	env      *core.Env
+	objs     []Object
+	cfg      EngineConfig
+	flight   *obs.FlightRecorder // shared across Clone()s; nil when disabled
+	inflight *obs.Inflight       // live traced queries; shared across Clone()s
 }
 
 // NewEngine indexes objects over the network. Object IDs are assigned
@@ -186,11 +188,12 @@ func NewEngine(n *Network, objects []Object, cfg EngineConfig) (*Engine, error) 
 		return nil, err
 	}
 	return &Engine{
-		net:    n,
-		env:    env,
-		objs:   kept,
-		cfg:    cfg,
-		flight: obs.NewFlightRecorder(cfg.FlightRecorder),
+		net:      n,
+		env:      env,
+		objs:     kept,
+		cfg:      cfg,
+		flight:   obs.NewFlightRecorder(cfg.FlightRecorder),
+		inflight: obs.NewInflight(),
 	}, nil
 }
 
@@ -233,11 +236,51 @@ func (e *Engine) WavefrontStats() WavefrontStats { return e.env.Flight.Stats() }
 // underlying engine appear. Nil when the recorder is disabled.
 func (e *Engine) FlightRecords() []FlightRecord { return e.flight.Records() }
 
+// TraceRecord looks a retained flight record up by its causal trace ID
+// (the canonical "t" + hex form Result.TraceID carries). It reports false
+// when the recorder is disabled or has already evicted the record.
+func (e *Engine) TraceRecord(traceID string) (FlightRecord, bool) { return e.flight.Find(traceID) }
+
+// WriteTraceEvents renders a traced flight record as Chrome trace-event
+// JSON (the format Perfetto and chrome://tracing load): one complete event
+// per span, timestamps relative to the earliest span. It errors on records
+// without a trace ID or spans (queries that ran with Query.Trace unset).
+func WriteTraceEvents(w io.Writer, rec FlightRecord) error { return obs.WriteTraceEvents(w, rec) }
+
+// InflightQuery is one entry of the live in-flight view: a running traced
+// query's identity plus its progress cell (current phase, running node
+// settlements, live role, the flight key and leader blocked on).
+type InflightQuery = obs.InflightQuery
+
+// InflightQueries snapshots the queries currently running with a causal
+// trace (Query.Trace), in admission order. The registry is shared across
+// clones (and across a Pool's workers), so every live traced query of the
+// underlying engine appears.
+func (e *Engine) InflightQueries() []InflightQuery { return e.inflight.Snapshot() }
+
+// WavefrontLineageEvent is one resolved shared-wavefront flight: who led
+// (the leader's trace ID), which subscribers shared the publish and how
+// long each blocked, or a promotion after a cancelled lead. Queries
+// without a causal trace appear with trace ID zero.
+type WavefrontLineageEvent = distcache.LineageEvent
+
+// WavefrontLineage returns the broker's recent shared-flight history,
+// newest first (bounded at distcache.LineageSize events; only flights
+// that actually had subscribers are logged). Empty on engines without
+// ShareWavefronts.
+func (e *Engine) WavefrontLineage() []WavefrontLineageEvent { return e.env.Flight.Lineage() }
+
 // recordFlight files one finished query with the flight recorder,
 // classifying the outcome from err and the abandoned flag the way the
 // Pool's counters do (context errors are "cancelled", other errors
-// "error"). A no-op when the recorder is disabled.
-func (e *Engine) recordFlight(alg string, q Query, m core.Metrics, elapsed time.Duration, err error, abandoned bool) {
+// "error"). It also finalizes the query's causal trace, if any: the
+// trace is closed (appending the modeled-I/O and root spans), removed
+// from the in-flight registry, and its span list attached to the
+// record. Recording is a no-op when the recorder is disabled; trace
+// finalization always runs.
+func (e *Engine) recordFlight(alg string, q Query, m core.Metrics, elapsed time.Duration, err error, abandoned bool, tr *obs.Trace) {
+	tr.Finish(m.IOTime)
+	e.inflight.Remove(tr)
 	if e.flight == nil {
 		return
 	}
@@ -280,6 +323,8 @@ func (e *Engine) recordFlight(alg string, q Query, m core.Metrics, elapsed time.
 		DistCacheMisses: m.DistCacheMisses,
 		WavefrontLeads:  m.WavefrontLeads,
 		WavefrontShares: m.WavefrontShares,
+		TraceID:         tr.ID().String(),
+		Spans:           tr.Spans(),
 	})
 }
 
@@ -329,6 +374,20 @@ type Query struct {
 	// CollectPhases populates Stats.Phases (the per-phase work breakdown)
 	// even when no Tracer is attached.
 	CollectPhases bool
+	// Trace assigns the query a causal trace: a trace ID (returned in
+	// Result.TraceID), an entry in the engine's live in-flight view
+	// (Engine.InflightQueries, /debug/inflight) while the query runs, and
+	// a timestamped span decomposition of its response time — queue wait,
+	// per-phase work, flight waits naming the leader's trace ID, snapshot
+	// restores, modeled I/O — attached to its flight record and exportable
+	// as Chrome trace-event JSON (/debug/trace?id=). Off — the default —
+	// costs nothing: the untraced path is identical to previous releases.
+	Trace bool
+
+	// trace is the live trace adopted from the Pool (which opens it at
+	// admission so the queue wait is spanned); nil for direct engine
+	// queries, which open their own when Trace is set.
+	trace *obs.Trace
 }
 
 // Tracer receives one query's trace events: phase spans, expansion
@@ -466,6 +525,10 @@ func statsFromMetrics(m core.Metrics) Stats {
 type Result struct {
 	Points []SkylinePoint
 	Stats  Stats
+	// TraceID is the query's causal trace ID ("t" + 8 hex digits), set
+	// only when the query ran with Query.Trace; pass it to
+	// Engine.TraceRecord or /debug/trace?id= for the span breakdown.
+	TraceID string
 }
 
 // Skyline answers the query without cancellation; it is
@@ -479,9 +542,14 @@ func (e *Engine) Skyline(q Query) (*Result, error) {
 // number of node settlements) and returns ctx.Err(). An already-cancelled
 // context returns immediately.
 func (e *Engine) SkylineContext(ctx context.Context, q Query) (*Result, error) {
+	tr := q.trace
+	if tr == nil && q.Trace {
+		tr = e.inflight.Begin(q.Algorithm.String(), len(q.Points))
+	}
+	tr.SetRole(obs.RoleRun)
 	if len(q.Points) == 0 {
 		err := fmt.Errorf("roadskyline: query needs at least one point")
-		e.recordFlight(q.Algorithm.String(), q, core.Metrics{}, 0, err, false)
+		e.recordFlight(q.Algorithm.String(), q, core.Metrics{}, 0, err, false, tr)
 		return nil, err
 	}
 	pts := make([]graph.Location, len(q.Points))
@@ -497,6 +565,7 @@ func (e *Engine) SkylineContext(ctx context.Context, q Query) (*Result, error) {
 		DisableWavefrontShare: q.NoShare,
 		Tracer:                q.Tracer,
 		CollectPhases:         q.CollectPhases,
+		Trace:                 tr,
 	}
 	var start time.Time
 	if e.flight != nil {
@@ -513,13 +582,14 @@ func (e *Engine) SkylineContext(ctx context.Context, q Query) (*Result, error) {
 		if res != nil {
 			m = res.Metrics
 		}
-		e.recordFlight(q.Algorithm.String(), q, m, time.Since(start), err, false)
+		e.recordFlight(q.Algorithm.String(), q, m, time.Since(start), err, false, tr)
 		return nil, err
 	}
-	e.recordFlight(q.Algorithm.String(), q, res.Metrics, time.Since(start), nil, false)
+	e.recordFlight(q.Algorithm.String(), q, res.Metrics, time.Since(start), nil, false, tr)
 	out := &Result{
-		Points: make([]SkylinePoint, len(res.Skyline)),
-		Stats:  statsFromMetrics(res.Metrics),
+		Points:  make([]SkylinePoint, len(res.Skyline)),
+		Stats:   statsFromMetrics(res.Metrics),
+		TraceID: tr.ID().String(),
 	}
 	for i, p := range res.Skyline {
 		out.Points[i] = SkylinePoint{

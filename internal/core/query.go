@@ -192,6 +192,12 @@ type Options struct {
 	// CollectPhases computes the per-phase breakdown (Metrics.Phases)
 	// even without a Tracer attached.
 	CollectPhases bool
+	// Trace is the query's causal trace: timestamped spans (flight waits
+	// naming the leader's trace ID, snapshot restores, phase spans) are
+	// appended to it and its live progress cell is kept current as the
+	// query runs. Nil — the default — costs one pointer check per event
+	// site; results and counters are identical either way.
+	Trace *obs.Trace
 }
 
 // distCacheFor returns the cross-query distance cache this query may use,
@@ -302,13 +308,31 @@ func (qf *queryFlights) abort() {
 // promoted after the leader aborted; counted in m.WavefrontLeads). Both
 // st == nil and no ticket means the searcher runs independently. The only
 // error is ctx expiring while subscribed.
-func joinFlight(ctx context.Context, qf *queryFlights, kind distcache.Kind, flavor uint8, p graph.Location, idx int, m *Metrics) (*distcache.State, error) {
+//
+// With a trace attached, a blocked subscription becomes a flight.wait
+// span naming the leader's trace ID, and the trace's live role follows
+// the outcome (wait -> lead/share).
+func joinFlight(ctx context.Context, qf *queryFlights, kind distcache.Kind, flavor uint8, p graph.Location, idx int, m *Metrics, tr *obs.Trace) (*distcache.State, error) {
 	if qf == nil {
 		return nil, nil
 	}
-	tk, w := qf.fl.Join(kind, flavor, p, !qf.leading())
+	tk, w := qf.fl.Join(kind, flavor, p, !qf.leading(), tr.IDNum())
 	if w != nil {
+		var t0 time.Time
+		if tr != nil {
+			t0 = time.Now()
+			tr.SetWaiting(w.Key(), obs.TraceID(w.LeaderTrace()))
+		}
 		st, promoted, err := w.Wait(ctx)
+		if tr != nil {
+			tr.AddSpan(obs.Span{
+				Name:  obs.SpanFlightWait,
+				Start: t0,
+				Dur:   time.Since(t0),
+				Ref:   obs.TraceID(w.LeaderTrace()).String(),
+				Key:   w.Key(),
+			})
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -316,6 +340,7 @@ func joinFlight(ctx context.Context, qf *queryFlights, kind distcache.Kind, flav
 			// An in-flight share, not a distance-cache lookup: the
 			// at-rest hit/miss counters are untouched.
 			m.WavefrontShares++
+			tr.SetRole(obs.RoleShare)
 			return st, nil
 		}
 		tk = promoted
@@ -323,6 +348,7 @@ func joinFlight(ctx context.Context, qf *queryFlights, kind distcache.Kind, flav
 	if tk != nil {
 		m.WavefrontLeads++
 		qf.tickets[idx] = tk
+		tr.SetRole(obs.RoleLead)
 	}
 	return nil, nil
 }
@@ -337,18 +363,22 @@ func joinFlight(ctx context.Context, qf *queryFlights, kind distcache.Kind, flav
 // in qf for put*States/abort to resolve.
 func newAStar(ctx context.Context, env *Env, opts Options, p graph.Location, pt geom.Point, m *Metrics, qf *queryFlights, idx int) (a *sp.AStar, hit bool, err error) {
 	flavor := astarFlavor(env, opts)
-	st, err := joinFlight(ctx, qf, distcache.KindAStar, flavor, p, idx, m)
+	st, err := joinFlight(ctx, qf, distcache.KindAStar, flavor, p, idx, m, opts.Trace)
 	if err != nil {
 		return nil, false, err
 	}
 	if st != nil {
+		t0 := opts.Trace.Stopwatch()
 		a, hit = sp.NewAStarFromWith(ctx, env, st, pt, env.AcquireScratch()), true
+		opts.Trace.SpanSince(obs.SpanRestore, t0)
 	}
 	if a == nil {
 		sc := env.AcquireScratch()
 		if c := distCacheFor(env, opts); c != nil {
 			if st, ok := c.Get(distcache.KindAStar, flavor, p); ok {
+				t0 := opts.Trace.Stopwatch()
 				a, hit = sp.NewAStarFromWith(ctx, env, st, pt, sc), true
+				opts.Trace.SpanSince(obs.SpanRestore, t0)
 				m.DistCacheHits++
 			} else {
 				m.DistCacheMisses++
@@ -374,18 +404,24 @@ func newAStar(ctx context.Context, env *Env, opts Options, p graph.Location, pt 
 // concurrent leader's published snapshot or a cached wavefront when either
 // exists for p (in that order, like newAStar).
 func newDijkstra(ctx context.Context, env *Env, opts Options, p graph.Location, m *Metrics, qf *queryFlights, idx int) (*sp.Dijkstra, bool, error) {
-	st, err := joinFlight(ctx, qf, distcache.KindDijkstra, 0, p, idx, m)
+	st, err := joinFlight(ctx, qf, distcache.KindDijkstra, 0, p, idx, m, opts.Trace)
 	if err != nil {
 		return nil, false, err
 	}
 	if st != nil {
-		return sp.NewDijkstraFromWith(ctx, env, st, env.AcquireScratch()), true, nil
+		t0 := opts.Trace.Stopwatch()
+		d := sp.NewDijkstraFromWith(ctx, env, st, env.AcquireScratch())
+		opts.Trace.SpanSince(obs.SpanRestore, t0)
+		return d, true, nil
 	}
 	sc := env.AcquireScratch()
 	if c := distCacheFor(env, opts); c != nil {
 		if st, ok := c.Get(distcache.KindDijkstra, 0, p); ok {
 			m.DistCacheHits++
-			return sp.NewDijkstraFromWith(ctx, env, st, sc), true, nil
+			t0 := opts.Trace.Stopwatch()
+			d := sp.NewDijkstraFromWith(ctx, env, st, sc)
+			opts.Trace.SpanSince(obs.SpanRestore, t0)
+			return d, true, nil
 		}
 		m.DistCacheMisses++
 	}

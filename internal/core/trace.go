@@ -18,6 +18,7 @@ import (
 // the cost with tracing off is one nil check per phase boundary.
 type phaseProbe struct {
 	tr    obs.Tracer // nil when only collecting the breakdown
+	trace *obs.Trace // nil when the query carries no causal trace
 	env   *Env
 	nodes func() int // running settlement total across the query's searchers
 	start time.Time
@@ -36,11 +37,12 @@ type phaseProbe struct {
 // newPhaseProbe returns nil when opts enable neither tracing nor phase
 // collection. It emits the QueryStart event.
 func newPhaseProbe(env *Env, opts Options, alg Algorithm, numPoints int, start time.Time, nodes func() int) *phaseProbe {
-	if opts.Tracer == nil && !opts.CollectPhases {
+	if opts.Tracer == nil && !opts.CollectPhases && opts.Trace == nil {
 		return nil
 	}
 	pp := &phaseProbe{
 		tr:    opts.Tracer,
+		trace: opts.Trace,
 		env:   env,
 		nodes: nodes,
 		start: start,
@@ -67,6 +69,7 @@ func (pp *phaseProbe) begin(p obs.Phase) {
 	if pp.tr != nil {
 		pp.tr.PhaseStart(p)
 	}
+	pp.trace.SetPhase(p)
 }
 
 // end leaves the current phase, attributing the elapsed time and the page
@@ -93,6 +96,10 @@ func (pp *phaseProbe) end() {
 	if pp.tr != nil {
 		pp.tr.PhaseEnd(pp.cur, d, pages, nodes)
 	}
+	if pp.trace != nil {
+		pp.trace.AddSpan(obs.Span{Name: string(pp.cur), Start: pp.t0, Dur: d, Pages: pages, Nodes: nodes})
+		pp.trace.SetNodes(pp.nodes())
+	}
 }
 
 // transition moves from one phase to another only when `from` is the
@@ -118,13 +125,19 @@ func (pp *phaseProbe) point() {
 }
 
 // progressFunc returns the settlement-tick callback to install on the
-// query's searchers, or nil when no tracer is attached (the breakdown
-// needs no ticks).
+// query's searchers, or nil when neither a tracer nor a causal trace is
+// attached (the breakdown needs no ticks).
 func (pp *phaseProbe) progressFunc() func(int) {
-	if pp == nil || pp.tr == nil {
+	if pp == nil || (pp.tr == nil && pp.trace == nil) {
 		return nil
 	}
-	return func(int) { pp.tr.Progress(pp.nodes()) }
+	return func(int) {
+		n := pp.nodes()
+		if pp.tr != nil {
+			pp.tr.Progress(n)
+		}
+		pp.trace.SetNodes(n)
+	}
 }
 
 // finish closes any open phase, stores the breakdown in the metrics and
@@ -138,4 +151,5 @@ func (pp *phaseProbe) finish(m *Metrics) {
 	if pp.tr != nil {
 		pp.tr.QueryEnd(m.Total)
 	}
+	pp.trace.ClearPhase()
 }

@@ -2,8 +2,10 @@ package distcache
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"roadskyline/internal/graph"
 )
@@ -40,6 +42,12 @@ type Flight struct {
 	mu  sync.Mutex
 	tab map[key]*flightEntry
 
+	// lineage is a bounded ring of resolved-flight events (who led, who
+	// shared, how long each waiter blocked); lpos is the next overwrite
+	// position. Guarded by mu like the table.
+	lineage []LineageEvent
+	lpos    int
+
 	leads      atomic.Int64
 	shares     atomic.Int64
 	promotions atomic.Int64
@@ -48,10 +56,77 @@ type Flight struct {
 }
 
 // flightEntry is one in-flight expansion: the leader's exact source and
-// the subscribers blocked on its result, in arrival order.
+// trace ID, and the subscribers blocked on its result, in arrival order.
 type flightEntry struct {
-	src     graph.Location
-	waiters []*Waiter
+	src         graph.Location
+	leaderTrace uint64
+	waiters     []*Waiter
+}
+
+// String renders the key for lineage events and trace spans:
+// searcher kind, heuristic flavor, edge and quantized-offset bucket.
+func (k key) String() string {
+	kind := "dijkstra"
+	if k.kind == KindAStar {
+		kind = "astar"
+	}
+	return fmt.Sprintf("%s/f%d/e%d+%d", kind, k.flavor, k.edge, k.bucket)
+}
+
+// LineageSize bounds the lineage ring: the most recent resolved flights
+// that had subscribers are retained.
+const LineageSize = 256
+
+// LineageSub is one subscriber of a resolved flight: its trace ID (zero
+// when the query ran untraced) and how long it blocked before the
+// resolution.
+type LineageSub struct {
+	Trace  uint64        `json:"trace"`
+	Waited time.Duration `json:"waited_ns"`
+}
+
+// LineageEvent records one resolved wavefront flight that had
+// subscribers: a "publish" delivered the leader's snapshot to every
+// subscriber listed; a "promote" handed leadership to the listed waiter
+// after its leader aborted. Solo leads (no subscribers) are counted but
+// not logged — the lineage answers "who shared whose expansion", not
+// "what ran".
+type LineageEvent struct {
+	When        time.Time    `json:"when"`
+	Kind        string       `json:"kind"` // "publish" or "promote"
+	Key         string       `json:"key"`
+	Leader      uint64       `json:"leader"` // leader's trace ID; zero when untraced
+	Subscribers []LineageSub `json:"subscribers,omitempty"`
+}
+
+// appendLineageLocked files one resolved-flight event into the bounded
+// ring. Caller holds f.mu.
+func (f *Flight) appendLineageLocked(ev LineageEvent) {
+	ev.When = time.Now()
+	if len(f.lineage) < LineageSize {
+		f.lineage = append(f.lineage, ev)
+		return
+	}
+	f.lineage[f.lpos] = ev
+	f.lpos = (f.lpos + 1) % LineageSize
+}
+
+// Lineage returns the retained resolved-flight events, newest first.
+// Nil on a nil Flight.
+func (f *Flight) Lineage() []LineageEvent {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]LineageEvent, 0, len(f.lineage))
+	// Ring order: lpos is the oldest once full; walk backward from the
+	// newest.
+	for i := 0; i < len(f.lineage); i++ {
+		j := (f.lpos - 1 - i + 2*len(f.lineage)) % len(f.lineage)
+		out = append(out, f.lineage[j])
+	}
+	return out
 }
 
 // FlightStats is a point-in-time snapshot of a Flight's counters. Leads
@@ -102,10 +177,22 @@ type Ticket struct {
 // Waiter is a pending subscription to a leader's result. Exactly one Wait
 // call consumes it.
 type Waiter struct {
-	f  *Flight
-	k  key
-	ch chan waitResult
+	f           *Flight
+	k           key
+	ch          chan waitResult
+	trace       uint64
+	joined      time.Time
+	leaderTrace uint64
 }
+
+// LeaderTrace returns the trace ID of the leader this waiter subscribed
+// to (zero when the leader ran untraced). It names the flight the waiter
+// joined; a promotion after the leader aborts does not rewrite it.
+func (w *Waiter) LeaderTrace() uint64 { return w.leaderTrace }
+
+// Key renders the flight key the waiter is blocked on, for trace spans
+// and the in-flight view.
+func (w *Waiter) Key() string { return w.k.String() }
 
 // waitResult is a leader's hand-off: a published snapshot, or a
 // promotion ticket when the leader aborted.
@@ -122,7 +209,12 @@ type waitResult struct {
 // exact source, or mayWait unset while a leader is in flight — is a
 // bypass: both returns are nil and the searcher expands independently.
 // A nil Flight returns (nil, nil): sharing disabled.
-func (f *Flight) Join(kind Kind, flavor uint8, src graph.Location, mayWait bool) (*Ticket, *Waiter) {
+//
+// trace is the joiner's trace ID (zero when the query runs untraced): a
+// leader's ID is handed to later subscribers (Waiter.LeaderTrace) and
+// into the lineage log, so a blocked query can name whose expansion it
+// is waiting on.
+func (f *Flight) Join(kind Kind, flavor uint8, src graph.Location, mayWait bool, trace uint64) (*Ticket, *Waiter) {
 	if f == nil {
 		return nil, nil
 	}
@@ -131,12 +223,15 @@ func (f *Flight) Join(kind Kind, flavor uint8, src graph.Location, mayWait bool)
 	defer f.mu.Unlock()
 	e, ok := f.tab[k]
 	if !ok {
-		f.tab[k] = &flightEntry{src: src}
+		f.tab[k] = &flightEntry{src: src, leaderTrace: trace}
 		f.leads.Add(1)
 		return &Ticket{f: f, k: k}, nil
 	}
 	if e.src == src && mayWait {
-		w := &Waiter{f: f, k: k, ch: make(chan waitResult, 1)}
+		w := &Waiter{
+			f: f, k: k, ch: make(chan waitResult, 1),
+			trace: trace, joined: time.Now(), leaderTrace: e.leaderTrace,
+		}
 		e.waiters = append(e.waiters, w)
 		f.waiting.Add(1)
 		return nil, w
@@ -178,6 +273,14 @@ func (t *Ticket) Finish(st *State) {
 		w.ch <- waitResult{st: st}
 	}
 	f.shares.Add(int64(len(e.waiters)))
+	if len(e.waiters) > 0 {
+		ev := LineageEvent{Kind: "publish", Key: t.k.String(), Leader: e.leaderTrace}
+		ev.Subscribers = make([]LineageSub, len(e.waiters))
+		for i, w := range e.waiters {
+			ev.Subscribers[i] = LineageSub{Trace: w.trace, Waited: time.Since(w.joined)}
+		}
+		f.appendLineageLocked(ev)
+	}
 }
 
 // promoteLocked hands the entry's leadership to its first waiter, or
@@ -189,9 +292,14 @@ func (f *Flight) promoteLocked(k key, e *flightEntry) {
 	}
 	w := e.waiters[0]
 	e.waiters = e.waiters[1:]
+	e.leaderTrace = w.trace // later joiners subscribe to the new leader
 	f.promotions.Add(1)
 	f.leads.Add(1)
 	w.ch <- waitResult{tk: &Ticket{f: f, k: k}}
+	f.appendLineageLocked(LineageEvent{
+		Kind: "promote", Key: k.String(), Leader: w.trace,
+		Subscribers: []LineageSub{{Trace: w.trace, Waited: time.Since(w.joined)}},
+	})
 }
 
 // Subscribed reports whether the ticket's flight currently has blocked

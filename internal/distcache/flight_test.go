@@ -28,13 +28,13 @@ func wantStats(t *testing.T, f *Flight, want FlightStats) {
 func TestFlightPublishFanOut(t *testing.T) {
 	f := NewFlight(0)
 	src := graph.Location{Edge: 7, Offset: 0.25}
-	tk, w := f.Join(KindAStar, 1, src, true)
+	tk, w := f.Join(KindAStar, 1, src, true, 0)
 	if tk == nil || w != nil {
 		t.Fatalf("first Join: ticket=%v waiter=%v, want lead", tk, w)
 	}
 	var ws [2]*Waiter
 	for i := range ws {
-		tk2, w2 := f.Join(KindAStar, 1, src, true)
+		tk2, w2 := f.Join(KindAStar, 1, src, true, 0)
 		if tk2 != nil || w2 == nil {
 			t.Fatalf("Join %d: ticket=%v waiter=%v, want waiter", i, tk2, w2)
 		}
@@ -60,7 +60,7 @@ func TestFlightPublishFanOut(t *testing.T) {
 	wantStats(t, f, FlightStats{Leads: 1, Shares: 2})
 
 	// The key cleared: the next arrival leads afresh.
-	tk3, w3 := f.Join(KindAStar, 1, src, true)
+	tk3, w3 := f.Join(KindAStar, 1, src, true, 0)
 	if tk3 == nil || w3 != nil {
 		t.Fatalf("Join after publish: ticket=%v waiter=%v, want lead", tk3, w3)
 	}
@@ -73,20 +73,20 @@ func TestFlightPublishFanOut(t *testing.T) {
 func TestFlightBypass(t *testing.T) {
 	f := NewFlight(1e-3)
 	src := graph.Location{Edge: 3, Offset: 0.5}
-	tk, _ := f.Join(KindDijkstra, 0, src, true)
+	tk, _ := f.Join(KindDijkstra, 0, src, true, 0)
 	if tk == nil {
 		t.Fatal("first Join did not lead")
 	}
-	if tk2, w2 := f.Join(KindDijkstra, 0, src, false); tk2 != nil || w2 != nil {
+	if tk2, w2 := f.Join(KindDijkstra, 0, src, false, 0); tk2 != nil || w2 != nil {
 		t.Fatalf("mayWait=false Join = (%v, %v), want bypass", tk2, w2)
 	}
 	// Same bucket (offset within a quantum), different exact source.
 	near := graph.Location{Edge: 3, Offset: 0.5 + 1e-5}
-	if tk2, w2 := f.Join(KindDijkstra, 0, near, true); tk2 != nil || w2 != nil {
+	if tk2, w2 := f.Join(KindDijkstra, 0, near, true, 0); tk2 != nil || w2 != nil {
 		t.Fatalf("collision Join = (%v, %v), want bypass", tk2, w2)
 	}
 	// A different kind or flavor is a different key: it leads.
-	tk3, _ := f.Join(KindAStar, 0, src, true)
+	tk3, _ := f.Join(KindAStar, 0, src, true, 0)
 	if tk3 == nil {
 		t.Fatal("different-kind Join did not lead")
 	}
@@ -101,9 +101,9 @@ func TestFlightBypass(t *testing.T) {
 func TestFlightPromotion(t *testing.T) {
 	f := NewFlight(0)
 	src := graph.Location{Edge: 1, Offset: 0}
-	tk, _ := f.Join(KindAStar, 0, src, true)
-	_, w1 := f.Join(KindAStar, 0, src, true)
-	_, w2 := f.Join(KindAStar, 0, src, true)
+	tk, _ := f.Join(KindAStar, 0, src, true, 0)
+	_, w1 := f.Join(KindAStar, 0, src, true, 0)
+	_, w2 := f.Join(KindAStar, 0, src, true, 0)
 
 	tk.Finish(nil) // abort: no snapshot
 	st1, ptk, err := w1.Wait(context.Background())
@@ -127,8 +127,8 @@ func TestFlightPromotion(t *testing.T) {
 func TestFlightWaiterWithdraw(t *testing.T) {
 	f := NewFlight(0)
 	src := graph.Location{Edge: 2, Offset: 0.125}
-	tk, _ := f.Join(KindAStar, 2, src, true)
-	_, w := f.Join(KindAStar, 2, src, true)
+	tk, _ := f.Join(KindAStar, 2, src, true, 0)
+	_, w := f.Join(KindAStar, 2, src, true, 0)
 
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
@@ -145,8 +145,8 @@ func TestFlightWaiterWithdraw(t *testing.T) {
 func TestFlightCancelDrainsDelivery(t *testing.T) {
 	f := NewFlight(0)
 	src := graph.Location{Edge: 5, Offset: 0.75}
-	tk, _ := f.Join(KindDijkstra, 0, src, true)
-	_, w := f.Join(KindDijkstra, 0, src, true)
+	tk, _ := f.Join(KindDijkstra, 0, src, true, 0)
+	_, w := f.Join(KindDijkstra, 0, src, true, 0)
 
 	tk.Finish(flightState(src)) // delivery now sits in w's channel
 	ctx, cancel := context.WithCancel(context.Background())
@@ -163,9 +163,9 @@ func TestFlightCancelDrainsDelivery(t *testing.T) {
 func TestFlightCancelRePromotes(t *testing.T) {
 	f := NewFlight(0)
 	src := graph.Location{Edge: 9, Offset: 0.5}
-	tk, _ := f.Join(KindAStar, 0, src, true)
-	_, w1 := f.Join(KindAStar, 0, src, true)
-	_, w2 := f.Join(KindAStar, 0, src, true)
+	tk, _ := f.Join(KindAStar, 0, src, true, 0)
+	_, w1 := f.Join(KindAStar, 0, src, true, 0)
+	_, w2 := f.Join(KindAStar, 0, src, true, 0)
 
 	tk.Finish(nil) // promotes w1; the ticket sits unconsumed in w1's channel
 	ctx, cancel := context.WithCancel(context.Background())
@@ -188,11 +188,11 @@ func TestFlightCancelRePromotes(t *testing.T) {
 func TestFlightSubscribed(t *testing.T) {
 	f := NewFlight(0)
 	src := graph.Location{Edge: 4, Offset: 0.25}
-	tk, _ := f.Join(KindAStar, 0, src, true)
+	tk, _ := f.Join(KindAStar, 0, src, true, 0)
 	if tk.Subscribed() {
 		t.Fatal("Subscribed true with no waiters")
 	}
-	_, w := f.Join(KindAStar, 0, src, true)
+	_, w := f.Join(KindAStar, 0, src, true, 0)
 	if !tk.Subscribed() {
 		t.Fatal("Subscribed false with a live waiter")
 	}
@@ -209,7 +209,7 @@ func TestFlightSubscribed(t *testing.T) {
 // are inert.
 func TestFlightNilSafety(t *testing.T) {
 	var f *Flight
-	tk, w := f.Join(KindAStar, 0, graph.Location{Edge: 1}, true)
+	tk, w := f.Join(KindAStar, 0, graph.Location{Edge: 1}, true, 0)
 	if tk != nil || w != nil {
 		t.Fatalf("nil Flight Join = (%v, %v), want (nil, nil)", tk, w)
 	}
@@ -243,7 +243,7 @@ func TestFlightConcurrentStress(t *testing.T) {
 			defer cancel()
 			for r := 0; r < rounds; r++ {
 				src := srcs[(g+r)%len(srcs)]
-				tk, w := f.Join(KindAStar, 0, src, true)
+				tk, w := f.Join(KindAStar, 0, src, true, 0)
 				if w != nil {
 					st, ptk, err := w.Wait(ctx)
 					if err != nil {

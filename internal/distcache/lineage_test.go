@@ -1,0 +1,169 @@
+package distcache
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"roadskyline/internal/graph"
+)
+
+// TestLineagePublish: a publish with subscribers files one lineage event
+// naming the leader's trace and each subscriber's trace and wait time.
+func TestLineagePublish(t *testing.T) {
+	f := NewFlight(0)
+	src := graph.Location{Edge: 7, Offset: 0.25}
+	tk, _ := f.Join(KindAStar, 1, src, true, 11)
+	_, w1 := f.Join(KindAStar, 1, src, true, 22)
+	_, w2 := f.Join(KindAStar, 1, src, true, 33)
+	if w1.LeaderTrace() != 11 || w2.LeaderTrace() != 11 {
+		t.Fatalf("join-time leader traces %d, %d, want 11", w1.LeaderTrace(), w2.LeaderTrace())
+	}
+	if got, want := w1.Key(), "astar/f1/e7+"; !strings.HasPrefix(got, want) {
+		t.Fatalf("waiter key %q, want prefix %q", got, want)
+	}
+
+	time.Sleep(2 * time.Millisecond)
+	tk.Finish(flightState(src))
+	for _, w := range []*Waiter{w1, w2} {
+		if _, _, err := w.Wait(context.Background()); err != nil {
+			t.Fatalf("Wait: %v", err)
+		}
+	}
+
+	evs := f.Lineage()
+	if len(evs) != 1 {
+		t.Fatalf("lineage has %d events, want 1: %+v", len(evs), evs)
+	}
+	ev := evs[0]
+	if ev.Kind != "publish" || ev.Leader != 11 || ev.Key != w1.Key() {
+		t.Errorf("event %+v, want publish by 11 on %s", ev, w1.Key())
+	}
+	if ev.When.IsZero() {
+		t.Errorf("event has no timestamp")
+	}
+	if len(ev.Subscribers) != 2 {
+		t.Fatalf("subscribers %+v, want 2", ev.Subscribers)
+	}
+	for i, want := range []uint64{22, 33} {
+		sub := ev.Subscribers[i]
+		if sub.Trace != want {
+			t.Errorf("subscriber %d trace %d, want %d", i, sub.Trace, want)
+		}
+		if sub.Waited < 2*time.Millisecond {
+			t.Errorf("subscriber %d waited %v, want >= the 2ms hold", i, sub.Waited)
+		}
+	}
+}
+
+// TestLineageSoloLeadNotLogged: flights that resolved with no subscribers
+// stay out of the lineage — it answers "who shared whose expansion".
+func TestLineageSoloLeadNotLogged(t *testing.T) {
+	f := NewFlight(0)
+	src := graph.Location{Edge: 2, Offset: 0.5}
+	tk, _ := f.Join(KindDijkstra, 0, src, true, 5)
+	tk.Finish(flightState(src))
+	tk2, _ := f.Join(KindDijkstra, 0, src, true, 6)
+	tk2.Finish(nil) // abdicate with no waiters
+	if evs := f.Lineage(); len(evs) != 0 {
+		t.Fatalf("solo flights logged: %+v", evs)
+	}
+}
+
+// TestLineagePromote: an aborting leader's baton pass is logged as a
+// promote event naming the new leader, and later joiners subscribe to the
+// promoted trace while earlier waiters keep their join-time leader.
+func TestLineagePromote(t *testing.T) {
+	f := NewFlight(0)
+	src := graph.Location{Edge: 9, Offset: 0}
+	tk, _ := f.Join(KindAStar, 0, src, true, 100)
+	_, w1 := f.Join(KindAStar, 0, src, true, 200)
+	_, w2 := f.Join(KindAStar, 0, src, true, 300)
+
+	tk.Finish(nil) // abort: w1 becomes leader
+	_, ptk, err := w1.Wait(context.Background())
+	if err != nil || ptk == nil {
+		t.Fatalf("w1.Wait = (%v, %v), want promotion", ptk, err)
+	}
+
+	// w2 joined under the aborted leader; a fresh joiner sees the new one.
+	if w2.LeaderTrace() != 100 {
+		t.Errorf("w2 join-time leader %d, want the original 100", w2.LeaderTrace())
+	}
+	_, w3 := f.Join(KindAStar, 0, src, true, 400)
+	if w3 == nil {
+		t.Fatal("post-promotion join did not subscribe")
+	}
+	if w3.LeaderTrace() != 200 {
+		t.Errorf("w3 join-time leader %d, want the promoted 200", w3.LeaderTrace())
+	}
+
+	ptk.Finish(flightState(src))
+	for _, w := range []*Waiter{w2, w3} {
+		if _, _, err := w.Wait(context.Background()); err != nil {
+			t.Fatalf("Wait: %v", err)
+		}
+	}
+
+	evs := f.Lineage() // newest first: publish, then promote
+	if len(evs) != 2 {
+		t.Fatalf("lineage has %d events, want 2: %+v", len(evs), evs)
+	}
+	if evs[0].Kind != "publish" || evs[0].Leader != 200 || len(evs[0].Subscribers) != 2 {
+		t.Errorf("newest event %+v, want publish by 200 to 2 subscribers", evs[0])
+	}
+	if evs[1].Kind != "promote" || evs[1].Leader != 200 {
+		t.Errorf("older event %+v, want promote of 200", evs[1])
+	}
+	if len(evs[1].Subscribers) != 1 || evs[1].Subscribers[0].Trace != 200 {
+		t.Errorf("promote subscribers %+v, want the promoted waiter", evs[1].Subscribers)
+	}
+}
+
+// TestLineageRingBound: the ring retains the newest LineageSize events in
+// newest-first order once it wraps.
+func TestLineageRingBound(t *testing.T) {
+	f := NewFlight(0)
+	src := graph.Location{Edge: 1, Offset: 0.5}
+	const total = LineageSize + 10
+	for i := 0; i < total; i++ {
+		tk, _ := f.Join(KindAStar, 0, src, true, uint64(1000+i))
+		_, w := f.Join(KindAStar, 0, src, true, uint64(2000+i))
+		tk.Finish(flightState(src))
+		if _, _, err := w.Wait(context.Background()); err != nil {
+			t.Fatalf("Wait %d: %v", i, err)
+		}
+	}
+	evs := f.Lineage()
+	if len(evs) != LineageSize {
+		t.Fatalf("lineage has %d events, want the ring bound %d", len(evs), LineageSize)
+	}
+	for i, ev := range evs {
+		if want := uint64(1000 + total - 1 - i); ev.Leader != want {
+			t.Fatalf("event %d leader %d, want %d (newest first)", i, ev.Leader, want)
+		}
+	}
+}
+
+// TestKeyString pins the flight-key format used in lineage events, trace
+// spans, and the /debug/inflight view.
+func TestKeyString(t *testing.T) {
+	f := NewFlight(1e-3)
+	dij, _ := f.Join(KindDijkstra, 0, graph.Location{Edge: 3, Offset: 0.5}, true, 0)
+	ast, _ := f.Join(KindAStar, 2, graph.Location{Edge: 3, Offset: 0.5}, true, 0)
+	_, wd := f.Join(KindDijkstra, 0, graph.Location{Edge: 3, Offset: 0.5}, true, 0)
+	_, wa := f.Join(KindAStar, 2, graph.Location{Edge: 3, Offset: 0.5}, true, 0)
+	if got, want := wd.Key(), "dijkstra/f0/e3+500"; got != want {
+		t.Errorf("dijkstra key %q, want %q", got, want)
+	}
+	if got, want := wa.Key(), "astar/f2/e3+500"; got != want {
+		t.Errorf("astar key %q, want %q", got, want)
+	}
+	dij.Finish(nil)
+	ast.Finish(nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	wd.Wait(ctx)
+	wa.Wait(ctx)
+}

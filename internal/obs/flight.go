@@ -96,6 +96,14 @@ type FlightRecord struct {
 	DistCacheMisses int   `json:"distcache_misses,omitempty"`
 	WavefrontLeads  int   `json:"wavefront_leads,omitempty"`
 	WavefrontShares int   `json:"wavefront_shares,omitempty"`
+	// TraceID and Spans are present when the query ran with causal
+	// tracing enabled: the trace identifier (canonical TraceID form) and
+	// the timestamped span decomposition — queue wait, flight waits
+	// naming the leader's trace ID, snapshot restores, phase spans, the
+	// modeled I/O and the root query span. Exportable as Chrome
+	// trace-event JSON via WriteTraceEvents.
+	TraceID string `json:"trace_id,omitempty"`
+	Spans   []Span `json:"spans,omitempty"`
 }
 
 // DurationSnapshot is one (algorithm, outcome) series of the query
@@ -285,6 +293,26 @@ func (r *FlightRecorder) Records() []FlightRecord {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Seq > out[j].Seq })
 	return out
+}
+
+// Find returns the retained record carrying the given trace ID (canonical
+// "t..." form). Retention is bounded, so a trace that was recorded may no
+// longer be found once its record rotates out of every reservoir. False
+// on a nil recorder or an unknown ID.
+func (r *FlightRecorder) Find(traceID string) (FlightRecord, bool) {
+	if r == nil || traceID == "" {
+		return FlightRecord{}, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, set := range [][]FlightRecord{r.ring, r.slow, r.errs} {
+		for _, rec := range set {
+			if rec.TraceID == traceID {
+				return rec, true
+			}
+		}
+	}
+	return FlightRecord{}, false
 }
 
 // Slowest returns up to n retained records ordered by Total descending.

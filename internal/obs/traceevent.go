@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// traceEvent is one event of the Chrome trace-event JSON format
+// (the "JSON Array Format" both chrome://tracing and Perfetto load).
+// Complete events (ph "X") carry microsecond timestamps relative to the
+// capture origin; metadata events (ph "M") name the process and thread.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceEventFile is the top-level trace-event JSON object.
+type traceEventFile struct {
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	TraceEvents     []traceEvent `json:"traceEvents"`
+}
+
+// WriteTraceEvents renders one flight record's span list as Chrome
+// trace-event JSON, loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing. All spans share one thread whose name is the trace
+// ID, so nested intervals (phases inside the root query span) render as
+// a flame graph; flight-wait spans carry the leader's trace ID in their
+// args for cross-trace navigation. The record must carry spans
+// (rec.TraceID != ""), or an error is returned.
+func WriteTraceEvents(w io.Writer, rec FlightRecord) error {
+	if rec.TraceID == "" || len(rec.Spans) == 0 {
+		return fmt.Errorf("obs: record %d has no trace spans (query ran untraced)", rec.Seq)
+	}
+	spans := make([]Span, len(rec.Spans))
+	copy(spans, rec.Spans)
+	// Earliest start is the time origin; at equal starts the longer span
+	// comes first so enclosing intervals precede their children.
+	sort.SliceStable(spans, func(i, j int) bool {
+		if !spans[i].Start.Equal(spans[j].Start) {
+			return spans[i].Start.Before(spans[j].Start)
+		}
+		return spans[i].Dur > spans[j].Dur
+	})
+	origin := spans[0].Start
+
+	events := []traceEvent{
+		{Name: "process_name", Ph: "M", Pid: 1, Tid: 1, Args: map[string]any{"name": "roadskyline"}},
+		{Name: "thread_name", Ph: "M", Pid: 1, Tid: 1, Args: map[string]any{"name": rec.TraceID + " " + rec.Alg}},
+	}
+	for _, s := range spans {
+		ev := traceEvent{
+			Name: s.Name,
+			Cat:  spanCategory(s.Name),
+			Ph:   "X",
+			Ts:   float64(s.Start.Sub(origin).Nanoseconds()) / 1e3,
+			Dur:  float64(s.Dur.Nanoseconds()) / 1e3,
+			Pid:  1,
+			Tid:  1,
+		}
+		args := map[string]any{}
+		if s.Ref != "" {
+			args["leader_trace"] = s.Ref
+		}
+		if s.Key != "" {
+			args["flight_key"] = s.Key
+		}
+		if s.Pages != 0 {
+			args["pages"] = s.Pages
+		}
+		if s.Nodes != 0 {
+			args["nodes"] = s.Nodes
+		}
+		if s.Name == SpanQuery {
+			args["trace_id"] = rec.TraceID
+			args["alg"] = rec.Alg
+			args["num_points"] = rec.NumPoints
+			args["outcome"] = rec.Outcome
+			args["total_ns"] = int64(rec.Total)
+			args["wavefront_leads"] = rec.WavefrontLeads
+			args["wavefront_shares"] = rec.WavefrontShares
+		}
+		if len(args) > 0 {
+			ev.Args = args
+		}
+		events = append(events, ev)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(traceEventFile{DisplayTimeUnit: "ms", TraceEvents: events})
+}

@@ -6,6 +6,7 @@ import (
 
 	"roadskyline/internal/core"
 	"roadskyline/internal/graph"
+	"roadskyline/internal/obs"
 )
 
 // SkylineIterator streams skyline points progressively using the LBC
@@ -42,6 +43,10 @@ func (e *Engine) SkylineIter(points []Location, useAttrs, alternate bool) (*Skyl
 // Algorithm field is ignored (the iterator is always LBC); Source and
 // Alternate select the nearest-neighbor source(s).
 func (e *Engine) SkylineIterContext(ctx context.Context, q Query) (*SkylineIterator, error) {
+	if q.trace == nil && q.Trace {
+		q.trace = e.inflight.Begin(LBCAlg.String(), len(q.Points))
+	}
+	q.trace.SetRole(obs.RoleRun)
 	pts := make([]graph.Location, len(q.Points))
 	for i, p := range q.Points {
 		pts[i] = graph.Location{Edge: graph.EdgeID(p.Edge), Offset: p.Offset}
@@ -55,6 +60,7 @@ func (e *Engine) SkylineIterContext(ctx context.Context, q Query) (*SkylineItera
 		DisableWavefrontShare: q.NoShare,
 		Tracer:                q.Tracer,
 		CollectPhases:         q.CollectPhases,
+		Trace:                 q.trace,
 	}
 	var start time.Time
 	if e.flight != nil {
@@ -63,7 +69,7 @@ func (e *Engine) SkylineIterContext(ctx context.Context, q Query) (*SkylineItera
 	}
 	it, err := core.NewLBCIterator(ctx, e.env, core.Query{Points: pts, UseAttrs: q.UseAttrs}, opts)
 	if err != nil {
-		e.recordFlight(LBCAlg.String(), q, core.Metrics{}, time.Since(start), err, false)
+		e.recordFlight(LBCAlg.String(), q, core.Metrics{}, time.Since(start), err, false, q.trace)
 		return nil, err
 	}
 	return &SkylineIterator{eng: e, it: it, q: q, start: start}, nil
@@ -71,13 +77,18 @@ func (e *Engine) SkylineIterContext(ctx context.Context, q Query) (*SkylineItera
 
 // record files the query with the engine's flight recorder exactly once,
 // at the iterator's first terminal event (exhaustion, error, or Close).
+// The query's causal trace, if any, finalizes at the same moment.
 func (s *SkylineIterator) record(err error, abandoned bool) {
-	if s.recorded || s.eng.flight == nil {
+	if s.recorded {
 		return
 	}
 	s.recorded = true
-	s.eng.recordFlight(LBCAlg.String(), s.q, s.it.Metrics(), time.Since(s.start), err, abandoned)
+	s.eng.recordFlight(LBCAlg.String(), s.q, s.it.Metrics(), time.Since(s.start), err, abandoned, s.q.trace)
 }
+
+// TraceID returns the iteration's causal trace ID when it runs with
+// Query.Trace, otherwise the empty string.
+func (s *SkylineIterator) TraceID() string { return s.q.trace.ID().String() }
 
 // Next returns the next skyline point; ok is false when the skyline is
 // exhausted.

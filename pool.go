@@ -48,9 +48,10 @@ type Pool struct {
 	closed  chan struct{}
 	once    sync.Once
 
-	all    []*poolWorker // every worker, immutable after NewPool; for snapshots
-	met    poolCounters
-	flight *obs.FlightRecorder // shared with every clone; nil when disabled
+	all      []*poolWorker // every worker, immutable after NewPool; for snapshots
+	met      poolCounters
+	flight   *obs.FlightRecorder // shared with every clone; nil when disabled
+	inflight *obs.Inflight       // live traced queries, shared with every clone
 }
 
 // poolWorker pairs an engine clone with its lifetime buffer statistics.
@@ -116,12 +117,13 @@ func NewPool(e *Engine, cfg PoolConfig) (*Pool, error) {
 		cfg.QueueDepth = 4 * cfg.Workers
 	}
 	p := &Pool{
-		workers: make(chan *poolWorker, cfg.Workers),
-		queue:   make(chan struct{}, cfg.Workers+cfg.QueueDepth),
-		size:    cfg.Workers,
-		closed:  make(chan struct{}),
-		all:     make([]*poolWorker, cfg.Workers),
-		flight:  e.flight,
+		workers:  make(chan *poolWorker, cfg.Workers),
+		queue:    make(chan struct{}, cfg.Workers+cfg.QueueDepth),
+		size:     cfg.Workers,
+		closed:   make(chan struct{}),
+		all:      make([]*poolWorker, cfg.Workers),
+		flight:   e.flight,
+		inflight: e.inflight,
 	}
 	p.met.queueWait = obs.NewHistogram(obs.WaitBuckets)
 	for i := 0; i < cfg.Workers; i++ {
@@ -141,12 +143,39 @@ func (p *Pool) Workers() int { return p.size }
 // built without one.
 func (p *Pool) FlightRecords() []FlightRecord { return p.flight.Records() }
 
+// TraceRecord looks a retained flight record up by its causal trace ID
+// (see Engine.TraceRecord).
+func (p *Pool) TraceRecord(traceID string) (FlightRecord, bool) { return p.flight.Find(traceID) }
+
+// InflightQueries snapshots the traced queries currently queued or
+// running across the pool's workers, in admission order (see
+// Engine.InflightQueries).
+func (p *Pool) InflightQueries() []InflightQuery { return p.inflight.Snapshot() }
+
+// WavefrontLineage returns the recent shared-wavefront flight history of
+// the engine behind the pool (see Engine.WavefrontLineage).
+func (p *Pool) WavefrontLineage() []WavefrontLineageEvent { return p.all[0].eng.WavefrontLineage() }
+
+// beginTrace opens the query's causal trace at pool admission when
+// Query.Trace is set (and none is attached yet), publishing the queued
+// role so the in-flight view shows the query before a worker picks it up.
+// The engine adopts the trace through the unexported field.
+func (p *Pool) beginTrace(q *Query, alg string) {
+	if q.trace == nil && q.Trace {
+		q.trace = p.inflight.Begin(alg, len(q.Points))
+		q.trace.SetRole(obs.RoleQueued)
+	}
+}
+
 // recordAdmission files a submission the engine never saw — rejected at
 // admission or cancelled while waiting for a worker — with the flight
 // recorder, so recorder outcome counts reconcile with the pool's
 // submission counters. Queries that reach a worker are recorded by the
-// engine instead. A no-op when the recorder is disabled.
+// engine instead. The query's trace, if any, finalizes here (recording
+// itself is a no-op when the recorder is disabled).
 func (p *Pool) recordAdmission(alg string, q Query, err error) {
+	q.trace.Finish(0)
+	p.inflight.Remove(q.trace)
 	if p.flight == nil {
 		return
 	}
@@ -172,6 +201,8 @@ func (p *Pool) recordAdmission(alg string, q Query, err error) {
 		NoShare:     q.NoShare,
 		Outcome:     outcome,
 		Err:         err.Error(),
+		TraceID:     q.trace.ID().String(),
+		Spans:       q.trace.Spans(),
 	})
 }
 
@@ -252,7 +283,10 @@ func (p *Pool) Skyline(ctx context.Context, q Query) (*Result, error) {
 }
 
 func (p *Pool) skyline(ctx context.Context, q Query) (*Result, error) {
+	p.beginTrace(&q, q.Algorithm.String())
+	t0 := q.trace.Stopwatch()
 	w, err := p.acquire(ctx)
+	q.trace.SpanSince(obs.SpanQueueWait, t0)
 	if err != nil {
 		p.recordAdmission(q.Algorithm.String(), q, err)
 		return nil, err
@@ -297,15 +331,19 @@ func (p *Pool) SkylineBatch(ctx context.Context, queries []Query) (results []*Re
 					return
 				}
 				qi := order[i]
+				q := queries[qi]
 				p.met.submitted.Add(1)
+				p.beginTrace(&q, q.Algorithm.String())
+				t0 := q.trace.Stopwatch()
 				w, err := p.acquireWait(ctx)
+				q.trace.SpanSince(obs.SpanQueueWait, t0)
 				if err != nil {
 					errs[qi] = err
-					p.recordAdmission(queries[qi].Algorithm.String(), queries[qi], err)
+					p.recordAdmission(q.Algorithm.String(), q, err)
 					p.met.finish(err)
 					continue
 				}
-				results[qi], errs[qi] = w.eng.SkylineContext(ctx, queries[qi])
+				results[qi], errs[qi] = w.eng.SkylineContext(ctx, q)
 				if results[qi] != nil {
 					w.record(results[qi].Stats)
 				}
@@ -358,7 +396,10 @@ func batchOrder(queries []Query) []int {
 // Skyline, including ErrPoolSaturated.
 func (p *Pool) SkylineIter(ctx context.Context, q Query) (*PoolIterator, error) {
 	p.met.submitted.Add(1)
+	p.beginTrace(&q, LBCAlg.String())
+	t0 := q.trace.Stopwatch()
 	w, err := p.acquire(ctx)
+	q.trace.SpanSince(obs.SpanQueueWait, t0)
 	if err != nil {
 		p.recordAdmission(LBCAlg.String(), q, err)
 		p.met.finish(err)

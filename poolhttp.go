@@ -9,6 +9,9 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
+
+	"roadskyline/internal/obs"
 )
 
 // MetricsHandler returns an http.Handler serving the pool's metrics in
@@ -74,6 +77,10 @@ func writePoolMetrics(w io.Writer, m PoolMetrics) {
 	gauge := func(name, help string, v int) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
 	}
+	version, goVersion := BuildInfo()
+	fmt.Fprintf(w, "# HELP roadskyline_build_info Build metadata; the value is always 1.\n")
+	fmt.Fprintf(w, "# TYPE roadskyline_build_info gauge\n")
+	fmt.Fprintf(w, "roadskyline_build_info{version=%q,go_version=%q} 1\n", version, goVersion)
 	gauge("roadskyline_pool_workers", "Engine clones in the pool.", m.Workers)
 	gauge("roadskyline_pool_in_flight", "Queries holding a worker right now.", m.InFlight)
 	gauge("roadskyline_pool_waiting", "Submissions waiting for an idle worker.", m.Waiting)
@@ -259,6 +266,145 @@ func filterRecords(recs []FlightRecord, keep func(FlightRecord) bool) []FlightRe
 		}
 	}
 	return out
+}
+
+// traceIndexEntry is one row of the /debug/trace index (the response
+// when no id is given): a retained record that carries a trace.
+type traceIndexEntry struct {
+	TraceID string        `json:"trace_id"`
+	Alg     string        `json:"alg"`
+	Outcome string        `json:"outcome"`
+	Total   time.Duration `json:"total_ns"`
+	Spans   int           `json:"spans"`
+}
+
+// TraceHandler returns an http.Handler exporting one traced query's span
+// breakdown as Chrome trace-event JSON, loadable in Perfetto
+// (ui.perfetto.dev) or chrome://tracing:
+//
+//	/debug/trace?id=t00000001
+//
+// The id is the Result.TraceID of a query run with Query.Trace (the
+// record must still be retained by the flight recorder). Without an id
+// the handler returns a JSON index of the retained traced records, the
+// ids it would accept. Mount it under /debug/trace:
+//
+//	http.Handle("/debug/trace", pool.TraceHandler())
+func (p *Pool) TraceHandler() http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, req *http.Request) {
+		id := req.URL.Query().Get("id")
+		if id == "" {
+			index := []traceIndexEntry{}
+			for _, r := range p.FlightRecords() {
+				if r.TraceID == "" {
+					continue
+				}
+				index = append(index, traceIndexEntry{
+					TraceID: r.TraceID,
+					Alg:     r.Alg,
+					Outcome: r.Outcome,
+					Total:   r.Total,
+					Spans:   len(r.Spans),
+				})
+			}
+			rw.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(rw)
+			enc.SetIndent("", "  ")
+			enc.Encode(struct {
+				Usage  string            `json:"usage"`
+				Traces []traceIndexEntry `json:"traces"`
+			}{"GET /debug/trace?id=<trace_id> for Chrome trace-event JSON", index})
+			return
+		}
+		if _, ok := obs.ParseTraceID(id); !ok {
+			http.Error(rw, fmt.Sprintf("id: want a trace ID like %q, got %q", "t00000001", id), http.StatusBadRequest)
+			return
+		}
+		rec, ok := p.TraceRecord(id)
+		if !ok {
+			http.Error(rw, fmt.Sprintf("trace %s not retained (recorder disabled, id unknown, or record evicted)", id), http.StatusNotFound)
+			return
+		}
+		rw.Header().Set("Content-Type", "application/json")
+		rw.Header().Set("Content-Disposition", fmt.Sprintf("inline; filename=%q", "trace-"+id+".json"))
+		if err := obs.WriteTraceEvents(rw, rec); err != nil {
+			http.Error(rw, err.Error(), http.StatusUnprocessableEntity)
+		}
+	})
+}
+
+// InflightHandler returns an http.Handler serving the live in-flight
+// view: every traced query currently queued or running across the pool's
+// workers, with its current phase, running node settlements, live role
+// and — for blocked subscribers — the flight key and leader trace ID it
+// is waiting on. Mount it under /debug/inflight:
+//
+//	http.Handle("/debug/inflight", pool.InflightHandler())
+func (p *Pool) InflightHandler() http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, _ *http.Request) {
+		qs := p.InflightQueries()
+		if qs == nil {
+			qs = []InflightQuery{}
+		}
+		rw.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(rw)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Now     time.Time       `json:"now"`
+			Queries []InflightQuery `json:"queries"`
+		}{time.Now(), qs})
+	})
+}
+
+// lineageEventJSON is one wavefront lineage event with its raw trace
+// numbers rendered in the canonical trace-ID form (untraced queries
+// render as ""), the form /debug/trace accepts.
+type lineageEventJSON struct {
+	When        time.Time        `json:"when"`
+	Kind        string           `json:"kind"`
+	Key         string           `json:"key"`
+	Leader      string           `json:"leader"`
+	Subscribers []lineageSubJSON `json:"subscribers,omitempty"`
+}
+
+type lineageSubJSON struct {
+	Trace  string        `json:"trace"`
+	Waited time.Duration `json:"waited_ns"`
+}
+
+// LineageHandler returns an http.Handler serving the shared-wavefront
+// lineage: the broker's recent resolved flights, newest first — who led
+// each shared expansion, which traces subscribed and how long each
+// blocked, plus leader promotions after a cancelled lead. Mount it under
+// /debug/wavefronts:
+//
+//	http.Handle("/debug/wavefronts", pool.LineageHandler())
+func (p *Pool) LineageHandler() http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, _ *http.Request) {
+		events := p.WavefrontLineage()
+		out := make([]lineageEventJSON, len(events))
+		for i, ev := range events {
+			e := lineageEventJSON{
+				When:   ev.When,
+				Kind:   ev.Kind,
+				Key:    ev.Key,
+				Leader: obs.TraceID(ev.Leader).String(),
+			}
+			for _, s := range ev.Subscribers {
+				e.Subscribers = append(e.Subscribers, lineageSubJSON{
+					Trace:  obs.TraceID(s.Trace).String(),
+					Waited: s.Waited,
+				})
+			}
+			out[i] = e
+		}
+		rw.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(rw)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Events []lineageEventJSON `json:"events"`
+		}{out})
+	})
 }
 
 // writeFlightText renders the records for humans: one header line per
