@@ -1,0 +1,144 @@
+package roadskyline
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestBackendEquivalenceFuzz pins the storage tier: over random networks,
+// the in-memory backend, the read-only file backend and the mmap backend
+// (opened from the same prebuilt directory) must produce bit-identical
+// skylines AND bit-identical Gets/Misses counters for CE, EDC and LBC —
+// the paper's "disk pages accessed" metric may not depend on which tier
+// serves the bytes.
+func TestBackendEquivalenceFuzz(t *testing.T) {
+	trials := 8
+	if testing.Short() {
+		trials = 3
+	}
+	for seed := int64(0); seed < int64(trials); seed++ {
+		tr := newFuzzTrial(t, 11000+seed)
+
+		dir := t.TempDir()
+		built, err := NewEngine(tr.n, tr.objs, EngineConfig{DiskDir: dir})
+		if err != nil {
+			t.Fatalf("seed %d: NewEngine(DiskDir): %v", tr.seed, err)
+		}
+		defer built.Close()
+		if b := built.StorageBackend(); b != BackendFile {
+			t.Fatalf("seed %d: built backend = %v, want file", tr.seed, b)
+		}
+		engines := map[string]*Engine{"mem": tr.eng, "file": built}
+		mmapped, err := OpenEngine(dir, EngineConfig{Backend: BackendMmap})
+		if err != nil {
+			t.Fatalf("seed %d: OpenEngine(mmap): %v", tr.seed, err)
+		}
+		defer mmapped.Close()
+		if b := mmapped.StorageBackend(); b != BackendMmap && b != BackendFile {
+			t.Fatalf("seed %d: opened backend = %v", tr.seed, b)
+		}
+		engines["mmap"] = mmapped
+		if tr.eng.StorageBackend() != BackendMem {
+			t.Fatalf("seed %d: mem backend = %v", tr.seed, tr.eng.StorageBackend())
+		}
+
+		for qi, q := range tr.queries() {
+			type outcome struct {
+				ids   []int32
+				pages int64
+				gets  int64
+			}
+			var want outcome
+			for _, name := range []string{"mem", "file", "mmap"} {
+				res, err := engines[name].Skyline(q)
+				if err != nil {
+					t.Fatalf("seed %d %s query %d: %v", tr.seed, name, qi, err)
+				}
+				// Every backend must match the bruteforce oracle...
+				if err := tr.check(res, fmt.Sprintf("%s query %d (%v)", name, qi, q.Algorithm)); err != nil {
+					t.Fatal(err)
+				}
+				got := outcome{pages: res.Stats.NetworkPages, gets: res.Stats.NetworkGets}
+				for _, p := range res.Points {
+					got.ids = append(got.ids, p.Object.ID)
+				}
+				// ...and reconcile exactly with the first backend: same
+				// result order, same physical and logical page counters.
+				if name == "mem" {
+					want = got
+					continue
+				}
+				if got.pages != want.pages || got.gets != want.gets {
+					t.Fatalf("seed %d %s query %d (%v): pages=%d gets=%d, mem had pages=%d gets=%d",
+						tr.seed, name, qi, q.Algorithm, got.pages, got.gets, want.pages, want.gets)
+				}
+				if len(got.ids) != len(want.ids) {
+					t.Fatalf("seed %d %s query %d: %d results, mem had %d",
+						tr.seed, name, qi, len(got.ids), len(want.ids))
+				}
+				for i := range want.ids {
+					if got.ids[i] != want.ids[i] {
+						t.Fatalf("seed %d %s query %d: result %d is object %d, mem had %d",
+							tr.seed, name, qi, i, got.ids[i], want.ids[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestOpenEngineRoundTrip covers the surface OpenEngine reconstructs:
+// network accessors, objects and metadata must match the building engine.
+func TestOpenEngineRoundTrip(t *testing.T) {
+	tr := newFuzzTrial(t, 12345)
+	dir := t.TempDir()
+	built, err := NewEngine(tr.n, tr.objs, EngineConfig{DiskDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer built.Close()
+	opened, err := OpenEngine(dir, EngineConfig{})
+	if err != nil {
+		t.Fatalf("OpenEngine: %v", err)
+	}
+	defer opened.Close()
+	if opened.StorageBackend() != BackendFile {
+		t.Errorf("default open backend = %v, want file", opened.StorageBackend())
+	}
+	bn, on := built.Network(), opened.Network()
+	if on.NumNodes() != bn.NumNodes() || on.NumEdges() != bn.NumEdges() {
+		t.Fatalf("opened network %d/%d, want %d/%d", on.NumNodes(), on.NumEdges(), bn.NumNodes(), bn.NumEdges())
+	}
+	for i := 0; i < bn.NumNodes(); i++ {
+		if on.NodePoint(int32(i)) != bn.NodePoint(int32(i)) {
+			t.Fatalf("node %d moved", i)
+		}
+	}
+	bo, oo := built.Objects(), opened.Objects()
+	if len(bo) != len(oo) {
+		t.Fatalf("%d objects, want %d", len(oo), len(bo))
+	}
+	for i := range bo {
+		if oo[i].ID != bo[i].ID || oo[i].Loc != bo[i].Loc || len(oo[i].Attrs) != len(bo[i].Attrs) {
+			t.Fatalf("object %d = %+v, want %+v", i, oo[i], bo[i])
+		}
+		for a := range bo[i].Attrs {
+			if oo[i].Attrs[a] != bo[i].Attrs[a] {
+				t.Fatalf("object %d attr %d differs", i, a)
+			}
+		}
+	}
+	// Pools over an opened engine report the backend.
+	pool, err := NewPool(opened, PoolConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	if m := pool.PoolMetrics(); m.StorageBackend != "file" {
+		t.Errorf("pool reports backend %q, want file", m.StorageBackend)
+	}
+
+	if _, err := OpenEngine(t.TempDir(), EngineConfig{}); err == nil {
+		t.Error("OpenEngine of an empty directory succeeded")
+	}
+}

@@ -11,6 +11,7 @@
 //	skylinebench -fig ablations   # the design-choice ablations
 //	skylinebench -parallel 8      # pool throughput: serial vs 8 workers
 //	skylinebench -singleflight 8  # wavefront sharing ablation: off vs on under duplicate load
+//	skylinebench -backends        # storage tiers: in-memory vs file vs mmap on identical work
 //	skylinebench -trajectory -json BENCH_7.json       # record the regression baseline
 //	skylinebench -compare BENCH_7.json                # gate: fail on regression vs baseline
 package main
@@ -41,6 +42,7 @@ func main() {
 		lms     = flag.Int("landmarks", 0, "ALT landmark count per environment (0 = default, negative disables)")
 		dcache  = flag.Int("distcache", 0, "run the distance-cache ablation with this many cache entries instead of figures")
 		sflight = flag.Int("singleflight", 0, "run the wavefront single-flight ablation with this many pool workers instead of figures")
+		backs   = flag.Bool("backends", false, "run the storage-backend comparison (mem vs file vs mmap) instead of figures")
 		jsonOut = flag.String("json", "", "also write machine-readable results to this JSON file")
 		traj    = flag.Bool("trajectory", false, "run the deterministic regression workload instead of figures (the BENCH_7.json trajectory)")
 		compare = flag.String("compare", "", "trajectory baseline JSON to gate against: run the trajectory workload and exit non-zero on regression (implies -trajectory)")
@@ -89,6 +91,13 @@ func main() {
 	if *sflight > 0 {
 		if err := singleFlightBench(*scale, *sflight, *queries, *seed, *lms, *jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "skylinebench: singleflight: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *backs {
+		if err := backendsBench(*scale, *queries, *seed, *lms, *jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "skylinebench: backends: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -16,6 +16,7 @@ import (
 	"roadskyline/internal/obs"
 	"roadskyline/internal/rtree"
 	"roadskyline/internal/sp"
+	"roadskyline/internal/storage"
 )
 
 // Algorithm selects the query processing strategy.
@@ -49,6 +50,27 @@ func (a Algorithm) core() core.Algorithm {
 	}
 }
 
+// StorageBackend identifies how an engine's page files are served. The
+// values mirror the internal storage backends, so conversion is a cast.
+type StorageBackend int
+
+const (
+	// BackendMem keeps page files in memory — the default when DiskDir is
+	// empty, and the paper's simulated-disk setup.
+	BackendMem StorageBackend = StorageBackend(storage.BackendMem)
+	// BackendFile serves page files through ordinary read-only file reads.
+	// The default when DiskDir is set.
+	BackendFile StorageBackend = StorageBackend(storage.BackendFile)
+	// BackendMmap memory-maps every page file and slab: pages are served as
+	// mapping slices the OS faults in lazily, so a network larger than RAM
+	// opens without copying pages onto the heap. Falls back to BackendFile
+	// where mapping fails.
+	BackendMmap StorageBackend = StorageBackend(storage.BackendMmap)
+)
+
+// String returns "mem", "file" or "mmap".
+func (b StorageBackend) String() string { return storage.Backend(b).String() }
+
 // EngineConfig tunes the storage simulation underneath an Engine.
 type EngineConfig struct {
 	// BufferBytes sizes each LRU buffer pool. Default 1 MB (the paper's
@@ -61,8 +83,15 @@ type EngineConfig struct {
 	// each query cold.
 	WarmCache bool
 	// DiskDir, when non-empty, stores the simulated disk pages as real
-	// files in that directory instead of in memory.
+	// files in that directory instead of in memory, together with the
+	// graph/objects slabs and a manifest. The directory is built and then
+	// reopened read-only through Backend; OpenEngine serves such a
+	// directory later without rebuilding anything.
 	DiskDir string
+	// Backend selects how the files under DiskDir are served after the
+	// build: BackendFile (the default when DiskDir is set) or BackendMmap.
+	// Ignored when DiskDir is empty. See StorageBackend.
+	Backend StorageBackend
 	// Landmarks is the number of ALT landmark nodes precomputed at build
 	// time: exact distance tables from a few farthest-point-sampled nodes
 	// tighten the A* heuristic beyond the Euclidean bound via the triangle
@@ -176,6 +205,7 @@ func NewEngine(n *Network, objects []Object, cfg EngineConfig) (*Engine, error) 
 		BufferBytes: cfg.BufferBytes,
 		Order:       order,
 		Dir:         cfg.DiskDir,
+		Backend:     storage.Backend(cfg.Backend),
 		Landmarks:   landmarks,
 		DiskLatency: cfg.DiskLatency,
 		DistCache: distcache.Config{
@@ -196,6 +226,65 @@ func NewEngine(n *Network, objects []Object, cfg EngineConfig) (*Engine, error) 
 		inflight: obs.NewInflight(),
 	}, nil
 }
+
+// OpenEngine serves a network directory previously built by NewEngine with
+// DiskDir set. Nothing is rebuilt: the graph and object slabs are
+// memory-mapped and the page files open through cfg.Backend (BackendFile
+// by default, BackendMmap for the zero-heap-copy larger-than-RAM path), so
+// even a continent-scale network opens in milliseconds. cfg.DiskDir and
+// cfg.NoHilbertClustering are ignored — the on-disk layout is already
+// fixed; the remaining fields apply as in NewEngine.
+//
+// Close the engine when done to release the mappings and file handles.
+func OpenEngine(dir string, cfg EngineConfig) (*Engine, error) {
+	landmarks := cfg.Landmarks
+	if cfg.NoLandmarks {
+		landmarks = -1
+	}
+	env, err := core.OpenEnv(dir, core.EnvConfig{
+		BufferBytes: cfg.BufferBytes,
+		Backend:     storage.Backend(cfg.Backend),
+		Landmarks:   landmarks,
+		DiskLatency: cfg.DiskLatency,
+		DistCache: distcache.Config{
+			Entries: cfg.DistCache.Entries,
+			Quantum: cfg.DistCache.Quantum,
+		},
+		ShareWavefronts: cfg.ShareWavefronts,
+	})
+	if err != nil {
+		return nil, err
+	}
+	objs := make([]Object, len(env.Objects))
+	for i, o := range env.Objects {
+		objs[i] = Object{
+			ID:    int32(o.ID),
+			Loc:   Location{Edge: int32(o.Loc.Edge), Offset: o.Loc.Offset},
+			Attrs: o.Attrs,
+		}
+	}
+	return &Engine{
+		net:      &Network{g: env.G},
+		env:      env,
+		objs:     objs,
+		cfg:      cfg,
+		flight:   obs.NewFlightRecorder(cfg.FlightRecorder),
+		inflight: obs.NewInflight(),
+	}, nil
+}
+
+// StorageBackend reports how the engine's page files are served: BackendMem
+// for an in-memory build, BackendFile or BackendMmap for a disk directory
+// (mmap only when every file mapped; partial fallbacks report BackendFile).
+func (e *Engine) StorageBackend() StorageBackend {
+	return StorageBackend(e.env.Backend())
+}
+
+// Close releases the disk resources behind a DiskDir or OpenEngine engine
+// (page files and slab mappings). The resources are shared with every
+// Clone: call Close once, after all clones are idle, and use none of them
+// afterward. Close on an in-memory engine is a no-op.
+func (e *Engine) Close() error { return e.env.Close() }
 
 // Clone returns an independent engine over the same network and objects:
 // indexes and page files are shared, buffer pools are fresh. Use one clone
@@ -330,6 +419,15 @@ func (e *Engine) recordFlight(alg string, q Query, m core.Metrics, elapsed time.
 
 // NumObjects returns the number of indexed objects.
 func (e *Engine) NumObjects() int { return len(e.objs) }
+
+// Objects returns a copy of the engine's object table in ID order (the
+// Attrs slices are shared, not copied). Useful with OpenEngine, where the
+// object set comes from the directory rather than the caller.
+func (e *Engine) Objects() []Object {
+	out := make([]Object, len(e.objs))
+	copy(out, e.objs)
+	return out
+}
 
 // Query is a multi-source skyline request.
 type Query struct {

@@ -77,6 +77,46 @@ func New(file storage.PageFile, bufferBytes, valSize int) (*Tree, error) {
 	return t, nil
 }
 
+// Meta is the handful of scalars that, together with the page file,
+// reconstruct a Tree: persist it (e.g. in a manifest) and pass it to Open
+// to reopen a tree built in an earlier process.
+type Meta struct {
+	Root    storage.PageID `json:"root"`
+	Height  int            `json:"height"`
+	Size    int            `json:"size"`
+	ValSize int            `json:"valSize"`
+}
+
+// Meta returns the tree's reopen metadata.
+func (t *Tree) Meta() Meta {
+	return Meta{Root: t.root, Height: t.height, Size: t.size, ValSize: t.valSize}
+}
+
+// Open reconstructs a read-only view of a tree previously built on file,
+// from the Meta captured at build time.
+func Open(file storage.PageFile, bufferBytes int, m Meta) (*Tree, error) {
+	if m.ValSize <= 0 || m.ValSize > 256 {
+		return nil, fmt.Errorf("bptree: invalid value size %d", m.ValSize)
+	}
+	if m.Root < 0 || int(m.Root) >= file.NumPages() {
+		return nil, fmt.Errorf("bptree: root page %d outside file of %d pages", m.Root, file.NumPages())
+	}
+	if m.Height < 1 || m.Size < 0 {
+		return nil, fmt.Errorf("bptree: invalid meta height %d size %d", m.Height, m.Size)
+	}
+	return &Tree{
+		file:        file,
+		pool:        storage.NewBufferPool(file, bufferBytes),
+		valSize:     m.ValSize,
+		root:        m.Root,
+		height:      m.Height,
+		size:        m.Size,
+		leafCap:     (storage.PageSize - headerSize) / (8 + m.ValSize),
+		internalCap: (storage.PageSize - headerSize) / (8 + 4),
+		scratch:     make([]byte, storage.PageSize),
+	}, nil
+}
+
 // Pool returns the read-side buffer pool, exposing its I/O statistics.
 func (t *Tree) Pool() *storage.BufferPool { return t.pool }
 

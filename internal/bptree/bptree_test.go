@@ -3,6 +3,7 @@ package bptree
 import (
 	"encoding/binary"
 	"math/rand"
+	"path/filepath"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -342,5 +343,65 @@ func TestBuildGetProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
+	}
+}
+
+// A tree built in one process must be reopenable from its Meta alone.
+func TestMetaReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tree.pages")
+	file, err := storage.CreateOSFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 2000
+	keys := make([]int64, n)
+	var vals [][]byte
+	for i := range keys {
+		keys[i] = int64(i * 3)
+		vals = append(vals, val(uint64(i)))
+	}
+	tr, err := Build(file, storage.DefaultBufferBytes, testValSize, keys, vals)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	meta := tr.Meta()
+	if err := file.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := storage.OpenOSFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	tr2, err := Open(reopened, storage.DefaultBufferBytes, meta)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if tr2.Len() != n || tr2.Height() != tr.Height() {
+		t.Fatalf("reopened len=%d height=%d, want %d/%d", tr2.Len(), tr2.Height(), n, tr.Height())
+	}
+	buf := make([]byte, testValSize)
+	for i := range keys {
+		if err := tr2.Get(keys[i], buf); err != nil {
+			t.Fatalf("Get(%d): %v", keys[i], err)
+		}
+		if valOf(buf) != uint64(i) {
+			t.Fatalf("Get(%d) = %d, want %d", keys[i], valOf(buf), i)
+		}
+	}
+	if err := tr2.Get(1, buf); err != ErrNotFound {
+		t.Errorf("Get(absent) = %v, want ErrNotFound", err)
+	}
+
+	// Invalid metas are rejected.
+	for name, m := range map[string]Meta{
+		"bad valsize": {Root: meta.Root, Height: 1, ValSize: 0},
+		"bad root":    {Root: storage.PageID(reopened.NumPages()), Height: 1, ValSize: testValSize},
+		"bad height":  {Root: meta.Root, Height: 0, ValSize: testValSize},
+	} {
+		if _, err := Open(reopened, storage.DefaultBufferBytes, m); err == nil {
+			t.Errorf("Open accepted %s", name)
+		}
 	}
 }

@@ -4,6 +4,9 @@ import (
 	"context"
 	"math"
 	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
 	"sort"
 	"sync"
 	"testing"
@@ -11,6 +14,7 @@ import (
 
 	"roadskyline/internal/bruteforce"
 	"roadskyline/internal/graph"
+	"roadskyline/internal/storage"
 	"roadskyline/internal/testnet"
 )
 
@@ -713,5 +717,142 @@ func TestDisconnectedNetworks(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// A directory built by NewEnv must reopen via OpenEnv under every backend
+// and serve bit-identical skylines with bit-identical page counters.
+func TestOpenEnvBackends(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	g := testnet.RandomGraph(rng, 120)
+	objs := testnet.RandomObjects(rng, g, 50, 2)
+	mem := newTestEnv(t, g, objs)
+	dir := t.TempDir()
+	built, err := NewEnv(g, objs, EnvConfig{Dir: dir})
+	if err != nil {
+		t.Fatalf("NewEnv(Dir): %v", err)
+	}
+	defer built.Close()
+	if b := built.Backend(); b != storage.BackendFile {
+		t.Fatalf("built env backend = %v, want file", b)
+	}
+	if mem.Backend() != storage.BackendMem {
+		t.Fatalf("mem env backend = %v", mem.Backend())
+	}
+
+	envs := map[string]*Env{"built": built}
+	for _, backend := range []storage.Backend{storage.BackendFile, storage.BackendMmap} {
+		e, err := OpenEnv(dir, EnvConfig{Backend: backend})
+		if err != nil {
+			t.Fatalf("OpenEnv(%v): %v", backend, err)
+		}
+		defer e.Close()
+		envs[backend.String()] = e
+	}
+	if e := envs["mmap"]; e.Backend() != storage.BackendMmap && e.Backend() != storage.BackendFile {
+		t.Fatalf("mmap env backend = %v", e.Backend())
+	}
+
+	q := Query{Points: testnet.RandomLocations(rng, g, 3), UseAttrs: true}
+	for _, alg := range []Algorithm{AlgCE, AlgEDC, AlgLBC} {
+		want, err := RunDefault(mem, q, alg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, e := range envs {
+			got, err := RunDefault(e, q, alg)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", name, alg, err)
+			}
+			if !sameIDs(skylineIDs(want), skylineIDs(got)) {
+				t.Fatalf("%s/%v: skyline diverged from in-memory run", name, alg)
+			}
+			if want.Metrics.NetworkPages != got.Metrics.NetworkPages ||
+				want.Metrics.InitialPages != got.Metrics.InitialPages {
+				t.Errorf("%s/%v: pages %d/%d, want %d/%d", name, alg,
+					got.Metrics.NetworkPages, got.Metrics.InitialPages,
+					want.Metrics.NetworkPages, want.Metrics.InitialPages)
+			}
+		}
+	}
+}
+
+// OpenEnv fails cleanly on missing or mismatched directories.
+func TestOpenEnvErrors(t *testing.T) {
+	if _, err := OpenEnv(t.TempDir(), EnvConfig{}); err == nil {
+		t.Error("OpenEnv of an empty directory succeeded")
+	}
+	rng := rand.New(rand.NewSource(17))
+	g := testnet.RandomGraph(rng, 30)
+	dir := t.TempDir()
+	built, err := NewEnv(g, testnet.RandomObjects(rng, g, 10, 1), EnvConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	built.Close()
+	// Corrupt the manifest: version mismatch must be reported.
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), []byte(`{"version":99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenEnv(dir, EnvConfig{}); err == nil {
+		t.Error("OpenEnv accepted a wrong-version manifest")
+	}
+}
+
+// The point of the mmap tier: opening a prebuilt directory must not copy
+// the CSR slab or the page files onto the heap. The gate allows the small
+// derived structures (R-tree over object points, directories, pools) but
+// fails if heap growth approaches the mapped bytes.
+func TestOpenEnvMmapHeapGate(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	g := testnet.RandomGraph(rng, 4000)
+	objs := testnet.RandomObjects(rng, g, 200, 2)
+	dir := t.TempDir()
+	built, err := NewEnv(g, objs, EnvConfig{Dir: dir, Landmarks: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	built.Close()
+	var mappedBytes int64
+	for _, name := range []string{"graph.slab", "adjacency.pages", "middlelayer.index.pages", "middlelayer.records.pages"} {
+		st, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mappedBytes += st.Size()
+	}
+
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	env, err := OpenEnv(dir, EnvConfig{Backend: storage.BackendMmap, Landmarks: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	defer env.Close()
+	if env.Backend() != storage.BackendMmap {
+		t.Skipf("mmap fell back to %v on this platform; heap gate not applicable", env.Backend())
+	}
+	grown := int64(after.HeapAlloc) - int64(before.HeapAlloc)
+	// The derived structures are small: R-tree entries (~40 B/object), the
+	// adjacency directory (6 B/node decoded to 8), pool bookkeeping. The
+	// slab plus page files are far larger; copying any of them onto the
+	// heap would push growth past half the mapped bytes.
+	if grown > mappedBytes/2 {
+		t.Fatalf("opening via mmap grew the heap by %d bytes (mapped files total %d): slab or pages were copied",
+			grown, mappedBytes)
+	}
+	t.Logf("heap growth %d bytes for %d mapped bytes", grown, mappedBytes)
+
+	// And the env actually serves queries.
+	q := Query{Points: testnet.RandomLocations(rng, g, 2)}
+	res, err := RunDefault(env, q, AlgLBC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Skyline) == 0 {
+		t.Error("mmap env returned an empty skyline")
 	}
 }

@@ -10,7 +10,9 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 	"path/filepath"
 	"sync"
 	"time"
@@ -60,6 +62,11 @@ type Env struct {
 	numAttrs    int
 	bufferBytes int
 	diskLatency time.Duration
+	backend     storage.Backend
+	// closers releases the root env's disk resources (page files, slab
+	// mappings). Clones share them: call Close once, on any clone, after
+	// every clone is idle.
+	closers []func() error
 }
 
 // EnvConfig controls Env construction.
@@ -76,8 +83,17 @@ type EnvConfig struct {
 	RTreeFanout int
 	// Dir, when non-empty, stores the page files (adjacency, middle-layer
 	// index and records) as real files in that directory instead of in
-	// memory.
+	// memory, together with the graph/objects slabs and a manifest: NewEnv
+	// builds the directory and then reopens it read-only through Backend,
+	// and OpenEnv serves a previously built directory directly.
 	Dir string
+	// Backend selects how the files under Dir are served after the build:
+	// storage.BackendFile (the default when Dir is set) reads pages through
+	// ordinary file reads, storage.BackendMmap memory-maps every file —
+	// pages and slabs are handed out as mapping slices, so a network larger
+	// than RAM never lands on the heap — falling back to BackendFile where
+	// mapping fails. Ignored when Dir is empty (pages live in MemFiles).
+	Backend storage.Backend
 	// DiskLatency is the simulated cost of one physical page read, charged
 	// on top of CPU time in Metrics.ResponseTime. Pages live in memory, so
 	// measured wall time alone would miss the I/O dominance the paper
@@ -113,10 +129,28 @@ const DefaultLandmarks = landmark.DefaultK
 // DefaultDiskLatency is the default simulated cost per page fault.
 const DefaultDiskLatency = 150 * time.Microsecond
 
-// NewEnv builds the disk layout, middle layer and object index for a graph
-// and object set. Every object must have the same number of attributes and
-// a valid location; objects and query points must lie on edges of g.
-func NewEnv(g *graph.Graph, objects []graph.Object, cfg EnvConfig) (*Env, error) {
+// Names of the files a disk-backed environment keeps in its directory.
+const (
+	fileAdjPages    = "adjacency.pages"
+	fileAdjDir      = "adjacency.dir"
+	fileTreePages   = "middlelayer.index.pages"
+	fileRecPages    = "middlelayer.records.pages"
+	fileGraphSlab   = "graph.slab"
+	fileObjectsSlab = "objects.slab"
+	fileManifest    = "manifest.json"
+
+	manifestVersion = 1
+)
+
+// manifest is the JSON sidecar tying a network directory together: the
+// scalars that cannot be recomputed cheaply from the binary files.
+type manifest struct {
+	Version  int              `json:"version"`
+	NumAttrs int              `json:"numAttrs"`
+	Layer    middlelayer.Meta `json:"layer"`
+}
+
+func applyEnvDefaults(cfg *EnvConfig) {
 	if cfg.BufferBytes <= 0 {
 		cfg.BufferBytes = storage.DefaultBufferBytes
 	}
@@ -126,59 +160,48 @@ func NewEnv(g *graph.Graph, objects []graph.Object, cfg EnvConfig) (*Env, error)
 	if cfg.DiskLatency <= 0 {
 		cfg.DiskLatency = DefaultDiskLatency
 	}
-	numAttrs := -1
+}
+
+// edgeKeyFunc keys the middle layer by the Hilbert value of each edge's
+// midpoint (id in the low bits keeps keys unique): a wavefront's edge
+// probes then land on few index/record pages, matching the spatial
+// clustering of the adjacency lists. It is deterministic in the graph, so
+// OpenEnv recomputes the same function Build used.
+func edgeKeyFunc(g *graph.Graph) func(graph.EdgeID) int64 {
+	bounds := g.Bounds()
+	return func(e graph.EdgeID) int64 {
+		ed := g.Edge(e)
+		mid := g.NodePoint(ed.U).Lerp(g.NodePoint(ed.V), 0.5)
+		return int64(geom.HilbertKey(mid, bounds)<<21) | int64(e)
+	}
+}
+
+func validateObjects(g *graph.Graph, objects []graph.Object) (numAttrs int, err error) {
+	numAttrs = -1
 	for i, o := range objects {
 		if o.ID != graph.ObjectID(i) {
-			return nil, fmt.Errorf("core: object at index %d has id %d; ids must be dense and equal to the slice index", i, o.ID)
+			return 0, fmt.Errorf("core: object at index %d has id %d; ids must be dense and equal to the slice index", i, o.ID)
 		}
 		if err := g.ValidateLocation(o.Loc); err != nil {
-			return nil, fmt.Errorf("core: object %d: %w", o.ID, err)
+			return 0, fmt.Errorf("core: object %d: %w", o.ID, err)
 		}
 		if numAttrs == -1 {
 			numAttrs = len(o.Attrs)
 		} else if len(o.Attrs) != numAttrs {
-			return nil, fmt.Errorf("core: object %d has %d attributes, others have %d", o.ID, len(o.Attrs), numAttrs)
+			return 0, fmt.Errorf("core: object %d has %d attributes, others have %d", o.ID, len(o.Attrs), numAttrs)
 		}
 	}
 	if numAttrs == -1 {
 		numAttrs = 0
 	}
-	newFile := func(name string) (storage.PageFile, error) {
-		if cfg.Dir == "" {
-			return storage.NewMemFile(), nil
-		}
-		return storage.CreateOSFile(filepath.Join(cfg.Dir, name))
-	}
-	graphFile, err := newFile("adjacency.pages")
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-	treeFile, err := newFile("middlelayer.index.pages")
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-	recFile, err := newFile("middlelayer.records.pages")
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-	store, err := diskgraph.Build(g, graphFile, cfg.BufferBytes, cfg.Order)
-	if err != nil {
-		return nil, fmt.Errorf("core: building disk graph: %w", err)
-	}
-	// Key the middle layer by the Hilbert value of each edge's midpoint
-	// (id in the low bits keeps keys unique): a wavefront's edge probes
-	// then land on few index/record pages, matching the spatial clustering
-	// of the adjacency lists.
-	bounds := g.Bounds()
-	edgeKey := func(e graph.EdgeID) int64 {
-		ed := g.Edge(e)
-		mid := g.NodePoint(ed.U).Lerp(g.NodePoint(ed.V), 0.5)
-		return int64(geom.HilbertKey(mid, bounds)<<21) | int64(e)
-	}
-	layer, err := middlelayer.Build(objects, treeFile, recFile, cfg.BufferBytes, edgeKey)
-	if err != nil {
-		return nil, fmt.Errorf("core: building middle layer: %w", err)
-	}
+	return numAttrs, nil
+}
+
+// newEnvFrom assembles the query-side structures (object R-tree, landmark
+// table, caches, scratch pool) shared by the in-memory, build-then-reopen
+// and open-existing paths.
+func newEnvFrom(g *graph.Graph, objects []graph.Object, store *diskgraph.Store, layer *middlelayer.Layer,
+	cfg EnvConfig, numAttrs int, backend storage.Backend, closers []func() error) *Env {
 	entries := make([]rtree.Entry, len(objects))
 	for i, o := range objects {
 		entries[i] = rtree.Entry{Rect: geom.RectFromPoint(g.Point(o.Loc)), ID: int32(o.ID)}
@@ -208,7 +231,209 @@ func NewEnv(g *graph.Graph, objects []graph.Object, cfg EnvConfig) (*Env, error)
 		numAttrs:    numAttrs,
 		bufferBytes: cfg.BufferBytes,
 		diskLatency: cfg.DiskLatency,
-	}, nil
+		backend:     backend,
+		closers:     closers,
+	}
+}
+
+// NewEnv builds the disk layout, middle layer and object index for a graph
+// and object set. Every object must have the same number of attributes and
+// a valid location; objects and query points must lie on edges of g.
+//
+// With cfg.Dir set, NewEnv writes the full network directory (page files,
+// graph and object slabs, adjacency directory and manifest) and then
+// reopens it read-only through cfg.Backend — the environment it returns is
+// exactly what OpenEnv(cfg.Dir, cfg) would produce.
+func NewEnv(g *graph.Graph, objects []graph.Object, cfg EnvConfig) (*Env, error) {
+	applyEnvDefaults(&cfg)
+	numAttrs, err := validateObjects(g, objects)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Dir != "" {
+		if err := buildDir(g, objects, numAttrs, cfg); err != nil {
+			return nil, err
+		}
+		return OpenEnv(cfg.Dir, cfg)
+	}
+	graphFile := storage.NewMemFile()
+	store, err := diskgraph.Build(g, graphFile, cfg.BufferBytes, cfg.Order)
+	if err != nil {
+		return nil, fmt.Errorf("core: building disk graph: %w", err)
+	}
+	layer, err := middlelayer.Build(objects, storage.NewMemFile(), storage.NewMemFile(), cfg.BufferBytes, edgeKeyFunc(g))
+	if err != nil {
+		return nil, fmt.Errorf("core: building middle layer: %w", err)
+	}
+	return newEnvFrom(g, objects, store, layer, cfg, numAttrs, storage.BackendMem, nil), nil
+}
+
+// buildDir materializes the complete network directory under cfg.Dir: the
+// three page files, the slabs OpenEnv maps, the adjacency directory and the
+// manifest. Every file is closed before returning; serving happens through
+// a read-only reopen.
+func buildDir(g *graph.Graph, objects []graph.Object, numAttrs int, cfg EnvConfig) (err error) {
+	var files []storage.PageFile
+	defer func() {
+		for _, f := range files {
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+	}()
+	newFile := func(name string) (storage.PageFile, error) {
+		f, err := storage.CreateOSFile(filepath.Join(cfg.Dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		files = append(files, f)
+		return f, nil
+	}
+	graphFile, err := newFile(fileAdjPages)
+	if err != nil {
+		return err
+	}
+	treeFile, err := newFile(fileTreePages)
+	if err != nil {
+		return err
+	}
+	recFile, err := newFile(fileRecPages)
+	if err != nil {
+		return err
+	}
+	store, err := diskgraph.Build(g, graphFile, cfg.BufferBytes, cfg.Order)
+	if err != nil {
+		return fmt.Errorf("core: building disk graph: %w", err)
+	}
+	if err := store.WriteDir(filepath.Join(cfg.Dir, fileAdjDir)); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	layer, err := middlelayer.Build(objects, treeFile, recFile, cfg.BufferBytes, edgeKeyFunc(g))
+	if err != nil {
+		return fmt.Errorf("core: building middle layer: %w", err)
+	}
+	if err := graph.WriteSlab(g, filepath.Join(cfg.Dir, fileGraphSlab)); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if err := graph.WriteObjects(objects, numAttrs, filepath.Join(cfg.Dir, fileObjectsSlab)); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	m, err := json.MarshalIndent(manifest{
+		Version:  manifestVersion,
+		NumAttrs: numAttrs,
+		Layer:    layer.Meta(),
+	}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(cfg.Dir, fileManifest), m, 0o644); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	return nil
+}
+
+// OpenEnv serves a network directory previously written by NewEnv (or by a
+// build tool calling it). Nothing is rebuilt: the graph and object slabs
+// are memory-mapped (aliased with zero heap copies on matching hosts), the
+// page files open through cfg.Backend, and only the derived query-side
+// structures (object R-tree, optional landmark table) are computed. With
+// BackendMmap a network much larger than RAM opens in milliseconds and is
+// paged in lazily by the OS.
+//
+// Dir-independent fields of cfg (buffer size, latency, landmarks, caches)
+// apply as in NewEnv; cfg.Dir itself is ignored in favor of dir.
+func OpenEnv(dir string, cfg EnvConfig) (*Env, error) {
+	applyEnvDefaults(&cfg)
+	var closers []func() error
+	fail := func(err error) (*Env, error) {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+		return nil, err
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, fileManifest))
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("core: reading manifest: %w", err)
+	}
+	if m.Version != manifestVersion {
+		return nil, fmt.Errorf("core: manifest version %d, want %d", m.Version, manifestVersion)
+	}
+	g, closeSlab, err := graph.OpenSlab(filepath.Join(dir, fileGraphSlab))
+	if err != nil {
+		return fail(fmt.Errorf("core: %w", err))
+	}
+	closers = append(closers, closeSlab)
+	objects, numAttrs, closeObjs, err := graph.OpenObjects(filepath.Join(dir, fileObjectsSlab))
+	if err != nil {
+		return fail(fmt.Errorf("core: %w", err))
+	}
+	closers = append(closers, closeObjs)
+	if numAttrs != m.NumAttrs {
+		return fail(fmt.Errorf("core: objects slab has %d attributes, manifest says %d", numAttrs, m.NumAttrs))
+	}
+	want := cfg.Backend
+	if want == storage.BackendMem {
+		want = storage.BackendFile
+	}
+	// The env's reported backend is mmap only when every page file mapped;
+	// a partial fallback is reported as file so counters stay explainable.
+	actual := storage.BackendMmap
+	openFile := func(name string) (storage.PageFile, error) {
+		f, got, err := storage.Open(filepath.Join(dir, name), want)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		if got != storage.BackendMmap {
+			actual = storage.BackendFile
+		}
+		closers = append(closers, f.Close)
+		return f, nil
+	}
+	graphFile, err := openFile(fileAdjPages)
+	if err != nil {
+		return fail(err)
+	}
+	treeFile, err := openFile(fileTreePages)
+	if err != nil {
+		return fail(err)
+	}
+	recFile, err := openFile(fileRecPages)
+	if err != nil {
+		return fail(err)
+	}
+	store, err := diskgraph.Open(graphFile, cfg.BufferBytes, filepath.Join(dir, fileAdjDir))
+	if err != nil {
+		return fail(fmt.Errorf("core: %w", err))
+	}
+	layer, err := middlelayer.Open(treeFile, recFile, cfg.BufferBytes, m.Layer, edgeKeyFunc(g))
+	if err != nil {
+		return fail(fmt.Errorf("core: %w", err))
+	}
+	return newEnvFrom(g, objects, store, layer, cfg, numAttrs, actual, closers), nil
+}
+
+// Backend reports how the environment's page files are served:
+// storage.BackendMem for a fully in-memory build, BackendFile or
+// BackendMmap for a disk directory (mmap only when every file mapped).
+func (e *Env) Backend() storage.Backend { return e.backend }
+
+// Close releases the disk resources backing the environment (page files
+// and slab mappings). The resources are shared with every clone: call
+// Close once, after all clones are idle, and use no clone afterward. Close
+// on an in-memory environment is a no-op.
+func (e *Env) Close() error {
+	var first error
+	for i := len(e.closers) - 1; i >= 0; i-- {
+		if err := e.closers[i](); err != nil && first == nil {
+			first = err
+		}
+	}
+	e.closers = nil
+	return first
 }
 
 // Clone returns an independent query environment over the same immutable

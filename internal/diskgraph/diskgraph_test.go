@@ -2,6 +2,8 @@ package diskgraph
 
 import (
 	"math/rand"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"roadskyline/internal/geom"
@@ -208,5 +210,100 @@ func TestPageAccountingWarmVsCold(t *testing.T) {
 	warm := s.Pool().Stats()
 	if warm.Misses != 0 {
 		t.Errorf("warm pass faulted %d pages with a large buffer", warm.Misses)
+	}
+}
+
+// A store built in one process must be reopenable over the page file plus
+// the persisted directory, and serve identical records through any backend.
+func TestWriteDirOpen(t *testing.T) {
+	g := gridGraph(t, 8, 21)
+	dir := t.TempDir()
+	pagesPath := filepath.Join(dir, "adjacency.pages")
+	dirPath := filepath.Join(dir, "adjacency.dir")
+	file, err := storage.CreateOSFile(pagesPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := Build(g, file, storage.DefaultBufferBytes, OrderHilbert)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if err := built.WriteDir(dirPath); err != nil {
+		t.Fatalf("WriteDir: %v", err)
+	}
+	if err := file.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, backend := range []storage.Backend{storage.BackendFile, storage.BackendMmap} {
+		pf, actual, err := storage.Open(pagesPath, backend)
+		if err != nil {
+			t.Fatalf("storage.Open(%v): %v", backend, err)
+		}
+		s, err := Open(pf, storage.DefaultBufferBytes, dirPath)
+		if err != nil {
+			t.Fatalf("Open via %v: %v", actual, err)
+		}
+		if s.NumNodes() != g.NumNodes() || s.NumPages() != built.NumPages() {
+			t.Fatalf("%v: nodes=%d pages=%d, want %d/%d", actual, s.NumNodes(), s.NumPages(), g.NumNodes(), built.NumPages())
+		}
+		if s.Bounds() != g.Bounds() {
+			t.Errorf("%v: bounds %+v, want %+v", actual, s.Bounds(), g.Bounds())
+		}
+		var buf []Neighbor
+		for id := 0; id < g.NumNodes(); id++ {
+			nid := graph.NodeID(id)
+			pt, err := s.NodePoint(nid)
+			if err != nil {
+				t.Fatalf("%v: NodePoint(%d): %v", actual, id, err)
+			}
+			if pt != g.NodePoint(nid) {
+				t.Fatalf("%v: NodePoint(%d) = %v, want %v", actual, id, pt, g.NodePoint(nid))
+			}
+			buf, err = s.Neighbors(nid, buf[:0])
+			if err != nil {
+				t.Fatalf("%v: Neighbors(%d): %v", actual, id, err)
+			}
+			adj := g.Adj(nid)
+			if len(buf) != adj.Len() {
+				t.Fatalf("%v: node %d has %d neighbors, want %d", actual, id, len(buf), adj.Len())
+			}
+			for i, nb := range buf {
+				he := adj.At(i)
+				if nb.To != he.To || nb.Edge != he.Edge || nb.Length != he.Length || nb.ToPt != g.NodePoint(he.To) {
+					t.Fatalf("%v: node %d neighbor %d = %+v, want %+v", actual, id, i, nb, he)
+				}
+			}
+		}
+		pf.Close()
+	}
+
+	// A directory that disagrees with the page file is rejected.
+	pf, _, err := storage.Open(pagesPath, storage.BackendFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+	if _, err := Open(pf, storage.DefaultBufferBytes, filepath.Join(dir, "missing.dir")); err == nil {
+		t.Error("Open with missing directory succeeded")
+	}
+	raw, err := os.ReadFile(dirPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(dir, "bad.dir")
+	corrupt := append([]byte(nil), raw...)
+	corrupt[24]++ // numPages no longer matches the file
+	if err := os.WriteFile(bad, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(pf, storage.DefaultBufferBytes, bad); err == nil {
+		t.Error("Open with mismatched page count succeeded")
+	}
+	if err := os.WriteFile(bad, raw[:30], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(pf, storage.DefaultBufferBytes, bad); err == nil {
+		t.Error("Open with truncated directory succeeded")
 	}
 }

@@ -1,0 +1,228 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"roadskyline/internal/geom"
+)
+
+// slabTestGraph builds a small random graph with self-loops and parallel
+// edges (the layouts the CSR packing has to get right).
+func slabTestGraph(t *testing.T, rng *rand.Rand, n int) *Graph {
+	t.Helper()
+	b := NewBuilder(n, 3*n)
+	for i := 0; i < n; i++ {
+		b.AddNode(geom.Point{X: rng.Float64(), Y: rng.Float64()})
+	}
+	for i := 1; i < n; i++ {
+		u, v := NodeID(rng.Intn(i)), NodeID(i)
+		d := b.nodes[u].Pt.Dist(b.nodes[v].Pt)
+		b.AddEdge(u, v, d*(1+rng.Float64()))
+	}
+	b.AddEdge(0, 0, 0.25) // self-loop
+	if n >= 2 {
+		b.AddEdge(0, 1, b.nodes[0].Pt.Dist(b.nodes[1].Pt)*1.5+0.01) // parallel edge
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g
+}
+
+func graphsEqual(t *testing.T, name string, got, want *Graph) {
+	t.Helper()
+	if got.NumNodes() != want.NumNodes() || got.NumEdges() != want.NumEdges() {
+		t.Fatalf("%s: %d nodes / %d edges, want %d / %d",
+			name, got.NumNodes(), got.NumEdges(), want.NumNodes(), want.NumEdges())
+	}
+	if got.Bounds() != want.Bounds() {
+		t.Errorf("%s: bounds %+v, want %+v", name, got.Bounds(), want.Bounds())
+	}
+	for i := 0; i < want.NumNodes(); i++ {
+		if got.Node(NodeID(i)) != want.Node(NodeID(i)) {
+			t.Fatalf("%s: node %d = %+v, want %+v", name, i, got.Node(NodeID(i)), want.Node(NodeID(i)))
+		}
+		ga, wa := got.Adj(NodeID(i)), want.Adj(NodeID(i))
+		if ga.Len() != wa.Len() {
+			t.Fatalf("%s: node %d degree %d, want %d", name, i, ga.Len(), wa.Len())
+		}
+		for j := 0; j < wa.Len(); j++ {
+			if ga.At(j) != wa.At(j) {
+				t.Fatalf("%s: node %d halfedge %d = %+v, want %+v", name, i, j, ga.At(j), wa.At(j))
+			}
+		}
+	}
+	for i := 0; i < want.NumEdges(); i++ {
+		if got.Edge(EdgeID(i)) != want.Edge(EdgeID(i)) {
+			t.Fatalf("%s: edge %d = %+v, want %+v", name, i, got.Edge(EdgeID(i)), want.Edge(EdgeID(i)))
+		}
+	}
+}
+
+// The slab must round-trip bit-identically through both read paths: the
+// zero-copy alias (OpenSlab on a matching host) and the portable decode.
+func TestSlabRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 2, 40} {
+		g := slabTestGraph(t, rng, n)
+		path := filepath.Join(t.TempDir(), "graph.slab")
+		if err := WriteSlab(g, path); err != nil {
+			t.Fatalf("WriteSlab: %v", err)
+		}
+
+		mapped, closeSlab, err := OpenSlab(path)
+		if err != nil {
+			t.Fatalf("OpenSlab: %v", err)
+		}
+		graphsEqual(t, "mapped", mapped, g)
+
+		// Force the heap-decode path on the same bytes: it must agree with
+		// the alias path exactly, proving the format is portable.
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decoded, err := sliceSlab(raw, false)
+		if err != nil {
+			t.Fatalf("sliceSlab(decode): %v", err)
+		}
+		graphsEqual(t, "decoded", decoded, g)
+
+		if err := closeSlab(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	}
+}
+
+func TestSlabRejectsCorruption(t *testing.T) {
+	g := slabTestGraph(t, rand.New(rand.NewSource(7)), 8)
+	path := filepath.Join(t.TempDir(), "graph.slab")
+	if err := WriteSlab(g, path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, data []byte) {
+		if _, err := sliceSlab(data, false); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+		p := filepath.Join(t.TempDir(), "bad.slab")
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := OpenSlab(p); err == nil {
+			t.Errorf("%s: OpenSlab accepted", name)
+		}
+	}
+	check("empty", nil)
+	check("truncated header", raw[:20])
+	check("truncated body", raw[:len(raw)-4])
+
+	badMagic := append([]byte(nil), raw...)
+	badMagic[0] = 'X'
+	check("bad magic", badMagic)
+
+	badVersion := append([]byte(nil), raw...)
+	badVersion[8] = 99
+	check("bad version", badVersion)
+
+	// Header count inconsistent with file size.
+	badCount := append([]byte(nil), raw...)
+	badCount[16]++
+	check("bad node count", badCount)
+}
+
+func TestObjectsSlabRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := slabTestGraph(t, rng, 12)
+	for _, numAttrs := range []int{0, 3} {
+		objects := make([]Object, 9)
+		for i := range objects {
+			e := EdgeID(rng.Intn(g.NumEdges()))
+			objects[i] = Object{
+				ID:  ObjectID(i),
+				Loc: Location{Edge: e, Offset: rng.Float64() * g.Edge(e).Length},
+			}
+			for a := 0; a < numAttrs; a++ {
+				objects[i].Attrs = append(objects[i].Attrs, rng.Float64()*100)
+			}
+		}
+		path := filepath.Join(t.TempDir(), "objects.slab")
+		if err := WriteObjects(objects, numAttrs, path); err != nil {
+			t.Fatalf("WriteObjects: %v", err)
+		}
+		for _, alias := range []bool{true, false} {
+			var got []Object
+			var gotAttrs int
+			var closeObjs func() error
+			if alias {
+				var err error
+				got, gotAttrs, closeObjs, err = OpenObjects(path)
+				if err != nil {
+					t.Fatalf("OpenObjects: %v", err)
+				}
+			} else {
+				raw, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, gotAttrs, err = sliceObjects(raw, false)
+				if err != nil {
+					t.Fatalf("sliceObjects: %v", err)
+				}
+				closeObjs = func() error { return nil }
+			}
+			if gotAttrs != numAttrs {
+				t.Fatalf("numAttrs = %d, want %d", gotAttrs, numAttrs)
+			}
+			if len(got) != len(objects) {
+				t.Fatalf("%d objects, want %d", len(got), len(objects))
+			}
+			for i, o := range objects {
+				if got[i].ID != o.ID || got[i].Loc != o.Loc || len(got[i].Attrs) != len(o.Attrs) {
+					t.Fatalf("object %d = %+v, want %+v", i, got[i], o)
+				}
+				for a := range o.Attrs {
+					if got[i].Attrs[a] != o.Attrs[a] {
+						t.Fatalf("object %d attr %d = %v, want %v", i, a, got[i].Attrs[a], o.Attrs[a])
+					}
+				}
+			}
+			if err := closeObjs(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Mismatched attribute count must fail at write time.
+	bad := []Object{{ID: 0, Attrs: []float64{1}}}
+	if err := WriteObjects(bad, 2, filepath.Join(t.TempDir(), "bad.slab")); err == nil {
+		t.Error("WriteObjects accepted a short attribute row")
+	}
+}
+
+func TestObjectsSlabRejectsCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "objects.slab")
+	if err := WriteObjects([]Object{{ID: 0, Attrs: []float64{math.Pi}}}, 1, path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range map[string][]byte{
+		"empty":     nil,
+		"truncated": raw[:len(raw)-1],
+		"bad magic": append([]byte{'X'}, raw[1:]...),
+	} {
+		if _, _, err := sliceObjects(data, false); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -125,6 +125,39 @@ func Build(objects []graph.Object, treeFile, recFile storage.PageFile, bufferByt
 	}, nil
 }
 
+// Meta is the reopen metadata for a Layer: everything except the page
+// files and the key function (which is recomputed deterministically from
+// the graph) needed to reconstruct the layer in a later process.
+type Meta struct {
+	Tree       bptree.Meta `json:"tree"`
+	NumObjects int         `json:"numObjects"`
+}
+
+// Meta returns the layer's reopen metadata.
+func (l *Layer) Meta() Meta {
+	return Meta{Tree: l.tree.Meta(), NumObjects: l.numObjs}
+}
+
+// Open reconstructs a Layer over already-built page files from the Meta
+// captured at build time. key must be the same function Build was given
+// (nil means identity).
+func Open(treeFile, recFile storage.PageFile, bufferBytes int, m Meta, key func(graph.EdgeID) int64) (*Layer, error) {
+	if key == nil {
+		key = func(e graph.EdgeID) int64 { return int64(e) }
+	}
+	tree, err := bptree.Open(treeFile, bufferBytes, m.Tree)
+	if err != nil {
+		return nil, fmt.Errorf("middlelayer: %w", err)
+	}
+	return &Layer{
+		tree:    tree,
+		recFile: recFile,
+		recs:    storage.NewBufferPool(recFile, bufferBytes),
+		key:     key,
+		numObjs: m.NumObjects,
+	}, nil
+}
+
 // Clone returns an independent reader over the same pages with fresh
 // buffer pools; clones may serve lookups concurrently.
 func (l *Layer) Clone(bufferBytes int) *Layer {

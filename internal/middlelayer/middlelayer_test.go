@@ -2,6 +2,7 @@ package middlelayer
 
 import (
 	"math/rand"
+	"path/filepath"
 	"sort"
 	"testing"
 
@@ -154,5 +155,84 @@ func TestStats(t *testing.T) {
 	l.ObjectsOn(1, nil)
 	if st := l.Stats(); st.Misses == 0 {
 		t.Error("invalidated caches still warm")
+	}
+}
+
+// A layer built on real files must be reopenable from its Meta over the
+// same page files, serving identical lookups.
+func TestMetaReopen(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const numEdges, numObjs = 60, 500
+	objs := make([]graph.Object, numObjs)
+	for i := range objs {
+		objs[i] = graph.Object{
+			ID:  graph.ObjectID(i),
+			Loc: graph.Location{Edge: graph.EdgeID(rng.Intn(numEdges)), Offset: rng.Float64()},
+		}
+	}
+	dir := t.TempDir()
+	treePath := filepath.Join(dir, "index.pages")
+	recPath := filepath.Join(dir, "records.pages")
+	treeFile, err := storage.CreateOSFile(treePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recFile, err := storage.CreateOSFile(recPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := func(e graph.EdgeID) int64 { return int64(e)*7 + 3 } // non-identity key
+	built, err := Build(objs, treeFile, recFile, storage.DefaultBufferBytes, key)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	meta := built.Meta()
+	// Capture expected lookups before closing the build-side files.
+	wantOn := make([][]ObjRef, numEdges+5)
+	for e := range wantOn {
+		refs, err := built.ObjectsOn(graph.EdgeID(e), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantOn[e] = refs
+	}
+	treeFile.Close()
+	recFile.Close()
+
+	for _, backend := range []storage.Backend{storage.BackendFile, storage.BackendMmap} {
+		tf, _, err := storage.Open(treePath, backend)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rf, actual, err := storage.Open(recPath, backend)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := Open(tf, rf, storage.DefaultBufferBytes, meta, key)
+		if err != nil {
+			t.Fatalf("Open via %v: %v", actual, err)
+		}
+		if l.NumObjects() != numObjs {
+			t.Fatalf("%v: NumObjects = %d, want %d", actual, l.NumObjects(), numObjs)
+		}
+		var got []ObjRef
+		for e := 0; e < numEdges+5; e++ {
+			var err error
+			got, err = l.ObjectsOn(graph.EdgeID(e), got[:0])
+			if err != nil {
+				t.Fatalf("%v: ObjectsOn(%d): %v", actual, e, err)
+			}
+			want := wantOn[e]
+			if len(got) != len(want) {
+				t.Fatalf("%v: edge %d has %d objects, want %d", actual, e, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%v: edge %d object %d = %+v, want %+v", actual, e, i, got[i], want[i])
+				}
+			}
+		}
+		tf.Close()
+		rf.Close()
 	}
 }

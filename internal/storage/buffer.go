@@ -9,12 +9,26 @@ type Stats struct {
 	Misses int64 // physical page reads (buffer faults)
 }
 
+// PageMapper is implemented by page files whose pages are directly
+// addressable in memory (MmapFile): Page returns page id as a read-only
+// slice aliasing the mapping, with no copy.
+type PageMapper interface {
+	Page(id PageID) ([]byte, error)
+}
+
 // BufferPool is an LRU page cache in front of a PageFile. It serves
 // read-only workloads (the engine builds files up front and queries them),
 // is not safe for concurrent use, and hands out direct references to cached
 // frames: a slice returned by Get is valid only until the next Get call.
+//
+// Over a PageMapper (an mmap-backed file) the pool skips frame copies
+// entirely — Get returns the mapping's slice — but keeps the same LRU
+// bookkeeping, so Gets and Misses are bit-identical to a pool of the same
+// capacity over any other backend: the paper's "disk pages accessed"
+// metric stays honest whichever tier serves the bytes.
 type BufferPool struct {
 	file   PageFile
+	mapper PageMapper // non-nil when file serves zero-copy pages
 	frames []frame
 	where  map[PageID]int32 // page -> frame index
 	head   int32            // most recently used, -1 when empty
@@ -43,12 +57,20 @@ func NewBufferPool(file PageFile, bufferBytes int) *BufferPool {
 		head:   -1,
 		tail:   -1,
 	}
+	if m, ok := file.(PageMapper); ok {
+		// Zero-copy mode: frames point into the mapping, no backing buffer.
+		b.mapper = m
+		return b
+	}
 	backing := make([]byte, n*PageSize)
 	for i := range b.frames {
 		b.frames[i].data = backing[i*PageSize : (i+1)*PageSize]
 	}
 	return b
 }
+
+// Mapped reports whether the pool serves zero-copy pages from a mapping.
+func (b *BufferPool) Mapped() bool { return b.mapper != nil }
 
 // Capacity returns the number of frames in the pool.
 func (b *BufferPool) Capacity() int { return len(b.frames) }
@@ -77,7 +99,13 @@ func (b *BufferPool) Get(id PageID) ([]byte, error) {
 	}
 	b.stats.Misses++
 	fi := b.victim()
-	if err := b.file.ReadPage(id, b.frames[fi].data); err != nil {
+	if b.mapper != nil {
+		p, err := b.mapper.Page(id)
+		if err != nil {
+			return nil, fmt.Errorf("buffer pool: %w", err)
+		}
+		b.frames[fi].data = p
+	} else if err := b.file.ReadPage(id, b.frames[fi].data); err != nil {
 		return nil, fmt.Errorf("buffer pool: %w", err)
 	}
 	b.frames[fi].page = id

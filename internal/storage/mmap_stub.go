@@ -1,0 +1,17 @@
+//go:build !unix
+
+package storage
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrMmapUnsupported reports that this platform has no mmap support; Open
+// with BackendMmap falls back to BackendFile.
+var ErrMmapUnsupported = errors.New("storage: mmap not supported on this platform")
+
+// MapFile is unavailable on platforms without Unix mmap.
+func MapFile(path string) ([]byte, func() error, error) {
+	return nil, nil, fmt.Errorf("%w: %s", ErrMmapUnsupported, path)
+}

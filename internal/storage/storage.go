@@ -30,6 +30,21 @@ const InvalidPage PageID = -1
 // ErrPageBounds is returned when a page id is outside the file.
 var ErrPageBounds = errors.New("storage: page id out of bounds")
 
+// ErrReadOnly is returned by write operations on a page file that was
+// opened read-only (OpenOSFile, OpenMmapFile). Build page files with
+// CreateOSFile; reopen them read-only to serve queries.
+var ErrReadOnly = errors.New("storage: page file opened read-only")
+
+// checkReadBuf validates the destination of a ReadPage. Reads and writes
+// are symmetric: both move exactly one page, so a buffer of any other size
+// is a caller bug, not a truncation to perform silently.
+func checkReadBuf(buf []byte) error {
+	if len(buf) != PageSize {
+		return fmt.Errorf("storage: read into %d-byte buffer, want %d", len(buf), PageSize)
+	}
+	return nil
+}
+
 // PageFile is random access storage of fixed-size pages.
 type PageFile interface {
 	// NumPages returns the number of allocated pages.
@@ -62,6 +77,9 @@ func (f *MemFile) NumPages() int { return len(f.pages) }
 
 // ReadPage implements PageFile.
 func (f *MemFile) ReadPage(id PageID, buf []byte) error {
+	if err := checkReadBuf(buf); err != nil {
+		return err
+	}
 	if id < 0 || int(id) >= len(f.pages) {
 		return fmt.Errorf("%w: read %d of %d", ErrPageBounds, id, len(f.pages))
 	}
@@ -96,13 +114,17 @@ func (f *MemFile) AppendPage(data []byte) (PageID, error) {
 // Close implements PageFile.
 func (f *MemFile) Close() error { return nil }
 
-// OSFile is an operating-system file backed PageFile.
+// OSFile is an operating-system file backed PageFile. Files opened with
+// OpenOSFile are read-only: WritePage and AppendPage fail fast with
+// ErrReadOnly instead of surfacing a confusing OS error at use time.
 type OSFile struct {
 	f        *os.File
 	numPages int
+	readOnly bool
 }
 
-// CreateOSFile creates (truncating) a file-backed page file at path.
+// CreateOSFile creates (truncating) a writable file-backed page file at
+// path.
 func CreateOSFile(path string) (*OSFile, error) {
 	f, err := os.Create(path)
 	if err != nil {
@@ -111,7 +133,8 @@ func CreateOSFile(path string) (*OSFile, error) {
 	return &OSFile{f: f}, nil
 }
 
-// OpenOSFile opens an existing file-backed page file at path.
+// OpenOSFile opens an existing file-backed page file at path for reading.
+// The returned file rejects writes with ErrReadOnly.
 func OpenOSFile(path string) (*OSFile, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -124,27 +147,40 @@ func OpenOSFile(path string) (*OSFile, error) {
 	}
 	if st.Size()%PageSize != 0 {
 		f.Close()
-		return nil, fmt.Errorf("storage: %s size %d is not page aligned", path, st.Size())
+		return nil, fmt.Errorf("storage: %s size %d is not page aligned (truncated or not a page file)", path, st.Size())
 	}
-	return &OSFile{f: f, numPages: int(st.Size() / PageSize)}, nil
+	return &OSFile{f: f, numPages: int(st.Size() / PageSize), readOnly: true}, nil
 }
 
 // NumPages implements PageFile.
 func (f *OSFile) NumPages() int { return f.numPages }
 
-// ReadPage implements PageFile.
+// ReadPage implements PageFile. A read that returns fewer than PageSize
+// bytes (a file truncated underneath the directory, a racing writer) is an
+// error: the caller's buffer is a recycled frame, and a short read would
+// silently leave the previous occupant's bytes in the tail.
 func (f *OSFile) ReadPage(id PageID, buf []byte) error {
+	if err := checkReadBuf(buf); err != nil {
+		return err
+	}
 	if id < 0 || int(id) >= f.numPages {
 		return fmt.Errorf("%w: read %d of %d", ErrPageBounds, id, f.numPages)
 	}
-	if _, err := f.f.ReadAt(buf[:PageSize], int64(id)*PageSize); err != nil && err != io.EOF {
-		return fmt.Errorf("storage: %w", err)
+	n, err := f.f.ReadAt(buf, int64(id)*PageSize)
+	if n != PageSize {
+		if err == nil || err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return fmt.Errorf("storage: short read of page %d (%d of %d bytes): %w", id, n, PageSize, err)
 	}
 	return nil
 }
 
 // WritePage implements PageFile.
 func (f *OSFile) WritePage(id PageID, data []byte) error {
+	if f.readOnly {
+		return fmt.Errorf("%w: cannot write page %d", ErrReadOnly, id)
+	}
 	if len(data) != PageSize {
 		return fmt.Errorf("storage: write of %d bytes, want %d", len(data), PageSize)
 	}
@@ -168,3 +204,54 @@ func (f *OSFile) AppendPage(data []byte) (PageID, error) {
 
 // Close implements PageFile.
 func (f *OSFile) Close() error { return f.f.Close() }
+
+// Backend identifies a page-file implementation.
+type Backend int
+
+const (
+	// BackendMem serves pages from heap slices (MemFile) — the default for
+	// experiments, where page-access metrics matter but I/O noise does not.
+	BackendMem Backend = iota
+	// BackendFile serves pages from a real file via pread (OSFile).
+	BackendFile
+	// BackendMmap serves pages from a read-only memory mapping (MmapFile):
+	// the OS pages them in lazily, so networks larger than RAM open without
+	// copying a byte onto the heap. Falls back to BackendFile on platforms
+	// or filesystems where mapping fails.
+	BackendMmap
+)
+
+// String names the backend as exposed in metrics ("mem", "file", "mmap").
+func (b Backend) String() string {
+	switch b {
+	case BackendMem:
+		return "mem"
+	case BackendFile:
+		return "file"
+	case BackendMmap:
+		return "mmap"
+	default:
+		return fmt.Sprintf("Backend(%d)", int(b))
+	}
+}
+
+// Open opens an existing page file at path read-only with the requested
+// backend, returning the file and the backend actually chosen: asking for
+// BackendMmap degrades gracefully to BackendFile when the platform or
+// filesystem cannot map the file. BackendMem is not openable from a path
+// (MemFiles have no persistent form).
+func Open(path string, backend Backend) (PageFile, Backend, error) {
+	switch backend {
+	case BackendFile:
+		f, err := OpenOSFile(path)
+		return f, BackendFile, err
+	case BackendMmap:
+		if f, err := OpenMmapFile(path); err == nil {
+			return f, BackendMmap, nil
+		}
+		f, err := OpenOSFile(path)
+		return f, BackendFile, err
+	default:
+		return nil, backend, fmt.Errorf("storage: backend %v cannot open %s", backend, path)
+	}
+}

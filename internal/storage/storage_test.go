@@ -2,8 +2,11 @@ package storage
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
+	"io"
 	"math/rand"
+	"os"
 	"path/filepath"
 	"sync"
 	"testing"
@@ -63,6 +66,14 @@ func testPageFile(t *testing.T, f PageFile) {
 	if err := f.WritePage(0, []byte{1, 2, 3}); err == nil {
 		t.Error("short write succeeded")
 	}
+	// Buffer validation must be symmetric with writes: reads into a
+	// wrong-sized buffer fail instead of silently truncating or over-reading.
+	if err := f.ReadPage(0, buf[:10]); err == nil {
+		t.Error("read into undersized buffer succeeded")
+	}
+	if err := f.ReadPage(0, make([]byte, PageSize+1)); err == nil {
+		t.Error("read into oversized buffer succeeded")
+	}
 }
 
 func TestMemFile(t *testing.T) {
@@ -100,6 +111,68 @@ func TestOSFile(t *testing.T) {
 func TestOpenOSFileErrors(t *testing.T) {
 	if _, err := OpenOSFile(filepath.Join(t.TempDir(), "missing")); err == nil {
 		t.Error("opening missing file succeeded")
+	}
+	// A file truncated mid-page is rejected at open rather than served with
+	// a garbage tail page.
+	for _, size := range []int{1, PageSize - 1, PageSize + 1, 2*PageSize - 100} {
+		path := filepath.Join(t.TempDir(), "truncated.db")
+		if err := os.WriteFile(path, make([]byte, size), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenOSFile(path); err == nil {
+			t.Errorf("opening %d-byte file succeeded", size)
+		}
+	}
+}
+
+// OpenOSFile yields a read-only view: mutations must fail fast with
+// ErrReadOnly instead of surfacing an EBADF deep inside a query.
+func TestOSFileReadOnly(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.db")
+	buildPageFile(t, path, 2)
+	f, err := OpenOSFile(path)
+	if err != nil {
+		t.Fatalf("OpenOSFile: %v", err)
+	}
+	defer f.Close()
+	if err := f.WritePage(0, filledPage(7)); !errors.Is(err, ErrReadOnly) {
+		t.Errorf("WritePage: %v, want ErrReadOnly", err)
+	}
+	if _, err := f.AppendPage(filledPage(7)); !errors.Is(err, ErrReadOnly) {
+		t.Errorf("AppendPage: %v, want ErrReadOnly", err)
+	}
+	// Reads still work and contents are untouched.
+	buf := make([]byte, PageSize)
+	if err := f.ReadPage(0, buf); err != nil || buf[0] != 0 {
+		t.Fatalf("ReadPage after failed write: %v (byte %d)", err, buf[0])
+	}
+}
+
+// A file shrunk underneath an open OSFile must produce a wrapped
+// unexpected-EOF error, not a silent partial page (the original code
+// dropped io.EOF from ReadAt and returned garbage as success).
+func TestOSFileShortRead(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.db")
+	buildPageFile(t, path, 2)
+	f, err := OpenOSFile(path)
+	if err != nil {
+		t.Fatalf("OpenOSFile: %v", err)
+	}
+	defer f.Close()
+	if err := os.Truncate(path, PageSize+100); err != nil {
+		t.Fatalf("Truncate: %v", err)
+	}
+	buf := filledPage(0xEE)
+	err = f.ReadPage(1, buf)
+	if err == nil {
+		t.Fatal("short read returned success")
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("short read error = %v, want io.ErrUnexpectedEOF", err)
+	}
+	// Page 0 is still fully readable.
+	if err := f.ReadPage(0, buf); err != nil || buf[0] != 0 {
+		t.Fatalf("ReadPage(0): %v (byte %d)", err, buf[0])
 	}
 }
 
@@ -177,6 +250,45 @@ func TestBufferPoolSingleFrame(t *testing.T) {
 	}
 	if b.Stats().Misses != 3 {
 		t.Fatalf("misses = %d, want 3 (thrashing)", b.Stats().Misses)
+	}
+}
+
+// When the working set exactly fills the pool, the free-list hands out its
+// last frame and the pool sits at the full/evicting boundary: every page
+// must stay resident (zero evictions), and touching one page more must
+// evict exactly the LRU page and nothing else.
+func TestBufferPoolExactlyFullCapacity(t *testing.T) {
+	const frames = 4
+	f := memFileWithPages(t, frames+1)
+	b := NewBufferPool(f, frames*PageSize)
+	for round := 0; round < 3; round++ {
+		for id := 0; id < frames; id++ {
+			if _, err := b.Get(PageID(id)); err != nil {
+				t.Fatalf("Get(%d): %v", id, err)
+			}
+		}
+	}
+	if st := b.Stats(); st.Misses != frames {
+		t.Fatalf("misses = %d, want %d (working set == capacity must not evict)", st.Misses, frames)
+	}
+	// One page past capacity evicts exactly the LRU page (page 0 after the
+	// in-order sweep); the rest stay resident.
+	if _, err := b.Get(PageID(frames)); err != nil {
+		t.Fatal(err)
+	}
+	for id := 1; id < frames; id++ {
+		if _, err := b.Get(PageID(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := b.Stats(); st.Misses != frames+1 {
+		t.Fatalf("misses = %d, want %d (only the LRU page may be evicted)", st.Misses, frames+1)
+	}
+	if _, err := b.Get(0); err != nil {
+		t.Fatal(err)
+	}
+	if st := b.Stats(); st.Misses != frames+2 {
+		t.Fatalf("misses = %d, want %d (page 0 was the eviction victim)", st.Misses, frames+2)
 	}
 }
 

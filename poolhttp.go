@@ -81,6 +81,9 @@ func writePoolMetrics(w io.Writer, m PoolMetrics) {
 	fmt.Fprintf(w, "# HELP roadskyline_build_info Build metadata; the value is always 1.\n")
 	fmt.Fprintf(w, "# TYPE roadskyline_build_info gauge\n")
 	fmt.Fprintf(w, "roadskyline_build_info{version=%q,go_version=%q} 1\n", version, goVersion)
+	fmt.Fprintf(w, "# HELP roadskyline_storage_backend_info Page-file backend serving this pool; the value is always 1.\n")
+	fmt.Fprintf(w, "# TYPE roadskyline_storage_backend_info gauge\n")
+	fmt.Fprintf(w, "roadskyline_storage_backend_info{backend=%q} 1\n", m.StorageBackend)
 	gauge("roadskyline_pool_workers", "Engine clones in the pool.", m.Workers)
 	gauge("roadskyline_pool_in_flight", "Queries holding a worker right now.", m.InFlight)
 	gauge("roadskyline_pool_waiting", "Submissions waiting for an idle worker.", m.Waiting)

@@ -61,6 +61,10 @@ func (w WorkerStats) HitRate() float64 {
 type PoolMetrics struct {
 	// Workers is the pool's worker count (constant).
 	Workers int
+	// StorageBackend is how the pool's engines serve page files ("mem",
+	// "file" or "mmap"); constant for the pool's lifetime and shared by
+	// every worker (clones share the page files).
+	StorageBackend string
 	// InFlight is the number of queries holding a worker right now.
 	InFlight int
 	// Waiting is the number of submissions blocked waiting for an idle
@@ -114,7 +118,8 @@ type PoolMetrics struct {
 // snapshot.
 func (p *Pool) PoolMetrics() PoolMetrics {
 	m := PoolMetrics{
-		Workers:     p.size,
+		Workers:        p.size,
+		StorageBackend: p.all[0].eng.StorageBackend().String(),
 		InFlight:    int(p.met.inFlight.Load()),
 		Waiting:     int(p.met.waiting.Load()),
 		Submitted:   p.met.submitted.Load(),
