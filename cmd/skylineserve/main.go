@@ -33,6 +33,10 @@
 //	GET /debug/wavefronts
 //	    Shared-wavefront lineage: who led each shared expansion, which
 //	    traces subscribed and how long each blocked.
+//	GET /debug/load[?history=N]
+//	    Live load view: rolling 1s/10s/60s windows of TPS, latency
+//	    quantiles, outcome and cache-hit rates, plus the latest Go
+//	    runtime sample (and up to N retained samples with history=N).
 //	GET /debug/vars   expvar JSON, including the pool snapshot.
 //	GET /debug/pprof  Go profiling endpoints.
 //
@@ -80,6 +84,9 @@ func main() {
 		flSlow  = flag.Int("flight-slow", 32, "flight recorder slowest-query reservoir size")
 		flEvery = flag.Int("flight-sample", 1, "flight recorder sampling stride: record every k-th query in the sampled reservoir (slow and errored queries are always kept)")
 		trace   = flag.Bool("trace", true, "give queries causal traces: trace IDs in responses, /debug/inflight and /debug/trace exports (per-request override: ?trace=0|1)")
+		loadWin = flag.Bool("load-window", true, "maintain the rolling load window (1s/10s/60s TPS, latency quantiles, outcome rates) behind /debug/load and the roadskyline_load_* metrics")
+		rtEvery = flag.Duration("runtime-sample", 5*time.Second, "Go runtime sampling interval for the roadskyline_runtime_* metrics (0 disables)")
+		report  = flag.Duration("report-interval", 0, "log a one-line load summary (TPS, p99, in-flight, heap) at this interval; 0 disables, requires -load-window")
 		shutTO  = flag.Duration("shutdown-timeout", 10*time.Second, "how long graceful shutdown waits for in-flight requests before forcing the listener closed")
 		smoke   = flag.Bool("smoke", false, "self-test: start, run one query and scrape /metrics, /debug/queries and /debug/trace over HTTP, then exit")
 		smokeTr = flag.String("smoke-trace-out", "", "with -smoke: also write the smoke query's exported Chrome trace-event JSON to this file")
@@ -111,7 +118,10 @@ func main() {
 		log.Error("building engine", "err", err)
 		os.Exit(1)
 	}
-	pool, err := roadskyline.NewPool(eng, roadskyline.PoolConfig{Workers: *workers, QueueDepth: *queue})
+	pool, err := roadskyline.NewPool(eng, roadskyline.PoolConfig{
+		Workers: *workers, QueueDepth: *queue,
+		Window: *loadWin, RuntimeSample: *rtEvery,
+	})
 	if err != nil {
 		log.Error("building pool", "err", err)
 		os.Exit(1)
@@ -129,6 +139,7 @@ func main() {
 	mux.Handle("/debug/trace", pool.TraceHandler())
 	mux.Handle("/debug/inflight", pool.InflightHandler())
 	mux.Handle("/debug/wavefronts", pool.LineageHandler())
+	mux.Handle("/debug/load", pool.LoadHandler())
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -148,6 +159,16 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
+
+	if *report > 0 {
+		if !*loadWin {
+			log.Warn("-report-interval needs -load-window; periodic reports disabled")
+		} else {
+			stopReport := make(chan struct{})
+			defer close(stopReport)
+			go reportLoop(pool, log, *report, stopReport)
+		}
+	}
 
 	if *smoke {
 		if err := runSmoke(log, ln.Addr().String(), *smokeTr); err != nil {
@@ -171,6 +192,41 @@ func main() {
 			log.Error("serving", "err", err)
 			os.Exit(1)
 		}
+	}
+}
+
+// reportLoop logs a one-line load summary at each tick so operators can
+// tail the log without a Prometheus stack: current TPS and tail latency
+// from the rolling 10s window, live occupancy, and heap/goroutines from
+// the runtime sampler when enabled.
+func reportLoop(pool *roadskyline.Pool, log *slog.Logger, every time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		m := pool.PoolMetrics()
+		if len(m.Load) < 2 {
+			continue
+		}
+		v := m.Load[1] // the 10s view: smoothed but current
+		args := []any{
+			"tps", v.TPS,
+			"p99", v.P99,
+			"served", v.Served,
+			"errors", v.Errors,
+			"saturated", v.Saturated,
+			"in_flight", m.InFlight,
+			"waiting", m.Waiting,
+		}
+		if m.Runtime != nil {
+			args = append(args, "heap_mb", float64(m.Runtime.HeapBytes)/(1<<20),
+				"goroutines", m.Runtime.Goroutines)
+		}
+		log.Info("load", args...)
 	}
 }
 
@@ -404,6 +460,8 @@ func runSmoke(log *slog.Logger, addr, traceOut string) error {
 		"roadskyline_pool_queries_total{outcome=\"served\"} 1",
 		"roadskyline_query_duration_seconds_bucket{alg=\"LBC\",outcome=\"served\",le=\"+Inf\"} 1",
 		"roadskyline_flight_queries_total{outcome=\"served\"} 1",
+		"roadskyline_load_tps{window=\"10s\"}",
+		"roadskyline_runtime_heap_bytes ",
 	} {
 		if !strings.Contains(string(metrics), want) {
 			return fmt.Errorf("/metrics missing %q", want)
@@ -441,6 +499,23 @@ func runSmoke(log *slog.Logger, addr, traceOut string) error {
 	if _, err := fetch(client, base+"/debug/wavefronts"); err != nil {
 		return err
 	}
+
+	load, err := fetch(client, base+"/debug/load")
+	if err != nil {
+		return err
+	}
+	var loadResp struct {
+		Enabled bool             `json:"enabled"`
+		Windows []map[string]any `json:"windows"`
+		Runtime map[string]any   `json:"runtime"`
+	}
+	if err := json.Unmarshal(load, &loadResp); err != nil {
+		return fmt.Errorf("decoding /debug/load response: %w", err)
+	}
+	if !loadResp.Enabled || len(loadResp.Windows) != 3 || loadResp.Runtime == nil {
+		return fmt.Errorf("/debug/load incomplete: %s", load)
+	}
+	log.Info("smoke load view ok", "windows", len(loadResp.Windows))
 
 	body, err = fetch(client, base+"/debug/queries?slowest=10")
 	if err != nil {

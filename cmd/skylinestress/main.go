@@ -1,0 +1,437 @@
+// Command skylinestress load-tests the skyline engine: it drives a
+// configurable query workload against an in-process Pool (default) or a
+// running skylineserve over HTTP (-url), measures achieved throughput and
+// the latency distribution, and emits a text + JSON report with optional
+// SLO gates for CI.
+//
+// Two arrival models:
+//
+//	-mode closed    -concurrency C workers issue queries back to back —
+//	                the classic saturation benchmark; achieved TPS is the
+//	                capacity at that concurrency.
+//	-mode open      arrivals follow a Poisson process at -rate per second
+//	                regardless of completions (the production shape);
+//	                outstanding requests are bounded by -max-outstanding,
+//	                arrivals beyond it are counted as dropped rather than
+//	                silently queued, so latency is not coordinated-omission
+//	                flattered.
+//
+// The workload is a pregenerated catalog of -querysets query point sets,
+// drawn uniformly per request. Geometry -geometry uniform scatters points
+// over the whole map; hotspot clusters them around -hotspots centers
+// (radius -hotspot-radius), the bursty nearby-queries shape that
+// exercises the distance cache and single-flight wavefront sharing.
+// Coordinates are quantized to the -quantum grid, so a small catalog
+// replays bit-identical queries and the duplicate rate is controllable.
+//
+// Examples:
+//
+//	skylinestress -preset CA -scale 0.25 -mode closed -concurrency 8 -duration 10s
+//	skylinestress -url http://localhost:8080 -mode open -rate 200 -duration 30s
+//	skylinestress -preset CA -mode closed -duration 5s -min-tps 50 -slo-p99 200ms -json report.json
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"roadskyline"
+	"roadskyline/internal/obs"
+)
+
+// config is the parsed flag set; run is factored around it so tests can
+// drive whole stress runs in-process.
+type config struct {
+	url     string
+	preset  string
+	scale   float64
+	seed    int64
+	omega   float64
+	attrs   int
+	workers int
+	queue   int
+	cache   int
+	share   bool
+
+	mode        string
+	concurrency int
+	rate        float64
+	maxOut      int
+	duration    time.Duration
+	warmup      time.Duration
+
+	alg       string
+	points    int
+	useAttrs  bool
+	geometry  string
+	querySets int
+	quantum   float64
+	hotspots  int
+	hotRadius float64
+
+	runtimeEvery time.Duration
+	jsonOut      string
+	minTPS       float64
+	sloP99       time.Duration
+	maxErrors    int64
+}
+
+func main() {
+	cfg := &config{}
+	flag.StringVar(&cfg.url, "url", "", "drive a running skylineserve at this base URL instead of an in-process pool")
+	flag.StringVar(&cfg.preset, "preset", "CA", "paper preset for the in-process network: CA, AU or NA")
+	flag.Float64Var(&cfg.scale, "scale", 0.25, "in-process network scale factor")
+	flag.Int64Var(&cfg.seed, "seed", 1, "random seed for the network, objects and workload catalog")
+	flag.Float64Var(&cfg.omega, "omega", 0.5, "in-process object density |D|/|E|")
+	flag.IntVar(&cfg.attrs, "attrs", 1, "non-spatial attributes per generated object")
+	flag.IntVar(&cfg.workers, "workers", 0, "in-process pool workers (0 = GOMAXPROCS)")
+	flag.IntVar(&cfg.queue, "queue", 0, "in-process admission queue depth (0 = 4x workers)")
+	flag.IntVar(&cfg.cache, "distcache", 1024, "in-process distance cache entries (0 disables)")
+	flag.BoolVar(&cfg.share, "share", true, "in-process single-flight wavefront sharing")
+
+	flag.StringVar(&cfg.mode, "mode", "closed", "arrival model: closed (fixed concurrency) or open (Poisson at -rate)")
+	flag.IntVar(&cfg.concurrency, "concurrency", 8, "closed-loop worker count")
+	flag.Float64Var(&cfg.rate, "rate", 100, "open-loop target arrivals per second")
+	flag.IntVar(&cfg.maxOut, "max-outstanding", 256, "open-loop bound on in-flight requests; arrivals beyond it are dropped")
+	flag.DurationVar(&cfg.duration, "duration", 10*time.Second, "measurement window length")
+	flag.DurationVar(&cfg.warmup, "warmup", time.Second, "warmup before measurement begins (queries run but are not recorded)")
+
+	flag.StringVar(&cfg.alg, "alg", "LBC", "algorithm: CE, EDC, LBC or mixed (round-robin)")
+	flag.IntVar(&cfg.points, "points", 3, "query points per query (|Q|)")
+	flag.BoolVar(&cfg.useAttrs, "use-attrs", false, "include non-spatial attributes in dominance")
+	flag.StringVar(&cfg.geometry, "geometry", "uniform", "query geometry: uniform or hotspot")
+	flag.IntVar(&cfg.querySets, "querysets", 64, "catalog size: distinct query sets to draw from (smaller = more duplicates)")
+	flag.Float64Var(&cfg.quantum, "quantum", 1e-3, "coordinate quantization grid; equal quantized points share cache keys")
+	flag.IntVar(&cfg.hotspots, "hotspots", 4, "hotspot geometry: number of centers")
+	flag.Float64Var(&cfg.hotRadius, "hotspot-radius", 0.05, "hotspot geometry: jitter radius around a center")
+
+	flag.DurationVar(&cfg.runtimeEvery, "runtime-sample", time.Second, "Go runtime sampling interval during the run (0 disables)")
+	flag.StringVar(&cfg.jsonOut, "json", "", "write the JSON report to this file")
+	flag.Float64Var(&cfg.minTPS, "min-tps", 0, "gate: fail unless achieved TPS is at least this (0 disables)")
+	flag.DurationVar(&cfg.sloP99, "slo-p99", 0, "gate: fail unless p99 latency is at most this (0 disables)")
+	flag.Int64Var(&cfg.maxErrors, "max-errors", -1, "gate: fail if more than this many query errors (-1 disables)")
+	flag.Parse()
+
+	report, ok, err := run(cfg, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "skylinestress:", err)
+		os.Exit(1)
+	}
+	if cfg.jsonOut != "" {
+		if err := writeJSON(cfg.jsonOut, report); err != nil {
+			fmt.Fprintln(os.Stderr, "skylinestress: writing -json:", err)
+			os.Exit(1)
+		}
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+// workerState is one load goroutine's private capture, merged after the
+// run: the log-bucketed latency histogram, the outcome counts and a few
+// error samples. No locks and no allocation on the per-query path.
+type workerState struct {
+	hist      obs.LogHist
+	outcomes  map[string]uint64
+	errSample []string
+}
+
+func newWorkerState() *workerState {
+	return &workerState{outcomes: make(map[string]uint64, 5)}
+}
+
+func (ws *workerState) record(d time.Duration, err error) {
+	outcome := classify(err)
+	ws.outcomes[outcome]++
+	if outcome == "served" || outcome == "error" {
+		ws.hist.Observe(d)
+	}
+	if err != nil && outcome == "error" && len(ws.errSample) < 3 {
+		ws.errSample = append(ws.errSample, err.Error())
+	}
+}
+
+// run executes one full stress run: build the target, pregenerate the
+// catalog, drive the arrival model through warmup + measurement, merge
+// the per-worker captures and evaluate the gates. The bool reports
+// whether all enabled gates passed.
+func run(cfg *config, out io.Writer) (*Report, bool, error) {
+	if cfg.points < 1 {
+		return nil, false, fmt.Errorf("-points must be at least 1")
+	}
+	if cfg.querySets < 1 {
+		return nil, false, fmt.Errorf("-querysets must be at least 1")
+	}
+	if cfg.duration <= 0 {
+		return nil, false, fmt.Errorf("-duration must be positive")
+	}
+
+	var (
+		tgt  target
+		pool *roadskyline.Pool
+		net  *roadskyline.Network
+	)
+	if cfg.url != "" {
+		tgt = &httpTarget{client: &http.Client{Timeout: 60 * time.Second}}
+	} else {
+		var err error
+		net, pool, err = buildPool(cfg)
+		if err != nil {
+			return nil, false, err
+		}
+		defer pool.Close()
+		tgt = &poolTarget{pool: pool}
+	}
+	catalog, err := buildCatalog(cfg, net)
+	if err != nil {
+		return nil, false, err
+	}
+
+	sampler := obs.NewRuntimeSampler(cfg.runtimeEvery)
+	sampler.Start()
+
+	report := &Report{
+		Schema:  ReportSchema,
+		Started: time.Now(),
+		Config: ConfigReport{
+			URL: cfg.url, Preset: cfg.preset, Scale: cfg.scale, Seed: cfg.seed,
+			Mode: cfg.mode, Concurrency: cfg.concurrency, Rate: cfg.rate,
+			Duration: cfg.duration, Warmup: cfg.warmup,
+			Alg: cfg.alg, Points: cfg.points, Geometry: cfg.geometry,
+			QuerySets: cfg.querySets, Quantum: cfg.quantum,
+		},
+	}
+	if cfg.url != "" {
+		report.Config.Preset, report.Config.Scale = "", 0
+	}
+
+	var states []*workerState
+	var dropped uint64
+	var elapsed time.Duration
+	switch cfg.mode {
+	case "closed":
+		states, elapsed, err = runClosed(cfg, tgt, catalog)
+	case "open":
+		states, dropped, elapsed, err = runOpen(cfg, tgt, catalog)
+	default:
+		err = fmt.Errorf("unknown -mode %q (want closed or open)", cfg.mode)
+	}
+	sampler.Stop()
+	if err != nil {
+		return nil, false, err
+	}
+
+	merged := newWorkerState()
+	for _, ws := range states {
+		merged.hist.Merge(&ws.hist)
+		for k, v := range ws.outcomes {
+			merged.outcomes[k] += v
+		}
+		for _, e := range ws.errSample {
+			if len(merged.errSample) < 5 {
+				merged.errSample = append(merged.errSample, e)
+			}
+		}
+	}
+	report.Elapsed = elapsed
+	report.Outcomes = OutcomeReport{
+		Served:    merged.outcomes["served"],
+		Errors:    merged.outcomes["error"],
+		Cancelled: merged.outcomes["cancelled"],
+		Saturated: merged.outcomes["saturated"],
+		Closed:    merged.outcomes["closed"],
+	}
+	report.Dropped = dropped
+	report.ErrorSamples = merged.errSample
+	if elapsed > 0 {
+		report.TPS = float64(report.Outcomes.total()) / elapsed.Seconds()
+	}
+	report.Latency = LatencyReport{
+		Count: merged.hist.Count(),
+		Mean:  merged.hist.Mean(),
+		P50:   merged.hist.Quantile(0.50),
+		P90:   merged.hist.Quantile(0.90),
+		P99:   merged.hist.Quantile(0.99),
+		P999:  merged.hist.Quantile(0.999),
+		Max:   merged.hist.Max(),
+	}
+	report.Runtime = sampler.Samples()
+	if pool != nil {
+		m := pool.PoolMetrics()
+		report.Pool = &m
+		report.LoadWindows = m.Load
+	}
+
+	ok := evaluateGates(report, cfg.minTPS, cfg.sloP99, cfg.maxErrors)
+	writeText(out, report)
+	return report, ok, nil
+}
+
+// buildPool constructs the in-process network, engine and pool for a
+// local stress run, with the distance cache, wavefront sharing and the
+// rolling load window enabled so a stress exercises the full serving
+// configuration.
+func buildPool(cfg *config) (*roadskyline.Network, *roadskyline.Pool, error) {
+	spec, err := presetSpec(cfg.preset)
+	if err != nil {
+		return nil, nil, err
+	}
+	net, err := roadskyline.Generate(scaleSpec(spec, cfg.scale, cfg.seed))
+	if err != nil {
+		return nil, nil, err
+	}
+	objects := net.GenerateObjects(cfg.omega, cfg.attrs, cfg.seed+500)
+	eng, err := roadskyline.NewEngine(net, objects, roadskyline.EngineConfig{
+		WarmCache:       true,
+		DistCache:       roadskyline.DistCacheConfig{Entries: cfg.cache},
+		ShareWavefronts: cfg.share,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	pool, err := roadskyline.NewPool(eng, roadskyline.PoolConfig{
+		Workers: cfg.workers, QueueDepth: cfg.queue, Window: true,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return net, pool, nil
+}
+
+func presetSpec(name string) (roadskyline.NetworkSpec, error) {
+	switch name {
+	case "CA":
+		return roadskyline.CA, nil
+	case "AU":
+		return roadskyline.AU, nil
+	case "NA":
+		return roadskyline.NA, nil
+	}
+	return roadskyline.NetworkSpec{}, fmt.Errorf("unknown -preset %q (want CA, AU or NA)", name)
+}
+
+// scaleSpec shrinks a network spec to `scale` of its paper size, keeping
+// it connected (at least 100 nodes, at least a spanning tree of edges)
+// and stamping the seed — the same derivation skylinebench uses, so
+// stress networks match benchmark networks at equal scale and seed.
+func scaleSpec(spec roadskyline.NetworkSpec, scale float64, seed int64) roadskyline.NetworkSpec {
+	if scale > 0 && scale != 1 {
+		spec.Nodes = int(float64(spec.Nodes) * scale)
+		if spec.Nodes < 100 {
+			spec.Nodes = 100
+		}
+		spec.Edges = int(float64(spec.Edges) * scale)
+		if spec.Edges < spec.Nodes-1 {
+			spec.Edges = spec.Nodes - 1
+		}
+	}
+	spec.Seed = seed
+	return spec
+}
+
+// runClosed drives the closed loop: cfg.concurrency workers issue
+// queries back to back from warmup start until the measurement window
+// ends; only queries started inside the window are recorded. Returns the
+// per-worker states and the measured elapsed time.
+func runClosed(cfg *config, tgt target, catalog []querySpec) ([]*workerState, time.Duration, error) {
+	if cfg.concurrency < 1 {
+		return nil, 0, fmt.Errorf("-concurrency must be at least 1")
+	}
+	measureStart := time.Now().Add(cfg.warmup)
+	end := measureStart.Add(cfg.duration)
+	states := make([]*workerState, cfg.concurrency)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.concurrency; i++ {
+		ws := newWorkerState()
+		states[i] = ws
+		rng := rand.New(rand.NewSource(cfg.seed + int64(i)*7919))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				start := time.Now()
+				if !start.Before(end) {
+					return
+				}
+				err := tgt.run(context.Background(), catalog[rng.Intn(len(catalog))])
+				if !start.Before(measureStart) {
+					ws.record(time.Since(start), err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// The last queries complete past `end`; measure to the true finish so
+	// TPS is not inflated by tail completions landing outside the window.
+	elapsed := time.Since(measureStart)
+	return states, elapsed, nil
+}
+
+// runOpen drives the open loop: a Poisson arrival process at cfg.rate per
+// second, each arrival served on its own goroutine. In-flight requests
+// are bounded by cfg.maxOut; arrivals that find the bound exhausted are
+// dropped and counted, never queued — queueing them would hide the
+// generator falling behind and flatter the latency numbers (coordinated
+// omission).
+func runOpen(cfg *config, tgt target, catalog []querySpec) ([]*workerState, uint64, time.Duration, error) {
+	if cfg.rate <= 0 {
+		return nil, 0, 0, fmt.Errorf("-rate must be positive")
+	}
+	if cfg.maxOut < 1 {
+		return nil, 0, 0, fmt.Errorf("-max-outstanding must be at least 1")
+	}
+	// One state per outstanding slot: the goroutine holding slot i owns
+	// states[i] exclusively, keeping the capture lock-free.
+	states := make([]*workerState, cfg.maxOut)
+	slots := make(chan int, cfg.maxOut)
+	for i := range states {
+		states[i] = newWorkerState()
+		slots <- i
+	}
+	rng := rand.New(rand.NewSource(cfg.seed + 4999))
+	measureStart := time.Now().Add(cfg.warmup)
+	end := measureStart.Add(cfg.duration)
+	var dropped atomic.Uint64
+	var wg sync.WaitGroup
+	next := time.Now()
+	for {
+		// Absolute-time scheduling: each interarrival gap is exponential,
+		// and sleeping to the precomputed instant (rather than for the gap)
+		// keeps the achieved rate on target even when Sleep overshoots.
+		next = next.Add(time.Duration(rng.ExpFloat64() / cfg.rate * float64(time.Second)))
+		if !next.Before(end) {
+			break
+		}
+		time.Sleep(time.Until(next))
+		spec := catalog[rng.Intn(len(catalog))]
+		select {
+		case slot := <-slots:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				start := time.Now()
+				err := tgt.run(context.Background(), spec)
+				if !start.Before(measureStart) {
+					states[slot].record(time.Since(start), err)
+				}
+				slots <- slot
+			}()
+		default:
+			if !time.Now().Before(measureStart) {
+				dropped.Add(1)
+			}
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(measureStart)
+	return states, dropped.Load(), elapsed, nil
+}

@@ -1,0 +1,268 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"roadskyline"
+)
+
+// smallConfig is a fast in-process closed-loop run for tests.
+func smallConfig() *config {
+	return &config{
+		preset: "CA", scale: 0.05, seed: 7, omega: 0.5, attrs: 1,
+		workers: 2, cache: 256, share: true,
+		mode: "closed", concurrency: 2,
+		duration: 500 * time.Millisecond, warmup: 100 * time.Millisecond,
+		alg: "LBC", points: 2, geometry: "hotspot",
+		querySets: 8, quantum: 1e-3, hotspots: 2, hotRadius: 0.05,
+		runtimeEvery: 100 * time.Millisecond,
+		maxErrors:    -1,
+	}
+}
+
+func TestClosedLoopRun(t *testing.T) {
+	cfg := smallConfig()
+	cfg.minTPS = 1
+	cfg.maxErrors = 0
+	var out bytes.Buffer
+	r, ok, err := run(cfg, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("gates failed:\n%s", out.String())
+	}
+	if r.Schema != ReportSchema {
+		t.Fatalf("schema %q, want %q", r.Schema, ReportSchema)
+	}
+	if r.TPS <= 0 || r.Outcomes.Served == 0 {
+		t.Fatalf("no throughput measured: tps=%g served=%d", r.TPS, r.Outcomes.Served)
+	}
+	if r.Outcomes.Errors != 0 {
+		t.Fatalf("%d query errors: %v", r.Outcomes.Errors, r.ErrorSamples)
+	}
+	if r.Latency.Count != r.Outcomes.Served || r.Latency.P50 <= 0 || r.Latency.P99 < r.Latency.P50 {
+		t.Fatalf("latency report inconsistent: %+v", r.Latency)
+	}
+	if r.Pool == nil || r.Pool.Submitted == 0 {
+		t.Fatal("in-process run lacks the pool snapshot")
+	}
+	if len(r.LoadWindows) != 3 {
+		t.Fatalf("in-process run has %d load windows, want 3", len(r.LoadWindows))
+	}
+	if len(r.Runtime) == 0 {
+		t.Fatal("no runtime samples captured")
+	}
+	// The hotspot catalog replays duplicates, so the shared distance cache
+	// must see hits.
+	if r.Pool.DistCache.Hits == 0 {
+		t.Fatal("hotspot workload produced no distcache hits")
+	}
+	if len(r.Gates) != 2 || !r.Gates[0].Pass || !r.Gates[1].Pass {
+		t.Fatalf("gates not recorded: %+v", r.Gates)
+	}
+	for _, want := range []string{"TPS", "p99=", "gate"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("text report missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestJSONReportRoundTrip(t *testing.T) {
+	cfg := smallConfig()
+	cfg.duration = 300 * time.Millisecond
+	var out bytes.Buffer
+	r, _, err := run(cfg, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := writeJSON(path, r); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != ReportSchema || back.TPS != r.TPS || back.Latency.P99 != r.Latency.P99 {
+		t.Fatalf("round trip mismatch: %+v vs %+v", back, r)
+	}
+	// Stable-schema spot check: the documented field names are present.
+	for _, key := range []string{`"schema"`, `"tps"`, `"p99_ns"`, `"p999_ns"`, `"outcomes"`, `"elapsed_ns"`, `"query_sets"`} {
+		if !bytes.Contains(data, []byte(key)) {
+			t.Errorf("JSON report missing %s", key)
+		}
+	}
+}
+
+func TestGateFailure(t *testing.T) {
+	cfg := smallConfig()
+	cfg.duration = 300 * time.Millisecond
+	cfg.minTPS = 1e9 // unattainable
+	cfg.sloP99 = time.Nanosecond
+	var out bytes.Buffer
+	r, ok, err := run(cfg, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("impossible gates passed")
+	}
+	var failed int
+	for _, g := range r.Gates {
+		if !g.Pass {
+			failed++
+		}
+	}
+	if failed != 2 {
+		t.Fatalf("want 2 failed gates, got %+v", r.Gates)
+	}
+	if !strings.Contains(out.String(), "FAIL") {
+		t.Fatalf("text report lacks FAIL verdict:\n%s", out.String())
+	}
+}
+
+func TestOpenLoopRun(t *testing.T) {
+	cfg := smallConfig()
+	cfg.mode = "open"
+	cfg.rate = 40
+	cfg.maxOut = 4
+	cfg.duration = 500 * time.Millisecond
+	var out bytes.Buffer
+	r, _, err := run(cfg, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Outcomes.total() == 0 {
+		t.Fatal("open loop measured no queries")
+	}
+	// At 40/s over 0.5s the target is ~20 arrivals; wildly exceeding it
+	// would mean the Poisson pacing is broken.
+	if total := r.Outcomes.total() + r.Dropped; total > 60 {
+		t.Fatalf("open loop overshot the arrival rate: %d arrivals", total)
+	}
+}
+
+// TestCatalogQuantization pins the duplicate-rate mechanism: every
+// catalog coordinate sits exactly on the quantum grid, so equal grid
+// cells give bit-identical points and identical snapped locations.
+func TestCatalogQuantization(t *testing.T) {
+	cfg := smallConfig()
+	spec, err := presetSpec(cfg.preset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := roadskyline.Generate(scaleSpec(spec, cfg.scale, cfg.seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	catalog, err := buildCatalog(cfg, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(catalog) != cfg.querySets {
+		t.Fatalf("catalog size %d, want %d", len(catalog), cfg.querySets)
+	}
+	locs := make(map[roadskyline.Point]roadskyline.Location)
+	for _, qs := range catalog {
+		if len(qs.points) != cfg.points || len(qs.locs) != cfg.points {
+			t.Fatalf("spec shape wrong: %+v", qs)
+		}
+		for j, p := range qs.points {
+			for _, c := range []float64{p.X, p.Y} {
+				if q := math.Round(c/cfg.quantum) * cfg.quantum; q != c {
+					t.Fatalf("coordinate %v not on the %g grid", c, cfg.quantum)
+				}
+			}
+			if prev, seen := locs[p]; seen && prev != qs.locs[j] {
+				t.Fatalf("equal point %v snapped to different locations: %v vs %v", p, prev, qs.locs[j])
+			}
+			locs[p] = qs.locs[j]
+		}
+	}
+	// Hotspot geometry over a tiny catalog should produce some duplicate
+	// grid cells (that is its purpose).
+	if len(locs) >= cfg.querySets*cfg.points {
+		t.Logf("warning: no duplicate grid cells in %d points", cfg.querySets*cfg.points)
+	}
+
+	if _, err := buildCatalog(&config{querySets: 1, points: 1, geometry: "bogus", quantum: 1e-3, hotspots: 1}, nil); err == nil {
+		t.Fatal("bogus geometry accepted")
+	}
+	if _, err := parseAlgMix("bogus"); err == nil {
+		t.Fatal("bogus alg accepted")
+	}
+}
+
+// TestHTTPTargetClassification checks the HTTP target maps server
+// statuses to the same outcome buckets as the in-process path, and that
+// a full stress run works end to end over HTTP.
+func TestHTTPTargetClassification(t *testing.T) {
+	status := 200
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasPrefix(r.URL.Path, "/query") {
+			t.Errorf("unexpected path %q", r.URL.Path)
+		}
+		if len(r.URL.Query()["q"]) == 0 {
+			t.Error("query URL carries no points")
+		}
+		w.WriteHeader(status)
+	}))
+	defer srv.Close()
+
+	tgt := &httpTarget{client: srv.Client()}
+	spec := querySpec{
+		points: []roadskyline.Point{{X: 0.25, Y: 0.5}},
+		alg:    roadskyline.LBCAlg,
+	}
+	spec.url = buildQueryURL(srv.URL, spec)
+
+	for _, tc := range []struct {
+		status  int
+		outcome string
+	}{{200, "served"}, {503, "saturated"}, {500, "error"}} {
+		status = tc.status
+		if got := classify(tgt.run(context.Background(), spec)); got != tc.outcome {
+			t.Errorf("status %d classified %q, want %q", tc.status, got, tc.outcome)
+		}
+	}
+
+	// Cancellation classifies as cancelled, not error.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if got := classify(tgt.run(ctx, spec)); got != "cancelled" {
+		t.Errorf("cancelled context classified %q", got)
+	}
+
+	// A whole run against the fake server: URL mode needs no network.
+	status = 200
+	cfg := smallConfig()
+	cfg.url = srv.URL
+	cfg.duration = 300 * time.Millisecond
+	cfg.warmup = 50 * time.Millisecond
+	var out bytes.Buffer
+	r, _, err := run(cfg, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Outcomes.Served == 0 || r.Pool != nil {
+		t.Fatalf("HTTP run wrong shape: served=%d pool=%v", r.Outcomes.Served, r.Pool)
+	}
+	if r.Config.URL != srv.URL || r.Config.Preset != "" {
+		t.Fatalf("HTTP run config echo wrong: %+v", r.Config)
+	}
+}

@@ -1,0 +1,182 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"roadskyline"
+	"roadskyline/internal/obs"
+)
+
+// ReportSchema identifies the JSON report layout; bump it when a field
+// changes meaning so downstream tooling can refuse reports it does not
+// understand.
+const ReportSchema = "skylinestress/1"
+
+// Report is the stress run's result document, written as JSON with -json
+// and rendered as text on stdout. The schema is stable: fields are only
+// added, never renamed or repurposed, without bumping ReportSchema.
+type Report struct {
+	Schema  string       `json:"schema"`
+	Started time.Time    `json:"started"`
+	Config  ConfigReport `json:"config"`
+	// Elapsed is the measurement window's actual length (excluding
+	// warmup); TPS is completed queries per second over it.
+	Elapsed time.Duration `json:"elapsed_ns"`
+	TPS     float64       `json:"tps"`
+	Latency LatencyReport `json:"latency"`
+	// Outcomes buckets every measured query; Dropped counts open-loop
+	// arrivals shed because the outstanding-request bound was reached
+	// (the generator fell behind the target rate; they are not errors).
+	Outcomes OutcomeReport `json:"outcomes"`
+	Dropped  uint64        `json:"dropped"`
+	// ErrorSamples holds up to a handful of distinct error strings for
+	// triage; the full count is in Outcomes.Errors.
+	ErrorSamples []string `json:"error_samples,omitempty"`
+	// Pool is the in-process pool's final metrics snapshot (nil for HTTP
+	// runs); LoadWindows its rolling views at the end of the run.
+	Pool        *roadskyline.PoolMetrics `json:"pool,omitempty"`
+	LoadWindows []roadskyline.LoadStats  `json:"load_windows,omitempty"`
+	// Runtime holds the Go runtime samples taken during the run — for
+	// in-process runs they profile the engine under load, for HTTP runs
+	// the generator itself.
+	Runtime []obs.RuntimeSample `json:"runtime,omitempty"`
+	Gates   []GateResult        `json:"gates,omitempty"`
+}
+
+// ConfigReport echoes the workload configuration into the report so a
+// report file is self-describing.
+type ConfigReport struct {
+	URL         string        `json:"url,omitempty"`
+	Preset      string        `json:"preset,omitempty"`
+	Scale       float64       `json:"scale,omitempty"`
+	Seed        int64         `json:"seed"`
+	Mode        string        `json:"mode"`
+	Concurrency int           `json:"concurrency,omitempty"`
+	Rate        float64       `json:"rate,omitempty"`
+	Duration    time.Duration `json:"duration_ns"`
+	Warmup      time.Duration `json:"warmup_ns"`
+	Alg         string        `json:"alg"`
+	Points      int           `json:"points"`
+	Geometry    string        `json:"geometry"`
+	QuerySets   int           `json:"query_sets"`
+	Quantum     float64       `json:"quantum"`
+}
+
+// LatencyReport summarizes the merged per-worker histograms. Quantiles
+// are upper bucket edges of the shared log-linear layout (≤ ~3% above the
+// true order statistic); Max is exact.
+type LatencyReport struct {
+	Count uint64        `json:"count"`
+	Mean  time.Duration `json:"mean_ns"`
+	P50   time.Duration `json:"p50_ns"`
+	P90   time.Duration `json:"p90_ns"`
+	P99   time.Duration `json:"p99_ns"`
+	P999  time.Duration `json:"p999_ns"`
+	Max   time.Duration `json:"max_ns"`
+}
+
+// OutcomeReport buckets the measured queries by how they ended.
+type OutcomeReport struct {
+	Served    uint64 `json:"served"`
+	Errors    uint64 `json:"errors"`
+	Cancelled uint64 `json:"cancelled"`
+	Saturated uint64 `json:"saturated"`
+	Closed    uint64 `json:"closed"`
+}
+
+func (o OutcomeReport) total() uint64 {
+	return o.Served + o.Errors + o.Cancelled + o.Saturated + o.Closed
+}
+
+// GateResult is one pass/fail SLO gate evaluation; any failed gate makes
+// the command exit nonzero.
+type GateResult struct {
+	Name   string `json:"name"`
+	Limit  string `json:"limit"`
+	Actual string `json:"actual"`
+	Pass   bool   `json:"pass"`
+}
+
+// evaluateGates applies the -min-tps / -slo-p99 / -max-errors gates to
+// the report and records the verdicts in it. Returns true when all
+// enabled gates pass.
+func evaluateGates(r *Report, minTPS float64, sloP99 time.Duration, maxErrors int64) bool {
+	ok := true
+	add := func(name, limit, actual string, pass bool) {
+		r.Gates = append(r.Gates, GateResult{Name: name, Limit: limit, Actual: actual, Pass: pass})
+		ok = ok && pass
+	}
+	if minTPS > 0 {
+		add("min-tps", fmt.Sprintf("%g", minTPS), fmt.Sprintf("%.2f", r.TPS), r.TPS >= minTPS)
+	}
+	if sloP99 > 0 {
+		add("slo-p99", sloP99.String(), r.Latency.P99.String(), r.Latency.P99 <= sloP99)
+	}
+	if maxErrors >= 0 {
+		add("max-errors", fmt.Sprintf("%d", maxErrors), fmt.Sprintf("%d", r.Outcomes.Errors),
+			r.Outcomes.Errors <= uint64(maxErrors))
+	}
+	return ok
+}
+
+// writeText renders the report for humans.
+func writeText(w io.Writer, r *Report) {
+	fmt.Fprintf(w, "skylinestress %s mode=%s alg=%s |Q|=%d geometry=%s sets=%d\n",
+		targetName(r.Config), r.Config.Mode, r.Config.Alg, r.Config.Points,
+		r.Config.Geometry, r.Config.QuerySets)
+	fmt.Fprintf(w, "measured %s (warmup %s): %d queries, %.1f TPS\n",
+		r.Elapsed.Round(time.Millisecond), r.Config.Warmup, r.Outcomes.total(), r.TPS)
+	fmt.Fprintf(w, "latency  mean=%s p50=%s p90=%s p99=%s p99.9=%s max=%s\n",
+		r.Latency.Mean, r.Latency.P50, r.Latency.P90, r.Latency.P99, r.Latency.P999, r.Latency.Max)
+	fmt.Fprintf(w, "outcomes served=%d errors=%d cancelled=%d saturated=%d closed=%d dropped=%d\n",
+		r.Outcomes.Served, r.Outcomes.Errors, r.Outcomes.Cancelled,
+		r.Outcomes.Saturated, r.Outcomes.Closed, r.Dropped)
+	if r.Pool != nil {
+		dc := r.Pool.DistCache
+		wf := r.Pool.Wavefront
+		fmt.Fprintf(w, "caches   distcache=%d/%d hits", dc.Hits, dc.Hits+dc.Misses)
+		fmt.Fprintf(w, " wavefront=%d lead/%d share\n", wf.Leads, wf.Shares)
+	}
+	if n := len(r.Runtime); n > 0 {
+		last := r.Runtime[n-1]
+		fmt.Fprintf(w, "runtime  heap=%.1fMB goroutines=%d gc=%d pause_p99=%s sched_p99=%s (%d samples)\n",
+			float64(last.HeapBytes)/(1<<20), last.Goroutines, last.GCCycles,
+			last.GCPauseP99, last.SchedLatP99, n)
+	}
+	for _, e := range r.ErrorSamples {
+		fmt.Fprintf(w, "error    %s\n", e)
+	}
+	for _, g := range r.Gates {
+		verdict := "PASS"
+		if !g.Pass {
+			verdict = "FAIL"
+		}
+		fmt.Fprintf(w, "gate     %-10s limit=%-10s actual=%-10s %s\n", g.Name, g.Limit, g.Actual, verdict)
+	}
+}
+
+func targetName(c ConfigReport) string {
+	if c.URL != "" {
+		return c.URL
+	}
+	return fmt.Sprintf("in-process %s x%g", c.Preset, c.Scale)
+}
+
+// writeJSON writes the report, indented, to path.
+func writeJSON(path string, r *Report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

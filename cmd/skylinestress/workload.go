@@ -1,0 +1,203 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"roadskyline"
+)
+
+// querySpec is one pregenerated query of the workload catalog: the
+// quantized planar points (what an HTTP client would send), the snapped
+// locations (what the in-process pool consumes) and the query options.
+// Catalog entries are drawn uniformly at random per request, so the
+// catalog size -querysets directly controls the duplicate rate: a small
+// catalog over a hotspot geometry replays the same quantized — and
+// therefore identically snapped — query points again and again, which is
+// exactly what hits the distance cache and coalesces onto shared
+// wavefronts.
+type querySpec struct {
+	points   []roadskyline.Point
+	locs     []roadskyline.Location
+	alg      roadskyline.Algorithm
+	useAttrs bool
+	url      string // prebuilt /query URL for the HTTP target
+}
+
+// buildCatalog pregenerates cfg.querySets query specs on the given
+// network (nil for a pure HTTP run against a unit-square preset network:
+// the server snaps the points itself, so no local network is needed).
+func buildCatalog(cfg *config, n *roadskyline.Network) ([]querySpec, error) {
+	rng := rand.New(rand.NewSource(cfg.seed + 1000))
+	// Hotspot centers: fixed for the run so the duplicate mass is stable.
+	centers := make([]roadskyline.Point, cfg.hotspots)
+	for i := range centers {
+		centers[i] = roadskyline.Point{X: rng.Float64(), Y: rng.Float64()}
+	}
+	algs, err := parseAlgMix(cfg.alg)
+	if err != nil {
+		return nil, err
+	}
+	catalog := make([]querySpec, cfg.querySets)
+	for i := range catalog {
+		spec := querySpec{
+			points:   make([]roadskyline.Point, cfg.points),
+			alg:      algs[i%len(algs)],
+			useAttrs: cfg.useAttrs,
+		}
+		for j := range spec.points {
+			var p roadskyline.Point
+			switch cfg.geometry {
+			case "uniform":
+				p = roadskyline.Point{X: rng.Float64(), Y: rng.Float64()}
+			case "hotspot":
+				c := centers[rng.Intn(len(centers))]
+				p = roadskyline.Point{
+					X: clamp01(c.X + (rng.Float64()*2-1)*cfg.hotRadius),
+					Y: clamp01(c.Y + (rng.Float64()*2-1)*cfg.hotRadius),
+				}
+			default:
+				return nil, fmt.Errorf("unknown -geometry %q (want uniform or hotspot)", cfg.geometry)
+			}
+			// Quantize to the -quantum grid: two specs that land in the same
+			// grid cell carry bit-identical coordinates, snap to the same
+			// location, and therefore share distance-cache and single-flight
+			// wavefront keys.
+			spec.points[j] = roadskyline.Point{
+				X: math.Round(p.X/cfg.quantum) * cfg.quantum,
+				Y: math.Round(p.Y/cfg.quantum) * cfg.quantum,
+			}
+		}
+		if n != nil {
+			spec.locs = make([]roadskyline.Location, len(spec.points))
+			for j, p := range spec.points {
+				loc, err := n.NearestLocation(p)
+				if err != nil {
+					return nil, fmt.Errorf("snapping catalog point: %w", err)
+				}
+				spec.locs[j] = loc
+			}
+		}
+		if cfg.url != "" {
+			spec.url = buildQueryURL(cfg.url, spec)
+		}
+		catalog[i] = spec
+	}
+	return catalog, nil
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// parseAlgMix expands the -alg flag into the algorithm rotation: a single
+// name, or "mixed" for round-robin over all three.
+func parseAlgMix(name string) ([]roadskyline.Algorithm, error) {
+	switch strings.ToUpper(name) {
+	case "CE":
+		return []roadskyline.Algorithm{roadskyline.CEAlg}, nil
+	case "EDC":
+		return []roadskyline.Algorithm{roadskyline.EDCAlg}, nil
+	case "", "LBC":
+		return []roadskyline.Algorithm{roadskyline.LBCAlg}, nil
+	case "MIXED":
+		return []roadskyline.Algorithm{roadskyline.LBCAlg, roadskyline.CEAlg, roadskyline.EDCAlg}, nil
+	}
+	return nil, fmt.Errorf("unknown -alg %q (want CE, EDC, LBC or mixed)", name)
+}
+
+func buildQueryURL(base string, spec querySpec) string {
+	v := url.Values{}
+	for _, p := range spec.points {
+		v.Add("q", fmt.Sprintf("%g,%g", p.X, p.Y))
+	}
+	v.Set("alg", spec.alg.String())
+	if spec.useAttrs {
+		v.Set("attrs", "1")
+	}
+	return strings.TrimSuffix(base, "/") + "/query?" + v.Encode()
+}
+
+// target abstracts where queries go: the in-process pool or a running
+// skylineserve over HTTP. run returns the final error classified the same
+// way in both cases (saturation maps to roadskyline.ErrPoolSaturated).
+type target interface {
+	run(ctx context.Context, spec querySpec) error
+}
+
+// poolTarget drives an in-process Pool.
+type poolTarget struct {
+	pool *roadskyline.Pool
+}
+
+func (t *poolTarget) run(ctx context.Context, spec querySpec) error {
+	_, err := t.pool.Skyline(ctx, roadskyline.Query{
+		Points:    spec.locs,
+		Algorithm: spec.alg,
+		UseAttrs:  spec.useAttrs,
+	})
+	return err
+}
+
+// httpTarget drives a running skylineserve. A 503 means the server's pool
+// rejected the query at admission; it maps to ErrPoolSaturated so the
+// outcome split matches the in-process path.
+type httpTarget struct {
+	client *http.Client
+}
+
+func (t *httpTarget) run(ctx context.Context, spec querySpec) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, spec.url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := t.client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return err
+	}
+	defer resp.Body.Close()
+	// Drain so the connection is reused; the skyline itself is not the
+	// generator's business.
+	io.Copy(io.Discard, resp.Body)
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		return nil
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		return roadskyline.ErrPoolSaturated
+	default:
+		return fmt.Errorf("GET %s: %s", spec.url, resp.Status)
+	}
+}
+
+// classify maps a finished query's error to a report outcome bucket,
+// mirroring the pool's own classification.
+func classify(err error) string {
+	switch {
+	case err == nil:
+		return "served"
+	case errors.Is(err, roadskyline.ErrPoolSaturated):
+		return "saturated"
+	case errors.Is(err, roadskyline.ErrPoolClosed):
+		return "closed"
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return "cancelled"
+	default:
+		return "error"
+	}
+}

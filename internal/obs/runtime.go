@@ -1,0 +1,257 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// RuntimeSample is one point-in-time reading of the Go runtime's own
+// telemetry (runtime/metrics): the numbers that explain a latency
+// regression that is not the engine's fault — heap growth driving GC,
+// pause outliers, goroutine pileups, scheduler queueing.
+type RuntimeSample struct {
+	When time.Time `json:"when"`
+	// HeapBytes is the live heap (bytes occupied by reachable and
+	// not-yet-swept objects); TotalBytes is everything the runtime has
+	// mapped; AllocBytes is the cumulative allocation total, so the delta
+	// between two samples is the allocation rate.
+	HeapBytes  uint64 `json:"heap_bytes"`
+	TotalBytes uint64 `json:"total_bytes"`
+	AllocBytes uint64 `json:"alloc_bytes_total"`
+	// Goroutines is the live goroutine count; GCCycles the cumulative
+	// completed GC cycles.
+	Goroutines int    `json:"goroutines"`
+	GCCycles   uint64 `json:"gc_cycles_total"`
+	// GC stop-the-world pause distribution since process start (the
+	// runtime keeps the full histogram; quantiles are estimated from its
+	// buckets, Max is the highest non-empty bucket's edge).
+	GCPauseP50 time.Duration `json:"gc_pause_p50_ns"`
+	GCPauseP99 time.Duration `json:"gc_pause_p99_ns"`
+	GCPauseMax time.Duration `json:"gc_pause_max_ns"`
+	// Scheduler latency distribution since process start: how long
+	// runnable goroutines waited for a thread — the queueing delay that
+	// shows up in tail latency before any engine code runs.
+	SchedLatP50 time.Duration `json:"sched_latency_p50_ns"`
+	SchedLatP99 time.Duration `json:"sched_latency_p99_ns"`
+	SchedLatMax time.Duration `json:"sched_latency_max_ns"`
+}
+
+// The runtime/metrics names the sampler reads, in the order of the
+// sample slice it reuses.
+var runtimeMetricNames = []string{
+	"/memory/classes/heap/objects:bytes",
+	"/memory/classes/total:bytes",
+	"/gc/heap/allocs:bytes",
+	"/sched/goroutines:goroutines",
+	"/gc/cycles/total:gc-cycles",
+	"/gc/pauses:seconds",
+	"/sched/latencies:seconds",
+}
+
+// SampleRuntime takes one runtime sample. It allocates (the sample slice
+// and the runtime's histogram copies), so it belongs on a sampling
+// goroutine or a report path, never on a per-query path.
+func SampleRuntime() RuntimeSample {
+	samples := make([]metrics.Sample, len(runtimeMetricNames))
+	for i, n := range runtimeMetricNames {
+		samples[i].Name = n
+	}
+	metrics.Read(samples)
+	s := RuntimeSample{When: time.Now()}
+	s.HeapBytes = kindUint64(samples[0])
+	s.TotalBytes = kindUint64(samples[1])
+	s.AllocBytes = kindUint64(samples[2])
+	s.Goroutines = int(kindUint64(samples[3]))
+	s.GCCycles = kindUint64(samples[4])
+	s.GCPauseP50, s.GCPauseP99, s.GCPauseMax = histQuantiles(samples[5])
+	s.SchedLatP50, s.SchedLatP99, s.SchedLatMax = histQuantiles(samples[6])
+	return s
+}
+
+// kindUint64 reads a sample defensively: runtime metric kinds are stable
+// within a Go release but a name could in principle change kind; a bad
+// kind reads as zero rather than panicking.
+func kindUint64(s metrics.Sample) uint64 {
+	if s.Value.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	return s.Value.Uint64()
+}
+
+// histQuantiles estimates p50/p99/max from a runtime float64 histogram of
+// seconds. The runtime's histograms are cumulative since process start;
+// max is the finite upper edge of the highest non-empty bucket.
+func histQuantiles(s metrics.Sample) (p50, p99, max time.Duration) {
+	if s.Value.Kind() != metrics.KindFloat64Histogram {
+		return 0, 0, 0
+	}
+	h := s.Value.Float64Histogram()
+	if h == nil || len(h.Counts) == 0 {
+		return 0, 0, 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0, 0, 0
+	}
+	// Buckets[i] and Buckets[i+1] bound Counts[i]; edges may be ±Inf.
+	edge := func(i int) time.Duration {
+		up := h.Buckets[i+1]
+		if math.IsInf(up, 1) {
+			up = h.Buckets[i] // fall back to the finite lower edge
+		}
+		if math.IsInf(up, -1) || up < 0 {
+			return 0
+		}
+		return time.Duration(up * float64(time.Second))
+	}
+	quantile := func(q float64) time.Duration {
+		target := uint64(math.Ceil(q * float64(total)))
+		if target < 1 {
+			target = 1
+		}
+		var cum uint64
+		for i, c := range h.Counts {
+			cum += c
+			if cum >= target {
+				return edge(i)
+			}
+		}
+		return edge(len(h.Counts) - 1)
+	}
+	for i := len(h.Counts) - 1; i >= 0; i-- {
+		if h.Counts[i] > 0 {
+			max = edge(i)
+			break
+		}
+	}
+	return quantile(0.50), quantile(0.99), max
+}
+
+// DefaultRuntimeSampleRing bounds how many samples a RuntimeSampler
+// retains for reports (at the default 5 s interval: ~21 minutes).
+const DefaultRuntimeSampleRing = 256
+
+// RuntimeSampler periodically samples the Go runtime on its own goroutine
+// and retains a bounded ring of samples. Like the window it is strictly
+// opt-in: a nil *RuntimeSampler is the disabled state with no goroutine
+// and no-op methods.
+type RuntimeSampler struct {
+	interval time.Duration
+
+	mu   sync.Mutex
+	ring []RuntimeSample
+	pos  int
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// NewRuntimeSampler builds a sampler ticking at the given interval
+// (minimum 10 ms), or returns nil (disabled) for a non-positive interval.
+// Call Start to begin sampling and Stop to end it.
+func NewRuntimeSampler(interval time.Duration) *RuntimeSampler {
+	if interval <= 0 {
+		return nil
+	}
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	return &RuntimeSampler{
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Start launches the sampling goroutine and takes an immediate first
+// sample, so Latest works before the first tick. No-op on nil.
+func (r *RuntimeSampler) Start() {
+	if r == nil {
+		return
+	}
+	r.record(SampleRuntime())
+	go func() {
+		defer close(r.done)
+		t := time.NewTicker(r.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-r.stop:
+				return
+			case <-t.C:
+				r.record(SampleRuntime())
+			}
+		}
+	}()
+}
+
+// Stop ends the sampling goroutine and waits for it to exit. Idempotent;
+// a no-op on nil or before Start.
+func (r *RuntimeSampler) Stop() {
+	if r == nil {
+		return
+	}
+	r.once.Do(func() {
+		close(r.stop)
+		r.mu.Lock()
+		started := len(r.ring) > 0
+		r.mu.Unlock()
+		if started {
+			<-r.done
+		}
+	})
+}
+
+func (r *RuntimeSampler) record(s RuntimeSample) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.ring) < DefaultRuntimeSampleRing {
+		r.ring = append(r.ring, s)
+		return
+	}
+	r.ring[r.pos] = s
+	r.pos = (r.pos + 1) % len(r.ring)
+}
+
+// Latest returns the most recent sample. False on a nil sampler or
+// before the first sample.
+func (r *RuntimeSampler) Latest() (RuntimeSample, bool) {
+	if r == nil {
+		return RuntimeSample{}, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.ring) == 0 {
+		return RuntimeSample{}, false
+	}
+	i := r.pos - 1
+	if i < 0 {
+		i = len(r.ring) - 1
+	}
+	if len(r.ring) < DefaultRuntimeSampleRing {
+		i = len(r.ring) - 1
+	}
+	return r.ring[i], true
+}
+
+// Samples returns the retained samples, oldest first. Nil on a nil
+// sampler.
+func (r *RuntimeSampler) Samples() []RuntimeSample {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]RuntimeSample, 0, len(r.ring))
+	if len(r.ring) < DefaultRuntimeSampleRing {
+		return append(out, r.ring...)
+	}
+	out = append(out, r.ring[r.pos:]...)
+	return append(out, r.ring[:r.pos]...)
+}

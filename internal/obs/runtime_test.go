@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSampleRuntime(t *testing.T) {
+	s := SampleRuntime()
+	if s.HeapBytes == 0 {
+		t.Fatal("HeapBytes == 0; a live Go process always has heap")
+	}
+	if s.TotalBytes < s.HeapBytes {
+		t.Fatalf("TotalBytes %d < HeapBytes %d", s.TotalBytes, s.HeapBytes)
+	}
+	if s.Goroutines < 1 {
+		t.Fatalf("Goroutines %d < 1", s.Goroutines)
+	}
+	if s.AllocBytes == 0 {
+		t.Fatal("AllocBytes == 0; the test itself allocates")
+	}
+	if s.When.IsZero() {
+		t.Fatal("When not stamped")
+	}
+	if s.SchedLatMax < s.SchedLatP50 {
+		t.Fatalf("sched latency max %v < p50 %v", s.SchedLatMax, s.SchedLatP50)
+	}
+	if s.GCPauseMax < s.GCPauseP50 {
+		t.Fatalf("gc pause max %v < p50 %v", s.GCPauseMax, s.GCPauseP50)
+	}
+}
+
+func TestRuntimeSamplerLifecycle(t *testing.T) {
+	r := NewRuntimeSampler(10 * time.Millisecond)
+	if r == nil {
+		t.Fatal("sampler nil for positive interval")
+	}
+	if _, ok := r.Latest(); ok {
+		t.Fatal("Latest before Start should report no sample")
+	}
+	r.Start()
+	s, ok := r.Latest()
+	if !ok || s.HeapBytes == 0 {
+		t.Fatalf("immediate sample missing after Start: ok=%v %+v", ok, s)
+	}
+	// Wait for at least one tick so the goroutine path is exercised.
+	deadline := time.After(2 * time.Second)
+	for len(r.Samples()) < 2 {
+		select {
+		case <-deadline:
+			t.Fatal("no tick sample within 2s")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	r.Stop()
+	r.Stop() // idempotent
+	n := len(r.Samples())
+	time.Sleep(30 * time.Millisecond)
+	if got := len(r.Samples()); got != n {
+		t.Fatalf("sampler kept recording after Stop: %d -> %d", n, got)
+	}
+	// Samples are oldest-first.
+	all := r.Samples()
+	for i := 1; i < len(all); i++ {
+		if all[i].When.Before(all[i-1].When) {
+			t.Fatalf("samples out of order at %d", i)
+		}
+	}
+	last, ok := r.Latest()
+	if !ok || !last.When.Equal(all[len(all)-1].When) {
+		t.Fatalf("Latest %v != last sample %v", last.When, all[len(all)-1].When)
+	}
+}
+
+func TestRuntimeSamplerRingWrap(t *testing.T) {
+	r := NewRuntimeSampler(time.Hour) // ticker never fires; drive record directly
+	r.stop = nil                      // ensure we never Start
+	base := time.Unix(1_700_000_000, 0)
+	for i := 0; i < DefaultRuntimeSampleRing+10; i++ {
+		r.record(RuntimeSample{When: base.Add(time.Duration(i) * time.Second)})
+	}
+	all := r.Samples()
+	if len(all) != DefaultRuntimeSampleRing {
+		t.Fatalf("ring size %d, want %d", len(all), DefaultRuntimeSampleRing)
+	}
+	wantFirst := base.Add(10 * time.Second)
+	if !all[0].When.Equal(wantFirst) {
+		t.Fatalf("oldest sample %v, want %v", all[0].When, wantFirst)
+	}
+	wantLast := base.Add(time.Duration(DefaultRuntimeSampleRing+9) * time.Second)
+	if !all[len(all)-1].When.Equal(wantLast) {
+		t.Fatalf("newest sample %v, want %v", all[len(all)-1].When, wantLast)
+	}
+	last, ok := r.Latest()
+	if !ok || !last.When.Equal(wantLast) {
+		t.Fatalf("Latest %v, want %v", last.When, wantLast)
+	}
+}
+
+func TestRuntimeSamplerNilAndDisabled(t *testing.T) {
+	if NewRuntimeSampler(0) != nil || NewRuntimeSampler(-time.Second) != nil {
+		t.Fatal("non-positive interval must yield nil (disabled)")
+	}
+	var r *RuntimeSampler
+	r.Start()
+	r.Stop()
+	if _, ok := r.Latest(); ok {
+		t.Fatal("nil Latest reported a sample")
+	}
+	if r.Samples() != nil {
+		t.Fatal("nil Samples not nil")
+	}
+	// Stop before Start on a real sampler must not hang.
+	done := make(chan struct{})
+	go func() {
+		s := NewRuntimeSampler(time.Second)
+		s.Stop()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Stop before Start hung")
+	}
+}

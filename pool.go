@@ -31,6 +31,16 @@ type PoolConfig struct {
 	// ones already running; arrivals past Workers+QueueDepth fail fast with
 	// ErrPoolSaturated. Defaults to 4x Workers.
 	QueueDepth int
+	// Window enables the rolling load window: per-second buckets of
+	// throughput, latency quantiles, outcome rates and cache hit rates,
+	// composed into 1s/10s/60s views in PoolMetrics().Load and the
+	// /debug/load endpoint. Off by default; when off, queries pay nothing
+	// (not even a clock read) and PoolMetrics().Load is nil.
+	Window bool
+	// RuntimeSample enables periodic Go runtime sampling (heap, GC pauses,
+	// goroutines, scheduler latency) at the given interval on a dedicated
+	// goroutine, surfaced via PoolMetrics().Runtime. Zero disables it.
+	RuntimeSample time.Duration
 }
 
 // Pool serves skyline queries concurrently from a fixed set of engine
@@ -52,6 +62,8 @@ type Pool struct {
 	met      poolCounters
 	flight   *obs.FlightRecorder // shared with every clone; nil when disabled
 	inflight *obs.Inflight       // live traced queries, shared with every clone
+	window   *obs.Window         // rolling load window; nil when disabled
+	sampler  *obs.RuntimeSampler // periodic runtime sampling; nil when disabled
 }
 
 // poolWorker pairs an engine clone with its lifetime buffer statistics.
@@ -105,6 +117,23 @@ func (c *poolCounters) finish(err error) {
 	}
 }
 
+// snapshot reads the submission counters consistently enough for the
+// invariant Submitted ≥ Served+Saturated+Cancelled+Closed to hold at
+// every concurrent scrape. Each submission increments submitted before
+// any outcome counter, and Go atomics are sequentially consistent, so
+// loading the outcomes FIRST and submitted LAST can only undercount the
+// outcomes relative to the submitted value: the naive opposite order let
+// a scrape see an outcome whose submission it had missed, making the
+// "in flight" difference go negative.
+func (c *poolCounters) snapshot() (submitted, served, saturated, cancelled, closed uint64) {
+	served = c.served.Load()
+	saturated = c.saturated.Load()
+	cancelled = c.cancelled.Load()
+	closed = c.closed.Load()
+	submitted = c.submitted.Load()
+	return
+}
+
 // NewPool builds a pool of cfg.Workers clones of e.
 func NewPool(e *Engine, cfg PoolConfig) (*Pool, error) {
 	if cfg.Workers <= 0 {
@@ -126,6 +155,11 @@ func NewPool(e *Engine, cfg PoolConfig) (*Pool, error) {
 		inflight: e.inflight,
 	}
 	p.met.queueWait = obs.NewHistogram(obs.WaitBuckets)
+	if cfg.Window {
+		p.window = obs.NewWindow()
+	}
+	p.sampler = obs.NewRuntimeSampler(cfg.RuntimeSample)
+	p.sampler.Start()
 	for i := 0; i < cfg.Workers; i++ {
 		w := &poolWorker{eng: e.Clone(), id: i}
 		p.all[i] = w
@@ -209,7 +243,54 @@ func (p *Pool) recordAdmission(alg string, q Query, err error) {
 // Close shuts the pool: queries already running finish normally, every
 // waiter and later call fails with ErrPoolClosed. Close is idempotent.
 func (p *Pool) Close() {
-	p.once.Do(func() { close(p.closed) })
+	p.once.Do(func() {
+		close(p.closed)
+		p.sampler.Stop()
+	})
+}
+
+// windowStart stamps a submission's admission time when the rolling
+// window is enabled, the zero time otherwise — the disabled path pays
+// nothing, not even a clock read.
+func (p *Pool) windowStart() time.Time {
+	if p.window == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// observeWindow folds one finished submission into the rolling window:
+// its outcome, wall time from admission to completion, and (for
+// submissions that produced a result) its distance-cache and wavefront
+// counters. A no-op when the window is disabled.
+func (p *Pool) observeWindow(t0 time.Time, err error, st *Stats) {
+	if p.window == nil {
+		return
+	}
+	var dcHits, dcMisses, wfLeads, wfShares int
+	if st != nil {
+		dcHits, dcMisses = st.DistCacheHits, st.DistCacheMisses
+		wfLeads, wfShares = st.WavefrontLeads, st.WavefrontShares
+	}
+	p.window.Observe(windowOutcome(err), time.Since(t0), dcHits, dcMisses, wfLeads, wfShares)
+}
+
+// windowOutcome classifies a finished submission for the window. Unlike
+// poolCounters.finish it splits query-level errors out of served: the
+// live error rate is the first thing an operator watches.
+func windowOutcome(err error) obs.WindowOutcome {
+	switch {
+	case err == nil:
+		return obs.WinServed
+	case errors.Is(err, ErrPoolSaturated):
+		return obs.WinSaturated
+	case errors.Is(err, ErrPoolClosed):
+		return obs.WinClosed
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return obs.WinCancelled
+	default:
+		return obs.WinError
+	}
 }
 
 // acquire admits the caller through the bounded queue (failing fast with
@@ -277,8 +358,16 @@ func (p *Pool) release(w *poolWorker, admitted bool) {
 // Cancellation both abandons the wait and aborts a running expansion.
 func (p *Pool) Skyline(ctx context.Context, q Query) (*Result, error) {
 	p.met.submitted.Add(1)
+	t0 := p.windowStart()
 	res, err := p.skyline(ctx, q)
 	p.met.finish(err)
+	if p.window != nil {
+		var st *Stats
+		if res != nil {
+			st = &res.Stats
+		}
+		p.observeWindow(t0, err, st)
+	}
 	return res, err
 }
 
@@ -333,6 +422,7 @@ func (p *Pool) SkylineBatch(ctx context.Context, queries []Query) (results []*Re
 				qi := order[i]
 				q := queries[qi]
 				p.met.submitted.Add(1)
+				win0 := p.windowStart()
 				p.beginTrace(&q, q.Algorithm.String())
 				t0 := q.trace.Stopwatch()
 				w, err := p.acquireWait(ctx)
@@ -341,6 +431,7 @@ func (p *Pool) SkylineBatch(ctx context.Context, queries []Query) (results []*Re
 					errs[qi] = err
 					p.recordAdmission(q.Algorithm.String(), q, err)
 					p.met.finish(err)
+					p.observeWindow(win0, err, nil)
 					continue
 				}
 				results[qi], errs[qi] = w.eng.SkylineContext(ctx, q)
@@ -348,6 +439,13 @@ func (p *Pool) SkylineBatch(ctx context.Context, queries []Query) (results []*Re
 					w.record(results[qi].Stats)
 				}
 				p.met.finish(errs[qi])
+				if p.window != nil {
+					var st *Stats
+					if results[qi] != nil {
+						st = &results[qi].Stats
+					}
+					p.observeWindow(win0, errs[qi], st)
+				}
 				p.release(w, false)
 			}
 		}()
@@ -396,6 +494,7 @@ func batchOrder(queries []Query) []int {
 // Skyline, including ErrPoolSaturated.
 func (p *Pool) SkylineIter(ctx context.Context, q Query) (*PoolIterator, error) {
 	p.met.submitted.Add(1)
+	win0 := p.windowStart()
 	p.beginTrace(&q, LBCAlg.String())
 	t0 := q.trace.Stopwatch()
 	w, err := p.acquire(ctx)
@@ -403,15 +502,17 @@ func (p *Pool) SkylineIter(ctx context.Context, q Query) (*PoolIterator, error) 
 	if err != nil {
 		p.recordAdmission(LBCAlg.String(), q, err)
 		p.met.finish(err)
+		p.observeWindow(win0, err, nil)
 		return nil, err
 	}
 	it, err := w.eng.SkylineIterContext(ctx, q)
 	if err != nil {
 		p.release(w, true)
 		p.met.finish(err)
+		p.observeWindow(win0, err, nil)
 		return nil, err
 	}
-	return &PoolIterator{pool: p, w: w, it: it}, nil
+	return &PoolIterator{pool: p, w: w, it: it, win0: win0}, nil
 }
 
 // PoolIterator streams skyline points from a pool worker. It is not safe
@@ -423,6 +524,7 @@ type PoolIterator struct {
 	stats   Stats
 	lastErr error
 	done    bool
+	win0    time.Time // admission time for the rolling window; zero when disabled
 }
 
 // Next returns the next skyline point; ok is false when the skyline is
@@ -466,6 +568,7 @@ func (pi *PoolIterator) Close() {
 	pi.stats = pi.it.Stats()
 	pi.w.record(pi.stats)
 	pi.pool.met.finish(pi.lastErr)
+	pi.pool.observeWindow(pi.win0, pi.lastErr, &pi.stats)
 	pi.pool.release(pi.w, true)
 	pi.w, pi.it = nil, nil
 }

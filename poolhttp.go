@@ -164,6 +164,94 @@ func writePoolMetrics(w io.Writer, m PoolMetrics) {
 	writeHistogramFamily(w, "roadskyline_query_duration_seconds",
 		"Query response time (measured CPU plus modeled I/O) by algorithm and outcome; empty when the flight recorder is disabled.",
 		durs)
+
+	if m.Load != nil {
+		writeLoadMetrics(w, m.Load)
+	}
+	if m.Runtime != nil {
+		writeRuntimeMetrics(w, *m.Runtime)
+	}
+}
+
+// writeLoadMetrics renders the rolling-window views as roadskyline_load_*
+// gauges, one series per view width (window="1s"/"10s"/"60s"). Rendered
+// only when the pool was built with PoolConfig.Window, so disabled pools
+// expose no load families at all rather than frozen zeros.
+func writeLoadMetrics(w io.Writer, views []LoadStats) {
+	label := func(v LoadStats) string { return fmt.Sprintf("window=\"%ds\"", v.WindowSeconds) }
+
+	fmt.Fprintf(w, "# HELP roadskyline_load_tps Completed submissions per second over the trailing window.\n")
+	fmt.Fprintf(w, "# TYPE roadskyline_load_tps gauge\n")
+	for _, v := range views {
+		fmt.Fprintf(w, "roadskyline_load_tps{%s} %g\n", label(v), v.TPS)
+	}
+
+	fmt.Fprintf(w, "# HELP roadskyline_load_queries Completed submissions in the trailing window by outcome.\n")
+	fmt.Fprintf(w, "# TYPE roadskyline_load_queries gauge\n")
+	for _, v := range views {
+		for _, oc := range []struct {
+			name string
+			n    uint64
+		}{{"served", v.Served}, {"error", v.Errors}, {"cancelled", v.Cancelled},
+			{"saturated", v.Saturated}, {"closed", v.Closed}} {
+			fmt.Fprintf(w, "roadskyline_load_queries{%s,outcome=%q} %d\n", label(v), oc.name, oc.n)
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP roadskyline_load_latency_seconds Latency quantile estimates (upper bucket edge) over the trailing window, completed submissions only.\n")
+	fmt.Fprintf(w, "# TYPE roadskyline_load_latency_seconds gauge\n")
+	for _, v := range views {
+		for _, qt := range []struct {
+			q string
+			d time.Duration
+		}{{"0.5", v.P50}, {"0.9", v.P90}, {"0.99", v.P99}, {"0.999", v.P999}} {
+			fmt.Fprintf(w, "roadskyline_load_latency_seconds{%s,quantile=%q} %g\n", label(v), qt.q, qt.d.Seconds())
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP roadskyline_load_distcache_hit_rate Distance-cache hit rate of the window's completed queries (0 when none looked up).\n")
+	fmt.Fprintf(w, "# TYPE roadskyline_load_distcache_hit_rate gauge\n")
+	for _, v := range views {
+		fmt.Fprintf(w, "roadskyline_load_distcache_hit_rate{%s} %g\n", label(v), v.DistCacheHitRate)
+	}
+
+	fmt.Fprintf(w, "# HELP roadskyline_load_wavefront_share_rate Fraction of the window's single-flight joins that shared a leader's wavefront.\n")
+	fmt.Fprintf(w, "# TYPE roadskyline_load_wavefront_share_rate gauge\n")
+	for _, v := range views {
+		fmt.Fprintf(w, "roadskyline_load_wavefront_share_rate{%s} %g\n", label(v), v.WavefrontShareRate)
+	}
+}
+
+// writeRuntimeMetrics renders the latest Go runtime sample as
+// roadskyline_runtime_* families. Rendered only when the pool was built
+// with PoolConfig.RuntimeSample.
+func writeRuntimeMetrics(w io.Writer, s RuntimeSample) {
+	fmt.Fprintf(w, "# HELP roadskyline_runtime_heap_bytes Live heap bytes at the last runtime sample.\n")
+	fmt.Fprintf(w, "# TYPE roadskyline_runtime_heap_bytes gauge\n")
+	fmt.Fprintf(w, "roadskyline_runtime_heap_bytes %d\n", s.HeapBytes)
+	fmt.Fprintf(w, "# HELP roadskyline_runtime_total_bytes Bytes mapped by the Go runtime at the last sample.\n")
+	fmt.Fprintf(w, "# TYPE roadskyline_runtime_total_bytes gauge\n")
+	fmt.Fprintf(w, "roadskyline_runtime_total_bytes %d\n", s.TotalBytes)
+	fmt.Fprintf(w, "# HELP roadskyline_runtime_alloc_bytes_total Cumulative heap bytes allocated; the rate is the allocation rate.\n")
+	fmt.Fprintf(w, "# TYPE roadskyline_runtime_alloc_bytes_total counter\n")
+	fmt.Fprintf(w, "roadskyline_runtime_alloc_bytes_total %d\n", s.AllocBytes)
+	fmt.Fprintf(w, "# HELP roadskyline_runtime_goroutines Live goroutines at the last runtime sample.\n")
+	fmt.Fprintf(w, "# TYPE roadskyline_runtime_goroutines gauge\n")
+	fmt.Fprintf(w, "roadskyline_runtime_goroutines %d\n", s.Goroutines)
+	fmt.Fprintf(w, "# HELP roadskyline_runtime_gc_cycles_total Completed GC cycles.\n")
+	fmt.Fprintf(w, "# TYPE roadskyline_runtime_gc_cycles_total counter\n")
+	fmt.Fprintf(w, "roadskyline_runtime_gc_cycles_total %d\n", s.GCCycles)
+
+	fmt.Fprintf(w, "# HELP roadskyline_runtime_gc_pause_seconds GC stop-the-world pause quantiles since process start (quantile 1 is the max bucket edge).\n")
+	fmt.Fprintf(w, "# TYPE roadskyline_runtime_gc_pause_seconds gauge\n")
+	fmt.Fprintf(w, "roadskyline_runtime_gc_pause_seconds{quantile=\"0.5\"} %g\n", s.GCPauseP50.Seconds())
+	fmt.Fprintf(w, "roadskyline_runtime_gc_pause_seconds{quantile=\"0.99\"} %g\n", s.GCPauseP99.Seconds())
+	fmt.Fprintf(w, "roadskyline_runtime_gc_pause_seconds{quantile=\"1\"} %g\n", s.GCPauseMax.Seconds())
+	fmt.Fprintf(w, "# HELP roadskyline_runtime_sched_latency_seconds Scheduler queueing latency quantiles since process start (quantile 1 is the max bucket edge).\n")
+	fmt.Fprintf(w, "# TYPE roadskyline_runtime_sched_latency_seconds gauge\n")
+	fmt.Fprintf(w, "roadskyline_runtime_sched_latency_seconds{quantile=\"0.5\"} %g\n", s.SchedLatP50.Seconds())
+	fmt.Fprintf(w, "roadskyline_runtime_sched_latency_seconds{quantile=\"0.99\"} %g\n", s.SchedLatP99.Seconds())
+	fmt.Fprintf(w, "roadskyline_runtime_sched_latency_seconds{quantile=\"1\"} %g\n", s.SchedLatMax.Seconds())
 }
 
 // flightResponse is the JSON body of the /debug/queries endpoint.
@@ -407,6 +495,61 @@ func (p *Pool) LineageHandler() http.Handler {
 		enc.Encode(struct {
 			Events []lineageEventJSON `json:"events"`
 		}{out})
+	})
+}
+
+// loadResponse is the JSON body of the /debug/load endpoint.
+type loadResponse struct {
+	// Enabled reports whether the pool was built with the rolling window.
+	Enabled bool      `json:"enabled"`
+	Now     time.Time `json:"now"`
+	// Windows are the rolling views (1s, 10s, 60s); empty when disabled.
+	Windows []LoadStats `json:"windows"`
+	// Runtime is the latest Go runtime sample, absent when the sampler is
+	// disabled; History holds the retained samples oldest-first when
+	// ?history=N asks for them (N caps the count).
+	Runtime *RuntimeSample  `json:"runtime,omitempty"`
+	History []RuntimeSample `json:"history,omitempty"`
+}
+
+// LoadHandler returns an http.Handler serving the live load view as JSON:
+// the rolling 1s/10s/60s windows (throughput, latency quantiles, outcome
+// and cache-hit rates) plus the latest Go runtime sample. With
+// ?history=N it also returns up to N retained runtime samples,
+// oldest-first, for quick heap/GC trend plots. Mount it under
+// /debug/load:
+//
+//	http.Handle("/debug/load", pool.LoadHandler())
+func (p *Pool) LoadHandler() http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, req *http.Request) {
+		history, err := positiveIntParam(req.URL.Query().Get("history"))
+		if err != nil {
+			http.Error(rw, "history: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp := loadResponse{
+			Enabled: p.window != nil,
+			Now:     time.Now(),
+			Windows: p.window.Views(),
+		}
+		if resp.Windows == nil {
+			resp.Windows = []LoadStats{}
+		}
+		if s, ok := p.sampler.Latest(); ok {
+			resp.Runtime = &s
+		}
+		if history > 0 {
+			if all := p.sampler.Samples(); len(all) > 0 {
+				if len(all) > history {
+					all = all[len(all)-history:]
+				}
+				resp.History = all
+			}
+		}
+		rw.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(rw)
+		enc.SetIndent("", "  ")
+		enc.Encode(resp)
 	})
 }
 

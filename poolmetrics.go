@@ -25,6 +25,16 @@ func QueueWaitBounds() []time.Duration {
 // cumulative counts aligned with Hist.Bounds, as in WaitHistogram.
 type QueryDurations = obs.DurationSnapshot
 
+// LoadStats is one sliding-window view of the pool's rolling load
+// telemetry: throughput, latency quantiles, outcome rates and cache hit
+// rates over the last 1/10/60 complete seconds. See obs.LoadStats.
+type LoadStats = obs.LoadStats
+
+// RuntimeSample is one point-in-time reading of the Go runtime's own
+// telemetry (heap, GC pauses, goroutines, scheduler latency). See
+// obs.RuntimeSample.
+type RuntimeSample = obs.RuntimeSample
+
 // WorkerStats is one worker's lifetime buffer-pool traffic: logical
 // network page requests and the faults among them, accumulated from the
 // Stats of every query the worker completed.
@@ -110,23 +120,33 @@ type PoolMetrics struct {
 	// histograms fed at query finalization, sorted by algorithm then
 	// outcome. Nil when the flight recorder is disabled.
 	Durations []QueryDurations
+	// Load holds the rolling-window views (1s, 10s, 60s) of live
+	// throughput, latency quantiles and outcome rates. Nil when the pool
+	// was built without PoolConfig.Window.
+	Load []LoadStats
+	// Runtime is the latest Go runtime sample. Nil when the pool was built
+	// without PoolConfig.RuntimeSample.
+	Runtime *RuntimeSample
 }
 
 // PoolMetrics snapshots the pool's runtime metrics. It is safe to call
 // concurrently with queries; the counters are individually consistent and
 // the cross-counter skew is bounded by the queries in flight during the
-// snapshot.
+// snapshot. The submission counters are read in an order that guarantees
+// Submitted ≥ Served+Saturated+Cancelled+Closed at every scrape (see
+// poolCounters.snapshot).
 func (p *Pool) PoolMetrics() PoolMetrics {
+	submitted, served, saturated, cancelled, closed := p.met.snapshot()
 	m := PoolMetrics{
 		Workers:        p.size,
 		StorageBackend: p.all[0].eng.StorageBackend().String(),
 		InFlight:    int(p.met.inFlight.Load()),
 		Waiting:     int(p.met.waiting.Load()),
-		Submitted:   p.met.submitted.Load(),
-		Served:      p.met.served.Load(),
-		Saturated:   p.met.saturated.Load(),
-		Cancelled:   p.met.cancelled.Load(),
-		Closed:      p.met.closed.Load(),
+		Submitted:   submitted,
+		Served:      served,
+		Saturated:   saturated,
+		Cancelled:   cancelled,
+		Closed:      closed,
 		QueueWait:   p.met.queueWait.Snapshot(),
 		WorkerStats: make([]WorkerStats, len(p.all)),
 		// Any worker sees the shared cache and broker; the first is as
@@ -136,6 +156,10 @@ func (p *Pool) PoolMetrics() PoolMetrics {
 		FlightSeen:     p.flight.Seen(),
 		FlightOutcomes: p.flight.OutcomeCounts(),
 		Durations:      p.flight.Durations(),
+		Load:           p.window.Views(),
+	}
+	if s, ok := p.sampler.Latest(); ok {
+		m.Runtime = &s
 	}
 	for i, w := range p.all {
 		m.WorkerStats[i] = WorkerStats{
